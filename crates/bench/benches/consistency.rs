@@ -1,0 +1,24 @@
+//! §1/§3 ablation: reinstall versus cfengine-style verify-and-repair as
+//! drift grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rocks_core::consistency::*;
+
+fn bench_consistency(c: &mut Criterion) {
+    println!("{}", rocks_bench::ablation());
+    let model = VerifyModel::default();
+    let mut group = c.benchmark_group("known_good_state");
+    for &n in &[1usize, 10, 100] {
+        let drifts = synth_drift("node", n, 70, 25);
+        group.bench_with_input(BenchmarkId::new("reinstall", n), &drifts, |b, drifts| {
+            b.iter(|| bring_to_known_state(Strategy::Reinstall, drifts, &model))
+        });
+        group.bench_with_input(BenchmarkId::new("verify", n), &drifts, |b, drifts| {
+            b.iter(|| bring_to_known_state(Strategy::VerifyRepair, drifts, &model))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_consistency);
+criterion_main!(benches);

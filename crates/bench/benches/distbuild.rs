@@ -1,0 +1,65 @@
+//! Figures 5 and 6: rocks-dist build performance — the §6.2.3 claim that
+//! a child distribution is "lightweight (on the order of 25MB) and can be
+//! built in under a minute" (our builds are in-memory, so the interesting
+//! measurements are structure and real build cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rocks_dist::hierarchy::{build_chain, Level};
+use rocks_dist::{builder, BuildConfig, Distribution};
+use rocks_rpm::synth;
+
+fn bench_dist_build(c: &mut Criterion) {
+    let stock = Distribution::stock("redhat-7.2", synth::redhat72(1));
+    let community = synth::community();
+    let local = synth::rocks_local();
+
+    // Report the Figure 5/§6.2.3 numbers once.
+    let (_, report) = builder::build(BuildConfig {
+        name: "rocks-2.2.1".into(),
+        parent: Some(&stock),
+        contrib: vec![&community],
+        local: vec![&local],
+        ..Default::default()
+    })
+    .unwrap();
+    println!(
+        "distbuild: {} links, {} files, {:.1} MB materialized (paper: ~25 MB, mostly links)",
+        report.links,
+        report.files,
+        report.materialized_bytes as f64 / (1024.0 * 1024.0)
+    );
+
+    c.bench_function("rocks_dist_build", |b| {
+        b.iter(|| {
+            builder::build(BuildConfig {
+                name: "rocks-2.2.1".into(),
+                parent: Some(&stock),
+                contrib: vec![&community],
+                local: vec![&local],
+                ..Default::default()
+            })
+        })
+    });
+
+    c.bench_function("hierarchy_4_levels", |b| {
+        b.iter(|| {
+            let mut campus = rocks_rpm::Repository::new("campus");
+            campus.insert(rocks_rpm::Package::builder("campus-tools", "1.0-1").build());
+            build_chain(
+                &stock,
+                &[
+                    Level {
+                        name: "rocks".into(),
+                        contrib: vec![synth::community()],
+                        local: vec![synth::rocks_local()],
+                        ..Default::default()
+                    },
+                    Level::with_contrib("campus", campus),
+                ],
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_dist_build);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! §6.3 micro-benchmark plus the Gigabit and replication projections.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rocks_netsim::cluster::{max_full_speed_concurrency, serial_download_benchmark};
+use rocks_netsim::SimConfig;
+
+fn bench_serial_download(c: &mut Criterion) {
+    let cfg = SimConfig::paper_testbed(1);
+    println!("micro: serial download sources {:.1} MB/s (paper: 7-8)", serial_download_benchmark(&cfg));
+    c.bench_function("serial_download_micro", |b| {
+        b.iter(|| serial_download_benchmark(&cfg))
+    });
+}
+
+fn bench_full_speed_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_speed_concurrency");
+    group.sample_size(10);
+    let fast = max_full_speed_concurrency(&|s| SimConfig::paper_testbed(s).bundled(12), 0.05, 256);
+    let gige = max_full_speed_concurrency(&|s| SimConfig::gige(s).bundled(12), 0.05, 256);
+    println!("full-speed: fast-ethernet {fast} nodes, gige {gige} nodes ({:.1}x; paper 7.0-9.5x)", gige as f64 / fast as f64);
+    for (name, make) in [
+        ("fast_ethernet", (|s| SimConfig::paper_testbed(s).bundled(12)) as fn(u64) -> SimConfig),
+        ("gige", (|s| SimConfig::gige(s).bundled(12)) as fn(u64) -> SimConfig),
+        ("replicated_x2", (|s| SimConfig::replicated(2, s).bundled(12)) as fn(u64) -> SimConfig),
+        ("replicated_x4", (|s| SimConfig::replicated(4, s).bundled(12)) as fn(u64) -> SimConfig),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &make, |b, make| {
+            b.iter(|| max_full_speed_concurrency(&|s| make(s), 0.05, 256))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serial_download, bench_full_speed_search);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! §6.1: on-the-fly Kickstart generation — the CGI path every installing
+//! node hits. The paper's flow (SQL lookups + graph traversal + render)
+//! must be fast enough to feed 32 simultaneous installers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rocks_db::insert_ethers::{register_frontend, DhcpRequest, InsertEthers};
+use rocks_db::ClusterDb;
+use rocks_kickstart::{profiles, KickstartGenerator};
+use rocks_rpm::Arch;
+
+fn setup() -> (KickstartGenerator, ClusterDb) {
+    let generator =
+        KickstartGenerator::new(profiles::default_profiles(), "10.1.1.1", "install/rocks-dist");
+    let mut db = ClusterDb::new();
+    register_frontend(&mut db, "00:30:c1:d8:ac:80", "frontend-0").unwrap();
+    let mut session = InsertEthers::start(&mut db, "Compute", 0).unwrap();
+    for i in 0..32 {
+        session.observe(&DhcpRequest { mac: format!("00:50:8b:e0:00:{i:02x}") }).unwrap();
+    }
+    (generator, db)
+}
+
+fn bench_kickstart(c: &mut Criterion) {
+    let (generator, mut db) = setup();
+
+    c.bench_function("parse_default_profiles", |b| {
+        b.iter(profiles::default_profiles)
+    });
+
+    c.bench_function("generate_compute_appliance", |b| {
+        b.iter(|| generator.generate_for_appliance("compute", Arch::I686).unwrap())
+    });
+
+    c.bench_function("cgi_request_flow", |b| {
+        b.iter(|| {
+            generator
+                .generate_for_request(&mut db, "10.255.255.254", Arch::I686)
+                .unwrap()
+        })
+    });
+
+    c.bench_function("render_kickstart_text", |b| {
+        let ks = generator.generate_for_appliance("compute", Arch::I686).unwrap();
+        b.iter(|| ks.render())
+    });
+}
+
+criterion_group!(benches, bench_kickstart);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Table I: concurrent reinstallation. Each benchmark runs the full
+//! discrete-event simulation for one concurrency level and reports the
+//! virtual result through Criterion's measurement of the simulation
+//! itself (the virtual minutes are printed once per level).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rocks_netsim::{ClusterSim, SimConfig};
+
+fn bench_reinstall(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_reinstall");
+    for &n in &[1usize, 2, 4, 8, 16, 32] {
+        // Print the virtual-time result once, so bench logs double as the
+        // Table I reproduction.
+        let mut sim = ClusterSim::new(SimConfig::paper_testbed(1), n);
+        let result = sim.run_reinstall();
+        println!(
+            "table1: {n:>2} nodes -> {:.1} virtual minutes ({} completed)",
+            result.total_minutes(),
+            result.completed()
+        );
+
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sim = ClusterSim::new(SimConfig::paper_testbed(1).bundled(24), n);
+                let result = sim.run_reinstall();
+                assert_eq!(result.completed(), n);
+                result.total_minutes()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reinstall);
+criterion_main!(benches);

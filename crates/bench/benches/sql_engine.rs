@@ -1,0 +1,56 @@
+//! §6.4: the cluster database. Report-generation queries and the paper's
+//! multi-table join run against clusters of increasing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rocks_db::insert_ethers::{register_frontend, DhcpRequest, InsertEthers};
+use rocks_db::{reports, ClusterDb};
+
+fn cluster_db(n: usize) -> ClusterDb {
+    let mut db = ClusterDb::new();
+    register_frontend(&mut db, "00:30:c1:d8:ac:80", "frontend-0").unwrap();
+    let mut session = InsertEthers::start(&mut db, "Compute", 0).unwrap();
+    for i in 0..n {
+        session
+            .observe(&DhcpRequest { mac: format!("00:50:8b:{:02x}:{:02x}:01", i / 256, i % 256) })
+            .unwrap();
+    }
+    db
+}
+
+fn bench_sql(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_db");
+    for &n in &[32usize, 128, 512] {
+        let mut db = cluster_db(n);
+        group.bench_with_input(BenchmarkId::new("compute_join", n), &n, |b, _| {
+            b.iter(|| {
+                db.query_names(
+                    "select nodes.name from nodes,memberships where \
+                     nodes.membership = memberships.id and memberships.name = 'Compute'",
+                )
+                .unwrap()
+            })
+        });
+        let mut db2 = cluster_db(n);
+        group.bench_with_input(BenchmarkId::new("generate_reports", n), &n, |b, _| {
+            b.iter(|| reports::generate_all(&mut db2).unwrap())
+        });
+    }
+    group.finish();
+
+    let mut db = cluster_db(64);
+    c.bench_function("insert_ethers_one_node", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i += 1;
+            let mut session = InsertEthers::start(&mut db, "Compute", 1).unwrap();
+            session
+                .observe(&DhcpRequest {
+                    mac: format!("00:aa:{:02x}:{:02x}:{:02x}:02", i >> 16, (i >> 8) & 0xff, i & 0xff),
+                })
+                .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_sql);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! §6.2.1: the cost of tracking vendor updates (Red Hat 6.2's year of
+//! 124 updates), and the speed of folding an update stream into a
+//! distribution with newest-wins resolution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rocks_rpm::{synth, Repository, UpdateStream};
+
+fn bench_update_tracking(c: &mut Criterion) {
+    let base = synth::redhat72(1);
+    println!("{}", rocks_bench::update_tracking());
+
+    c.bench_function("generate_paper_update_stream", |b| {
+        b.iter(|| UpdateStream::paper_stream(&base, 42))
+    });
+
+    let mut group = c.benchmark_group("apply_updates");
+    for &days in &[30u32, 90, 365] {
+        group.bench_with_input(BenchmarkId::from_parameter(days), &days, |b, &days| {
+            let stream = UpdateStream::paper_stream(&base, 42);
+            b.iter(|| {
+                let mut repo = Repository::new("mirror");
+                repo.merge(&base);
+                stream.apply_through(&mut repo, days)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_update_tracking);
+criterion_main!(benches);

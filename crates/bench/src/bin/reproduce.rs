@@ -1,0 +1,66 @@
+//! `reproduce` — regenerate every table and figure from the paper.
+//!
+//! ```text
+//! reproduce all        # everything, in paper order
+//! reproduce table1     # Table I   — reinstall time vs concurrency
+//! reproduce table2     # Table II  — the Nodes database table
+//! reproduce table3     # Table III — the Memberships table
+//! reproduce fig1..fig7 # figures
+//! reproduce micro      # §6.3 serial-download micro-benchmark
+//! reproduce range      # §6.3 5-10 minute reinstall-time range
+//! reproduce cabinets   # Figure 1 extension: cabinet-switch uplinks
+//! reproduce gige       # §6.3 Gigabit projection
+//! reproduce replicas   # §6.3 replicated-server projection
+//! reproduce updates    # §6.2.1 update-tracking experiment
+//! reproduce ablation   # §1/§3 reinstall-vs-verify ablation
+//! ```
+
+use rocks_bench::*;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    type Experiment = (&'static str, fn() -> String);
+    let experiments: Vec<Experiment> = vec![
+        ("table1", table1),
+        ("table2", table2),
+        ("table3", table3),
+        ("fig1", fig1),
+        ("fig2", fig2),
+        ("fig3", fig3),
+        ("fig4", fig4),
+        ("fig5", fig5),
+        ("fig6", fig6),
+        ("fig7", fig7),
+        ("micro", micro_benchmark),
+        ("range", reinstall_range),
+        ("cabinets", cabinet_topology),
+        ("utilization", utilization_timeline),
+        ("gige", gige_scaling),
+        ("replicas", replica_scaling),
+        ("updates", update_tracking),
+        ("ablation", ablation),
+    ];
+
+    match arg.as_str() {
+        "all" => {
+            for (name, f) in &experiments {
+                println!("==== {name} ====");
+                println!("{}", f());
+            }
+            println!("==== bring-up ====");
+            println!("{}", bringup_summary());
+        }
+        "list" => {
+            for (name, _) in &experiments {
+                println!("{name}");
+            }
+        }
+        other => match experiments.iter().find(|(name, _)| *name == other) {
+            Some((_, f)) => println!("{}", f()),
+            None => {
+                eprintln!("unknown experiment {other:?}; try `reproduce list`");
+                std::process::exit(2);
+            }
+        },
+    }
+}

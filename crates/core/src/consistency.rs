@@ -1,0 +1,269 @@
+//! The reinstall-versus-verify ablation (paper §1 and §3).
+//!
+//! Rocks' thesis: "With attention to complete automation of this process,
+//! it becomes faster to reinstall all nodes to a known configuration than
+//! it is to determine if nodes were out of synchronization in the first
+//! place. ... This is clearly diametrically opposed to the philosophy of
+//! configuration management tools like Cfengine that perform exhaustive
+//! examination and parity checking of an installed OS."
+//!
+//! This module provides the cost model behind the `reproduce ablation`
+//! experiment: for a node in an *unknown* state with some amount of
+//! drift, compare the time (and residual inconsistency) of
+//!
+//! * **Reinstall** — flat cost (the Table I per-node time), always ends
+//!   in a known-good state, and
+//! * **VerifyRepair** — a cfengine-style scan of the configuration
+//!   surface plus per-item repairs, whose cost grows with the drift and
+//!   whose completeness is bounded by the policy's coverage; drift in
+//!   core components (kernel, glibc, shared services) cannot be repaired
+//!   online at all (§1: "changes to any shared object or service require
+//!   that all processes ... terminate") and forces a reinstall anyway.
+
+/// What kind of item drifted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriftKind {
+    /// An editable configuration file (cfengine's sweet spot).
+    ConfigFile,
+    /// A package at the wrong version (repairable by re-running RPM).
+    PackageVersion,
+    /// Kernel / glibc / a shared service: online repair is impossible.
+    CoreComponent,
+}
+
+/// One drifted item on one node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Drift {
+    /// Node name.
+    pub node: String,
+    /// Item (file path or package name).
+    pub item: String,
+    /// Severity class.
+    pub kind: DriftKind,
+}
+
+/// Strategy under comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Rocks: reinstall the node.
+    Reinstall,
+    /// Cfengine-style: scan against policy, repair what the policy
+    /// covers.
+    VerifyRepair,
+}
+
+/// Cost model parameters. Defaults are deliberately *favourable to the
+/// verifier* so the ablation's crossover is conservative.
+#[derive(Debug, Clone)]
+pub struct VerifyModel {
+    /// Seconds to check one policy item (stat + checksum + compare).
+    pub per_item_check_s: f64,
+    /// Policy items per node (files and packages under management).
+    pub policy_items: usize,
+    /// Seconds to repair one drifted config file.
+    pub config_repair_s: f64,
+    /// Seconds to re-install one drifted package.
+    pub package_repair_s: f64,
+    /// Fraction of the real configuration surface the policy covers —
+    /// cfengine only checks what an administrator thought to describe.
+    pub coverage: f64,
+    /// Seconds a full node reinstall takes (Table I single-node time).
+    pub reinstall_s: f64,
+}
+
+impl Default for VerifyModel {
+    fn default() -> Self {
+        VerifyModel {
+            per_item_check_s: 0.05,
+            policy_items: 2000,
+            config_repair_s: 2.0,
+            package_repair_s: 25.0,
+            coverage: 0.85,
+            reinstall_s: 618.0, // 10.3 minutes
+        }
+    }
+}
+
+/// Outcome of bringing one node to a (claimed) known state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairOutcome {
+    /// Strategy used.
+    pub strategy: Strategy,
+    /// Seconds spent.
+    pub seconds: f64,
+    /// Drifted items actually fixed.
+    pub repaired: usize,
+    /// Drifted items the policy never saw — still wrong afterwards.
+    pub missed: usize,
+    /// Whether the node ended in a *provably* known state.
+    pub known_good: bool,
+}
+
+/// Evaluate one strategy against a node's drift set.
+pub fn bring_to_known_state(
+    strategy: Strategy,
+    drifts: &[Drift],
+    model: &VerifyModel,
+) -> RepairOutcome {
+    match strategy {
+        Strategy::Reinstall => RepairOutcome {
+            strategy,
+            seconds: model.reinstall_s,
+            repaired: drifts.len(),
+            missed: 0,
+            known_good: true,
+        },
+        Strategy::VerifyRepair => {
+            // Scan the whole policy regardless of how much drifted —
+            // that is the point: determining whether nodes are out of
+            // sync costs a full examination.
+            let scan = model.policy_items as f64 * model.per_item_check_s;
+
+            // Of the drifted items, only the covered fraction is seen.
+            // Deterministic split: the first ⌈coverage·n⌉ of each kind.
+            let mut seconds = scan;
+            let mut repaired = 0usize;
+            let mut missed = 0usize;
+            let mut needs_reinstall = false;
+            let covered_count = (drifts.len() as f64 * model.coverage).round() as usize;
+            for (i, drift) in drifts.iter().enumerate() {
+                let covered = i < covered_count;
+                if !covered {
+                    missed += 1;
+                    continue;
+                }
+                match drift.kind {
+                    DriftKind::ConfigFile => {
+                        seconds += model.config_repair_s;
+                        repaired += 1;
+                    }
+                    DriftKind::PackageVersion => {
+                        seconds += model.package_repair_s;
+                        repaired += 1;
+                    }
+                    DriftKind::CoreComponent => {
+                        // Detected but not online-repairable: the node
+                        // must reinstall anyway.
+                        needs_reinstall = true;
+                    }
+                }
+            }
+            if needs_reinstall {
+                seconds += model.reinstall_s;
+                // The reinstall wipes everything, including missed drift.
+                repaired = drifts.len();
+                missed = 0;
+            }
+            RepairOutcome {
+                strategy,
+                seconds,
+                repaired,
+                missed,
+                known_good: needs_reinstall || missed == 0,
+            }
+        }
+    }
+}
+
+/// A synthetic drift workload: `n` items cycling through the severity
+/// classes with the given proportions (out of 100).
+pub fn synth_drift(
+    node: &str,
+    n: usize,
+    pct_config: usize,
+    pct_package: usize,
+) -> Vec<Drift> {
+    assert!(pct_config + pct_package <= 100);
+    (0..n)
+        .map(|i| {
+            let roll = (i * 37) % 100; // deterministic spread
+            let kind = if roll < pct_config {
+                DriftKind::ConfigFile
+            } else if roll < pct_config + pct_package {
+                DriftKind::PackageVersion
+            } else {
+                DriftKind::CoreComponent
+            };
+            Drift { node: node.to_string(), item: format!("item-{i}"), kind }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reinstall_is_flat_and_always_known_good() {
+        let model = VerifyModel::default();
+        for n in [0, 5, 500] {
+            let drifts = synth_drift("n", n, 70, 25);
+            let outcome = bring_to_known_state(Strategy::Reinstall, &drifts, &model);
+            assert_eq!(outcome.seconds, model.reinstall_s);
+            assert!(outcome.known_good);
+            assert_eq!(outcome.missed, 0);
+        }
+    }
+
+    #[test]
+    fn verify_wins_on_small_shallow_drift() {
+        let model = VerifyModel::default();
+        // Two config-file edits: a quick scan plus two repairs.
+        let drifts = synth_drift("n", 2, 100, 0);
+        let verify = bring_to_known_state(Strategy::VerifyRepair, &drifts, &model);
+        let reinstall = bring_to_known_state(Strategy::Reinstall, &drifts, &model);
+        assert!(verify.seconds < reinstall.seconds);
+    }
+
+    #[test]
+    fn verify_loses_on_deep_drift() {
+        let model = VerifyModel::default();
+        // Core-component drift (a bad glibc) forces scan + reinstall:
+        // strictly worse than reinstalling straight away.
+        let drifts = vec![Drift {
+            node: "n".into(),
+            item: "glibc".into(),
+            kind: DriftKind::CoreComponent,
+        }];
+        let verify = bring_to_known_state(Strategy::VerifyRepair, &drifts, &model);
+        let reinstall = bring_to_known_state(Strategy::Reinstall, &drifts, &model);
+        assert!(verify.seconds > reinstall.seconds);
+        assert!(verify.known_good); // it did reinstall, eventually
+    }
+
+    #[test]
+    fn verify_misses_uncovered_drift() {
+        let model = VerifyModel { coverage: 0.5, ..Default::default() };
+        let drifts = synth_drift("n", 10, 100, 0);
+        let outcome = bring_to_known_state(Strategy::VerifyRepair, &drifts, &model);
+        assert_eq!(outcome.repaired, 5);
+        assert_eq!(outcome.missed, 5);
+        assert!(!outcome.known_good);
+    }
+
+    #[test]
+    fn package_drift_crossover_exists() {
+        // With enough drifted packages, repairs alone exceed the flat
+        // reinstall cost — the paper's scaling argument.
+        let model = VerifyModel::default();
+        let cost = |n: usize| {
+            let drifts = synth_drift("n", n, 0, 100);
+            bring_to_known_state(Strategy::VerifyRepair, &drifts, &model).seconds
+        };
+        assert!(cost(2) < model.reinstall_s + 100.0);
+        assert!(cost(40) > model.reinstall_s);
+        // Monotone growth.
+        assert!(cost(40) > cost(10));
+    }
+
+    #[test]
+    fn synth_drift_proportions_roughly_hold() {
+        let drifts = synth_drift("n", 100, 70, 25);
+        let config = drifts.iter().filter(|d| d.kind == DriftKind::ConfigFile).count();
+        let pkg = drifts.iter().filter(|d| d.kind == DriftKind::PackageVersion).count();
+        let core = drifts.iter().filter(|d| d.kind == DriftKind::CoreComponent).count();
+        assert!((60..=80).contains(&config), "config {config}");
+        assert!((15..=35).contains(&pkg), "pkg {pkg}");
+        assert!((1..=15).contains(&core), "core {core}");
+    }
+}

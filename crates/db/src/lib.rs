@@ -1,0 +1,320 @@
+#![warn(missing_docs)]
+
+//! The Rocks cluster database (paper §6.4).
+//!
+//! "Rocks clusters use a MySQL database for site configuration. The two
+//! key tables we provide are, 1) a site-specific configuration table and,
+//! 2) a nodes table. From these tables we generate the /etc/hosts,
+//! /etc/dhcpd.conf, and PBS configuration files."
+//!
+//! This crate layers the Rocks schema and tooling over the [`rocks_sql`]
+//! engine:
+//!
+//! * [`schema`] — creates and seeds the `nodes`, `memberships`,
+//!   `appliances`, and `app_globals` tables (Tables II and III),
+//! * [`ClusterDb`] — a typed facade over the SQL tables, while still
+//!   accepting raw SQL for the `--query` interface,
+//! * [`insert_ethers`] — the discovery tool that watches DHCP requests,
+//!   names new nodes, allocates addresses, and refreshes reports,
+//! * [`reports`] — the generated service configuration files
+//!   (`/etc/hosts`, `/etc/dhcpd.conf`, the PBS nodes file),
+//! * [`ip`] — small IPv4 helpers for address allocation.
+
+pub mod insert_ethers;
+pub mod ip;
+pub mod reports;
+pub mod schema;
+
+pub use insert_ethers::{DhcpRequest, InsertEthers};
+pub use ip::Ipv4;
+pub use schema::{Membership, NodeRecord, DEFAULT_MEMBERSHIPS};
+
+use rocks_sql::{Database, SqlError, Value};
+
+/// Errors from cluster-database operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// Underlying SQL failure.
+    Sql(SqlError),
+    /// Unknown membership id or name.
+    NoSuchMembership(String),
+    /// Duplicate MAC address registration.
+    DuplicateMac(String),
+    /// Address pool exhausted.
+    NoFreeAddress,
+    /// Node lookup failed.
+    NoSuchNode(String),
+}
+
+impl From<SqlError> for DbError {
+    fn from(e: SqlError) -> Self {
+        DbError::Sql(e)
+    }
+}
+
+impl std::fmt::Display for DbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DbError::Sql(e) => write!(f, "sql: {e}"),
+            DbError::NoSuchMembership(m) => write!(f, "no such membership: {m}"),
+            DbError::DuplicateMac(m) => write!(f, "MAC already registered: {m}"),
+            DbError::NoFreeAddress => write!(f, "no free IP address in the cluster network"),
+            DbError::NoSuchNode(n) => write!(f, "no such node: {n}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, DbError>;
+
+/// The cluster database: a [`rocks_sql::Database`] holding the Rocks
+/// schema, plus typed accessors.
+#[derive(Debug, Clone)]
+pub struct ClusterDb {
+    db: Database,
+}
+
+impl Default for ClusterDb {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ClusterDb {
+    /// Create a database with the Rocks schema and the default
+    /// memberships of Table III.
+    pub fn new() -> Self {
+        let mut db = Database::new();
+        schema::create_schema(&mut db);
+        ClusterDb { db }
+    }
+
+    /// Raw SQL access — the paper deliberately exposes this to
+    /// administrators (`cluster-kill --query="select ..."`).
+    pub fn sql(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// Run a query and return the first column as strings: the exact
+    /// contract of the `--query` flag in §6.4.
+    pub fn query_names(&mut self, sql: &str) -> Result<Vec<String>> {
+        Ok(self.db.query_column(sql)?)
+    }
+
+    /// Register a membership (appliance class) and return its id.
+    pub fn add_membership(&mut self, m: &Membership) -> Result<()> {
+        self.db.execute(&format!(
+            "insert into memberships values ({}, '{}', {}, '{}', '{}')",
+            m.id,
+            sql_escape(&m.name),
+            m.appliance,
+            if m.compute { "yes" } else { "no" },
+            sql_escape(&m.basename),
+        ))?;
+        Ok(())
+    }
+
+    /// Look up a membership by id.
+    pub fn membership(&mut self, id: i64) -> Result<Membership> {
+        let result =
+            self.db.query(&format!("select * from memberships where id = {id}"))?;
+        let row = result.rows.first().ok_or(DbError::NoSuchMembership(id.to_string()))?;
+        Ok(Membership::from_row(row))
+    }
+
+    /// Look up a membership by (case-insensitive) name.
+    pub fn membership_by_name(&mut self, name: &str) -> Result<Membership> {
+        let result = self.db.query("select * from memberships")?;
+        result
+            .rows
+            .iter()
+            .map(|r| Membership::from_row(r))
+            .find(|m| m.name.eq_ignore_ascii_case(name))
+            .ok_or_else(|| DbError::NoSuchMembership(name.to_string()))
+    }
+
+    /// All memberships, ordered by id.
+    pub fn memberships(&mut self) -> Result<Vec<Membership>> {
+        let result = self.db.query("select * from memberships order by id")?;
+        Ok(result.rows.iter().map(|r| Membership::from_row(r)).collect())
+    }
+
+    /// Insert a node row exactly as given (used by insert-ethers and by
+    /// the Table II reproduction). Rejects duplicate MACs.
+    pub fn add_node(&mut self, node: &NodeRecord) -> Result<()> {
+        let existing = self
+            .db
+            .query(&format!("select id from nodes where mac = '{}'", sql_escape(&node.mac)))?;
+        if !existing.rows.is_empty() {
+            return Err(DbError::DuplicateMac(node.mac.clone()));
+        }
+        let comment = match &node.comment {
+            Some(c) => format!("'{}'", sql_escape(c)),
+            None => "NULL".to_string(),
+        };
+        self.db.execute(&format!(
+            "insert into nodes values ({}, '{}', '{}', {}, {}, {}, '{}', {})",
+            node.id,
+            sql_escape(&node.mac),
+            sql_escape(&node.name),
+            node.membership,
+            node.rack,
+            node.rank,
+            node.ip,
+            comment,
+        ))?;
+        Ok(())
+    }
+
+    /// All nodes ordered by id.
+    pub fn nodes(&mut self) -> Result<Vec<NodeRecord>> {
+        let result = self.db.query("select * from nodes order by id")?;
+        Ok(result.rows.iter().map(|r| NodeRecord::from_row(r)).collect())
+    }
+
+    /// A node by name.
+    pub fn node_by_name(&mut self, name: &str) -> Result<NodeRecord> {
+        let result = self
+            .db
+            .query(&format!("select * from nodes where name = '{}'", sql_escape(name)))?;
+        let row = result.rows.first().ok_or_else(|| DbError::NoSuchNode(name.to_string()))?;
+        Ok(NodeRecord::from_row(row))
+    }
+
+    /// Nodes whose membership is flagged `compute = 'yes'` — the join the
+    /// paper demonstrates (§6.4).
+    pub fn compute_nodes(&mut self) -> Result<Vec<NodeRecord>> {
+        let result = self.db.query(
+            "select nodes.id, nodes.mac, nodes.name, nodes.membership, nodes.rack, \
+             nodes.rank, nodes.ip, nodes.comment \
+             from nodes, memberships \
+             where nodes.membership = memberships.id and memberships.compute = 'yes' \
+             order by nodes.id",
+        )?;
+        Ok(result.rows.iter().map(|r| NodeRecord::from_row(r)).collect())
+    }
+
+    /// Next unused node id.
+    pub fn next_node_id(&mut self) -> Result<i64> {
+        let result = self.db.query("select max(id) from nodes")?;
+        Ok(match result.rows[0][0] {
+            Value::Int(n) => n + 1,
+            _ => 1,
+        })
+    }
+
+    /// Highest rank already used in `(membership, rack)`, or None.
+    pub fn max_rank(&mut self, membership: i64, rack: i64) -> Result<Option<i64>> {
+        let result = self.db.query(&format!(
+            "select max(rank) from nodes where membership = {membership} and rack = {rack}"
+        ))?;
+        Ok(result.rows[0][0].as_int())
+    }
+
+    /// Set a site-global key (the "site-specific configuration table").
+    pub fn set_global(&mut self, key: &str, value: &str) -> Result<()> {
+        self.db
+            .execute(&format!("delete from app_globals where name = '{}'", sql_escape(key)))?;
+        self.db.execute(&format!(
+            "insert into app_globals values ('{}', '{}')",
+            sql_escape(key),
+            sql_escape(value)
+        ))?;
+        Ok(())
+    }
+
+    /// Read a site-global key.
+    pub fn global(&mut self, key: &str) -> Result<Option<String>> {
+        let result = self
+            .db
+            .query(&format!("select value from app_globals where name = '{}'", sql_escape(key)))?;
+        Ok(result.rows.first().map(|r| r[0].render()))
+    }
+
+    /// All IPs currently assigned.
+    pub fn used_ips(&mut self) -> Result<Vec<Ipv4>> {
+        let result = self.db.query("select ip from nodes")?;
+        Ok(result
+            .rows
+            .iter()
+            .filter_map(|r| r[0].as_text().and_then(Ipv4::parse))
+            .collect())
+    }
+}
+
+/// Escape a string for inclusion in a single-quoted SQL literal.
+pub fn sql_escape(s: &str) -> String {
+    s.replace('\'', "''")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_seeds_table_iii_memberships() {
+        let mut db = ClusterDb::new();
+        let ms = db.memberships().unwrap();
+        assert_eq!(ms.len(), DEFAULT_MEMBERSHIPS.len());
+        let compute = db.membership_by_name("Compute").unwrap();
+        assert_eq!(compute.id, 2);
+        assert!(compute.compute);
+        let frontend = db.membership_by_name("Frontend").unwrap();
+        assert!(!frontend.compute);
+    }
+
+    #[test]
+    fn duplicate_mac_rejected() {
+        let mut db = ClusterDb::new();
+        let node = NodeRecord::new(1, "00:50:8b:e0:3a:a7", "compute-0-0", 2, 0, 0, Ipv4::new(10, 255, 255, 245));
+        db.add_node(&node).unwrap();
+        let err = db.add_node(&node).unwrap_err();
+        assert!(matches!(err, DbError::DuplicateMac(_)));
+    }
+
+    #[test]
+    fn compute_nodes_join() {
+        let mut db = ClusterDb::new();
+        db.add_node(&NodeRecord::new(1, "aa:00:00:00:00:01", "frontend-0", 1, 0, 0, Ipv4::new(10, 1, 1, 1))).unwrap();
+        db.add_node(&NodeRecord::new(2, "aa:00:00:00:00:02", "compute-0-0", 2, 0, 0, Ipv4::new(10, 255, 255, 254))).unwrap();
+        db.add_node(&NodeRecord::new(3, "aa:00:00:00:00:03", "compute-0-1", 2, 0, 1, Ipv4::new(10, 255, 255, 253))).unwrap();
+        let compute = db.compute_nodes().unwrap();
+        assert_eq!(compute.len(), 2);
+        assert!(compute.iter().all(|n| n.name.starts_with("compute-")));
+    }
+
+    #[test]
+    fn globals_round_trip() {
+        let mut db = ClusterDb::new();
+        assert_eq!(db.global("Kickstart_PublicHostname").unwrap(), None);
+        db.set_global("Kickstart_PublicHostname", "frontend.sdsc.edu").unwrap();
+        assert_eq!(
+            db.global("Kickstart_PublicHostname").unwrap().as_deref(),
+            Some("frontend.sdsc.edu")
+        );
+        db.set_global("Kickstart_PublicHostname", "other.edu").unwrap();
+        assert_eq!(db.global("Kickstart_PublicHostname").unwrap().as_deref(), Some("other.edu"));
+    }
+
+    #[test]
+    fn next_id_and_max_rank() {
+        let mut db = ClusterDb::new();
+        assert_eq!(db.next_node_id().unwrap(), 1);
+        db.add_node(&NodeRecord::new(1, "aa:00:00:00:00:01", "compute-0-0", 2, 0, 0, Ipv4::new(10, 255, 255, 254))).unwrap();
+        assert_eq!(db.next_node_id().unwrap(), 2);
+        assert_eq!(db.max_rank(2, 0).unwrap(), Some(0));
+        assert_eq!(db.max_rank(2, 1).unwrap(), None);
+    }
+
+    #[test]
+    fn raw_sql_query_interface() {
+        let mut db = ClusterDb::new();
+        db.add_node(&NodeRecord::new(1, "aa:00:00:00:00:01", "compute-1-0", 2, 1, 0, Ipv4::new(10, 255, 255, 254))).unwrap();
+        db.add_node(&NodeRecord::new(2, "aa:00:00:00:00:02", "compute-2-0", 2, 2, 0, Ipv4::new(10, 255, 255, 253))).unwrap();
+        // §6.4: cluster-kill --query="select name from nodes where rack=1".
+        let names = db.query_names("select name from nodes where rack=1").unwrap();
+        assert_eq!(names, vec!["compute-1-0"]);
+    }
+}

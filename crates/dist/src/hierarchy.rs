@@ -1,0 +1,148 @@
+//! Distribution hierarchies (paper Figure 6 and §6.2.2).
+//!
+//! "We envision a hierarchy of Rocks distribution hosts, each adding
+//! software packages for child distributions": Red Hat → NPACI Rocks →
+//! university → department. Because the build process is repeatable, any
+//! distribution can serve as a parent.
+
+use crate::builder::{build, BuildConfig, BuildReport, DistError};
+use crate::distribution::Distribution;
+use rocks_rpm::Repository;
+
+/// One level in a hierarchy: a name plus the software this level adds.
+#[derive(Debug, Default)]
+pub struct Level {
+    /// Distribution name at this level.
+    pub name: String,
+    /// Vendor-update repositories applied at this level.
+    pub updates: Vec<Repository>,
+    /// Contributed software added at this level.
+    pub contrib: Vec<Repository>,
+    /// Locally-built software added at this level.
+    pub local: Vec<Repository>,
+}
+
+impl Level {
+    /// A level that only adds contrib packages.
+    pub fn with_contrib(name: &str, contrib: Repository) -> Level {
+        Level { name: name.to_string(), contrib: vec![contrib], ..Default::default() }
+    }
+}
+
+/// Build a chain of distributions starting from `root`. Returns every
+/// level's distribution and build report, ordered root-child → leaf.
+pub fn build_chain(
+    root: &Distribution,
+    levels: &[Level],
+) -> Result<Vec<(Distribution, BuildReport)>, DistError> {
+    let mut out: Vec<(Distribution, BuildReport)> = Vec::new();
+    for (i, level) in levels.iter().enumerate() {
+        let parent: &Distribution = if i == 0 { root } else { &out[i - 1].0 };
+        let (dist, report) = build(BuildConfig {
+            name: level.name.clone(),
+            parent: Some(parent),
+            updates: level.updates.iter().collect(),
+            contrib: level.contrib.iter().collect(),
+            local: level.local.iter().collect(),
+            ..Default::default()
+        })?;
+        out.push((dist, report));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rocks_rpm::{synth, Package};
+
+    fn one_pkg_repo(name: &str, pkg_name: &str, size: u64) -> Repository {
+        let mut repo = Repository::new(name);
+        repo.insert(Package::builder(pkg_name, "1.0-1").size(size).build());
+        repo
+    }
+
+    #[test]
+    fn figure6_four_level_chain() {
+        // Red Hat → Rocks → campus → department, as drawn in Figure 6.
+        let redhat = Distribution::stock("redhat-7.2", synth::redhat72(11));
+        let levels = vec![
+            Level {
+                name: "rocks-2.2.1".into(),
+                contrib: vec![synth::community()],
+                local: vec![synth::rocks_local()],
+                ..Default::default()
+            },
+            Level::with_contrib("ucsd-campus", one_pkg_repo("campus", "campus-license-tools", 1 << 20)),
+            Level::with_contrib("chem-dept", one_pkg_repo("dept", "gamess", 40 << 20)),
+        ];
+        let chain = build_chain(&redhat, &levels).unwrap();
+        assert_eq!(chain.len(), 3);
+
+        // The leaf sees software from every ancestor.
+        let leaf = &chain[2].0;
+        for pkg in ["glibc", "mpich", "rocks-dist", "campus-license-tools", "gamess"] {
+            assert!(
+                leaf.repo().best_for(pkg, rocks_rpm::Arch::I686).is_some(),
+                "leaf missing {pkg}"
+            );
+        }
+
+        // Each level materializes only what it adds; everything inherited
+        // stays a link (§6.2.3 "lightweight").
+        let campus_report = &chain[1].1;
+        assert_eq!(campus_report.materialized_bytes, 1 << 20);
+        let dept_report = &chain[2].1;
+        assert_eq!(dept_report.materialized_bytes, 40 << 20);
+        assert!(dept_report.links > 600);
+    }
+
+    #[test]
+    fn repeatability_child_of_child_resolves_links_one_hop() {
+        let redhat = Distribution::stock("redhat-7.2", synth::redhat72(11));
+        let chain = build_chain(
+            &redhat,
+            &[
+                Level::with_contrib("a", one_pkg_repo("ra", "pkg-a", 10)),
+                Level::with_contrib("b", one_pkg_repo("rb", "pkg-b", 10)),
+            ],
+        )
+        .unwrap();
+        let b = &chain[1].0;
+        // A glibc link in `b` must point directly at the stock tree (one
+        // hop), not at `a`'s link.
+        let glibc = b.repo().get("glibc", rocks_rpm::Arch::I686).unwrap();
+        let path = Distribution::rpm_path("b", glibc);
+        let target = b.tree.resolve(&path).unwrap();
+        assert!(target.starts_with("redhat-7.2/"), "target = {target}");
+    }
+
+    #[test]
+    fn level_update_propagates_to_leaf() {
+        let redhat = Distribution::stock("redhat-7.2", synth::redhat72(11));
+        let mut newer_glibc = Repository::new("sec");
+        newer_glibc.insert(
+            Package::builder("glibc", "2.2.4-24")
+                .arch(rocks_rpm::Arch::I686)
+                .size(14 << 20)
+                .build(),
+        );
+        let chain = build_chain(
+            &redhat,
+            &[
+                Level {
+                    name: "rocks".into(),
+                    updates: vec![newer_glibc],
+                    ..Default::default()
+                },
+                Level::with_contrib("campus", one_pkg_repo("c", "x", 10)),
+            ],
+        )
+        .unwrap();
+        let leaf = &chain[1].0;
+        assert_eq!(
+            leaf.repo().get("glibc", rocks_rpm::Arch::I686).unwrap().evr.to_string(),
+            "2.2.4-24"
+        );
+    }
+}

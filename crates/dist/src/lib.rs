@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! `rocks-dist`: building cluster-enhanced Linux distributions (paper §6.2).
+//!
+//! "Rocks-dist gathers software components from the following sources and
+//! constructs a single new distribution: Red Hat software [stock + updates
+//! mirrored locally], third party software, local software. ... The
+//! resulting Rocks distribution looks just like a Red Hat distribution,
+//! only with more software. A consequence of this is repeatability — a
+//! Rocks distribution can be run through the identical process to produce
+//! an enhanced Rocks distribution" (Figures 5 and 6).
+//!
+//! * [`tree::DistTree`] — the distribution's file tree, virtualized so
+//!   tests are hermetic and the §6.2.3 "mostly symbolic links, ~25 MB,
+//!   built in under a minute" claims are measurable,
+//! * [`distribution::Distribution`] — a named tree + package repository +
+//!   the XML `build/` profile directory,
+//! * [`builder`] — the `rocks-dist build` pipeline: mirror → resolve
+//!   versions → link tree → graft profiles → report,
+//! * [`hierarchy`] — chained parent/child distributions (Figure 6's
+//!   object-oriented model).
+
+pub mod builder;
+pub mod distribution;
+pub mod hierarchy;
+pub mod tree;
+
+pub use builder::{BuildConfig, BuildReport, DistError};
+pub use distribution::Distribution;
+pub use tree::{DistTree, Entry};

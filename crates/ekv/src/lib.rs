@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! eKV — Ethernet Keyboard and Video (paper §6.3).
+//!
+//! "This is accomplished by slightly modifying Red Hat's Kickstart
+//! installation program, anaconda, to capture standard output and present
+//! it on a telnet-compatible port." `shoot-node` then "pops open an xterm
+//! window which displays the status of the Red Hat Kickstart
+//! installation" (Figure 7).
+//!
+//! This crate implements the wire path for real:
+//!
+//! * [`server::EkvServer`] — the installing node's side: a TCP listener
+//!   on a telnet-compatible port that broadcasts captured installer
+//!   output to every connected watcher,
+//! * [`client`] — the shoot-node side: connect and stream lines,
+//! * [`screen`] — renders the Figure 7 status panel from install
+//!   progress,
+//! * an in-process [`server::LocalFeed`] transport for deterministic
+//!   tests and simulator integration.
+
+pub mod client;
+pub mod screen;
+pub mod server;
+
+pub use client::watch_lines;
+pub use screen::{InstallScreen, PanelState};
+pub use server::{EkvServer, LocalFeed};

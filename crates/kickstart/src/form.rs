@@ -1,0 +1,183 @@
+//! The frontend installation form (paper §7).
+//!
+//! "Rocks is installed with a floppy and a CD and the frontend Kickstart
+//! file is built from a simple web form." The form collects the site
+//! parameters a frontend cannot autodetect — identity, public networking,
+//! passwords — validates them, and produces the frontend's Kickstart file
+//! through the same XML framework every other node uses.
+
+use crate::generator::KickstartGenerator;
+use crate::kickstart::KickstartFile;
+use crate::{KsError, Result};
+use rocks_rpm::Arch;
+
+/// The web form's fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontendForm {
+    /// Cluster name, used for the NIS domain and default hostnames.
+    pub cluster_name: String,
+    /// Public fully-qualified hostname of the frontend.
+    pub public_hostname: String,
+    /// Public IP address (dotted quad) on eth1.
+    pub public_ip: String,
+    /// Public netmask.
+    pub public_netmask: String,
+    /// Default gateway.
+    pub gateway: String,
+    /// DNS server.
+    pub dns: String,
+    /// Crypted root password (the form crypts before submit).
+    pub root_password_crypted: String,
+    /// Timezone, e.g. `America/Los_Angeles`.
+    pub timezone: String,
+    /// Frontend architecture.
+    pub arch: Arch,
+}
+
+impl Default for FrontendForm {
+    fn default() -> Self {
+        FrontendForm {
+            cluster_name: "rocks".into(),
+            public_hostname: "frontend-0.local".into(),
+            public_ip: "198.202.88.1".into(),
+            public_netmask: "255.255.255.0".into(),
+            gateway: "198.202.88.254".into(),
+            dns: "198.202.75.26".into(),
+            root_password_crypted: "--iscrypted a1b2c3d4e5".into(),
+            timezone: "--utc GMT".into(),
+            arch: Arch::I686,
+        }
+    }
+}
+
+impl FrontendForm {
+    /// Validate the form the way the web page would before generating.
+    pub fn validate(&self) -> Result<()> {
+        let field_err = |field: &str, reason: &str| {
+            Err(KsError::BadNodeFile {
+                file: format!("frontend form field {field}"),
+                reason: reason.to_string(),
+            })
+        };
+        if self.cluster_name.is_empty()
+            || !self
+                .cluster_name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+        {
+            return field_err("cluster_name", "must be non-empty [A-Za-z0-9_-]");
+        }
+        if !self.public_hostname.contains('.') {
+            return field_err("public_hostname", "must be fully qualified");
+        }
+        for (field, value) in [
+            ("public_ip", &self.public_ip),
+            ("public_netmask", &self.public_netmask),
+            ("gateway", &self.gateway),
+            ("dns", &self.dns),
+        ] {
+            if !is_dotted_quad(value) {
+                return field_err(field, "must be a dotted-quad IPv4 address");
+            }
+        }
+        if self.root_password_crypted.trim().is_empty() {
+            return field_err("root_password_crypted", "must not be empty");
+        }
+        Ok(())
+    }
+
+    /// Produce the frontend's Kickstart file: the `frontend` appliance
+    /// traversal plus the form's site-specific command directives.
+    pub fn generate(&self, generator: &KickstartGenerator) -> Result<KickstartFile> {
+        self.validate()?;
+        let mut ks = generator.generate_for_appliance("frontend", self.arch)?;
+        ks.add_command("rootpw", &self.root_password_crypted);
+        ks.add_command("timezone", &self.timezone);
+        // eth1 is the public interface; eth0 stays on the cluster network.
+        ks.add_command(
+            "network",
+            &format!(
+                "--device eth1 --bootproto static --ip {} --netmask {} --gateway {} --nameserver {} --hostname {}",
+                self.public_ip, self.public_netmask, self.gateway, self.dns, self.public_hostname
+            ),
+        );
+        // Site identity lands in %post for the services to read.
+        ks.posts.insert(
+            0,
+            crate::kickstart::PostScript {
+                script: format!(
+                    "# Frontend site configuration from the install form\n\
+                     export CLUSTER_NAME={}\n\
+                     export PUBLIC_HOSTNAME={}\n\
+                     /usr/bin/ypdomainname {}\n",
+                    self.cluster_name, self.public_hostname, self.cluster_name
+                ),
+                origin: "frontend-form".into(),
+            },
+        );
+        Ok(ks)
+    }
+}
+
+fn is_dotted_quad(s: &str) -> bool {
+    let parts: Vec<&str> = s.split('.').collect();
+    parts.len() == 4 && parts.iter().all(|p| p.parse::<u8>().is_ok() && !p.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::default_profiles;
+
+    fn generator() -> KickstartGenerator {
+        KickstartGenerator::new(default_profiles(), "10.1.1.1", "install/rocks-dist")
+    }
+
+    #[test]
+    fn default_form_generates_frontend_kickstart() {
+        let ks = FrontendForm::default().generate(&generator()).unwrap();
+        let text = ks.render();
+        assert!(text.contains("--device eth1 --bootproto static --ip 198.202.88.1"));
+        assert!(text.contains("--hostname frontend-0.local"));
+        assert!(text.contains("CLUSTER_NAME=rocks"));
+        // Frontend services are all present.
+        for pkg in ["dhcp", "mysql-server", "httpd", "pbs", "maui"] {
+            assert!(text.contains(pkg), "missing {pkg}");
+        }
+    }
+
+    #[test]
+    fn form_overrides_profile_defaults() {
+        let form = FrontendForm {
+            timezone: "America/Los_Angeles".into(),
+            root_password_crypted: "--iscrypted sdsc123".into(),
+            ..Default::default()
+        };
+        let ks = form.generate(&generator()).unwrap();
+        assert_eq!(ks.command("timezone"), Some("America/Los_Angeles"));
+        assert_eq!(ks.command("rootpw"), Some("--iscrypted sdsc123"));
+    }
+
+    #[test]
+    fn validation_rejects_bad_fields() {
+        let bad_ip = FrontendForm { public_ip: "not-an-ip".into(), ..Default::default() };
+        assert!(bad_ip.validate().is_err());
+        let bad_name = FrontendForm { cluster_name: "has space".into(), ..Default::default() };
+        assert!(bad_name.validate().is_err());
+        let unqualified =
+            FrontendForm { public_hostname: "frontend".into(), ..Default::default() };
+        assert!(unqualified.validate().is_err());
+        let empty_pw =
+            FrontendForm { root_password_crypted: "  ".into(), ..Default::default() };
+        assert!(empty_pw.validate().is_err());
+        let bad_octet = FrontendForm { gateway: "1.2.3.256".into(), ..Default::default() };
+        assert!(bad_octet.validate().is_err());
+    }
+
+    #[test]
+    fn ia64_frontend_gets_efi_layout() {
+        let form = FrontendForm { arch: Arch::Ia64, ..Default::default() };
+        let ks = form.generate(&generator()).unwrap();
+        assert!(ks.render().contains("/boot/efi"));
+    }
+}

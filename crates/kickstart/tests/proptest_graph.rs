@@ -1,0 +1,100 @@
+//! Property tests on graph traversal: termination, root-first order,
+//! uniqueness, and arch-gating monotonicity over random graphs —
+//! including cyclic ones, which real users create by accident.
+
+use proptest::prelude::*;
+use rocks_kickstart::Graph;
+use rocks_rpm::Arch;
+
+/// Random graphs over a small module universe (so shared modules and
+/// cycles occur often).
+fn graph_strategy() -> impl Strategy<Value = Graph> {
+    let node = prop_oneof![
+        Just("compute"), Just("base"), Just("mpi"), Just("cdev"),
+        Just("nis"), Just("pbs"), Just("ekv"), Just("myri"),
+    ];
+    proptest::collection::vec((node.clone(), node, proptest::bool::ANY), 1..20).prop_map(
+        |edges| {
+            let mut graph = Graph::default();
+            for (from, to, gate) in edges {
+                graph.add_edge(from, to);
+                if gate {
+                    // Gate the edge to IA-32 flavours only.
+                    let edge = graph.edges.last_mut().expect("just added");
+                    edge.arches = vec![Arch::I386, Arch::I686, Arch::Athlon];
+                }
+            }
+            graph
+        },
+    )
+}
+
+proptest! {
+    /// Traversal always terminates and visits each module at most once.
+    #[test]
+    fn traversal_terminates_without_duplicates(graph in graph_strategy()) {
+        let mentioned: Vec<String> =
+            graph.mentioned().into_iter().map(str::to_string).collect();
+        for root in &mentioned {
+            let order = graph.traverse(root, Arch::I686).unwrap();
+            prop_assert!(!order.is_empty());
+            prop_assert_eq!(&order[0], root, "traversal must start at the root");
+            let unique: std::collections::BTreeSet<&String> = order.iter().collect();
+            prop_assert_eq!(unique.len(), order.len(), "duplicate visit");
+            // Everything visited is actually in the graph.
+            for module in &order {
+                prop_assert!(graph.mentioned().contains(module.as_str()));
+            }
+        }
+    }
+
+    /// Arch gating is monotone: an IA-64 traversal never sees modules an
+    /// IA-32 traversal (which follows a superset of edges) does not.
+    #[test]
+    fn gated_traversal_is_subset(graph in graph_strategy()) {
+        for root in graph.mentioned() {
+            let ia32 = graph.traverse(root, Arch::I686).unwrap();
+            let ia64 = graph.traverse(root, Arch::Ia64).unwrap();
+            let ia32_set: std::collections::BTreeSet<&String> = ia32.iter().collect();
+            for module in &ia64 {
+                prop_assert!(ia32_set.contains(module),
+                    "IA-64 reached {module} but IA-32 did not");
+            }
+        }
+    }
+
+    /// Every visited module (except the root) is reachable through at
+    /// least one applicable edge from another visited module.
+    #[test]
+    fn visited_modules_are_edge_reachable(graph in graph_strategy()) {
+        for root in graph.mentioned() {
+            let order = graph.traverse(root, Arch::I686).unwrap();
+            let visited: std::collections::BTreeSet<&str> =
+                order.iter().map(String::as_str).collect();
+            for module in order.iter().skip(1) {
+                let reachable = graph.edges.iter().any(|e| {
+                    e.to == *module
+                        && e.applies_to(Arch::I686)
+                        && visited.contains(e.from.as_str())
+                });
+                prop_assert!(reachable, "{module} visited without an edge");
+            }
+        }
+    }
+
+    /// XML round-trip preserves the graph exactly.
+    #[test]
+    fn graph_xml_round_trip(graph in graph_strategy()) {
+        let xml = graph.to_xml();
+        let reparsed = Graph::parse(&xml).unwrap();
+        prop_assert_eq!(graph.edges, reparsed.edges);
+    }
+
+    /// Roots never appear as edge targets.
+    #[test]
+    fn roots_have_no_incoming_edges(graph in graph_strategy()) {
+        for root in graph.roots() {
+            prop_assert!(graph.edges.iter().all(|e| e.to != root));
+        }
+    }
+}

@@ -1,0 +1,523 @@
+//! Cluster-level experiment driver.
+//!
+//! Runs whole-cluster reinstallations (Table I), the serial-download
+//! micro-benchmark (§6.3), full-speed concurrency searches (the Gigabit
+//! and replication projections), and failure injection (§4's common-mode
+//! failure scenarios).
+
+use crate::config::SimConfig;
+use crate::engine::{micros, seconds, Engine, SimTime, Wakeup};
+use crate::node::SimNode;
+
+/// Control events injected into a run at absolute virtual times.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// The HTTP server `id` dies (capacity → 0).
+    ServerDown(usize),
+    /// The HTTP server `id` comes back.
+    ServerUp(usize),
+    /// Node `id` hangs hard (requires a power cycle).
+    NodeHang(usize),
+    /// The PDU hard-power-cycles node `id` (forces a fresh reinstall,
+    /// per the paper's footnote in §4).
+    PowerCycle(usize),
+}
+
+/// Engine tags at or above this value address control events, not nodes.
+const CONTROL_TAG_BASE: usize = 1 << 32;
+
+/// Outcome of one whole-cluster reinstallation.
+#[derive(Debug, Clone)]
+pub struct ReinstallResult {
+    /// Seconds each node took from power-on to `Up` (nodes that never
+    /// finished hold `None`).
+    pub per_node_seconds: Vec<Option<f64>>,
+    /// Wall-clock seconds until the last node was up.
+    pub total_seconds: f64,
+    /// Bytes each server delivered.
+    pub server_bytes: Vec<f64>,
+}
+
+impl ReinstallResult {
+    /// Total time in minutes — Table I's unit.
+    pub fn total_minutes(&self) -> f64 {
+        self.total_seconds / 60.0
+    }
+
+    /// How many nodes completed.
+    pub fn completed(&self) -> usize {
+        self.per_node_seconds.iter().flatten().count()
+    }
+
+    /// Mean per-node reinstall seconds over completed nodes.
+    pub fn mean_node_seconds(&self) -> f64 {
+        let done: Vec<f64> = self.per_node_seconds.iter().flatten().copied().collect();
+        if done.is_empty() {
+            return f64::NAN;
+        }
+        done.iter().sum::<f64>() / done.len() as f64
+    }
+
+    /// Aggregate server throughput in bytes/s over the run.
+    pub fn aggregate_throughput_bps(&self) -> f64 {
+        if self.total_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.server_bytes.iter().sum::<f64>() / self.total_seconds
+    }
+}
+
+/// Alias kept for API clarity at call sites that only care about success.
+pub type ReinstallOutcome = ReinstallResult;
+
+/// A simulated cluster: engine + nodes + the configured package set.
+#[derive(Debug)]
+pub struct ClusterSim {
+    cfg: SimConfig,
+    engine: Engine,
+    nodes: Vec<SimNode>,
+    faults: Vec<Fault>,
+    /// (virtual seconds, cumulative server bytes) sampled at every event,
+    /// for utilization timelines.
+    samples: Vec<(f64, f64)>,
+}
+
+impl ClusterSim {
+    /// Build a cluster of `n_nodes` compute nodes assigned round-robin
+    /// across the configured servers. With a cabinet topology, node `i`
+    /// sits in cabinet `i / cabinet_size` behind that cabinet's uplink.
+    pub fn new(cfg: SimConfig, n_nodes: usize) -> ClusterSim {
+        let mut engine = Engine::new(vec![cfg.server_capacity_bps; cfg.n_servers]);
+        let mut cabinet_links = Vec::new();
+        if let Some(k) = cfg.cabinet_size {
+            let n_cabinets = n_nodes.div_ceil(k);
+            for _ in 0..n_cabinets {
+                cabinet_links.push(engine.add_link(cfg.cabinet_uplink_bps));
+            }
+        }
+        let nodes = (0..n_nodes)
+            .map(|i| {
+                let mut route = vec![i % cfg.n_servers];
+                if let Some(k) = cfg.cabinet_size {
+                    route.push(cabinet_links[i / k]);
+                }
+                let cabinet = cfg.cabinet_size.map_or(0, |k| i / k);
+                SimNode::new(i, &format!("compute-{cabinet}-{i}"), route, cfg.seed)
+            })
+            .collect();
+        ClusterSim { cfg, engine, nodes, faults: Vec::new(), samples: Vec::new() }
+    }
+
+    /// Schedule a fault at an absolute virtual time (seconds). Must be
+    /// called before [`run_reinstall`](Self::run_reinstall).
+    pub fn inject_fault_at(&mut self, at_seconds: f64, fault: Fault) {
+        let idx = self.faults.len();
+        self.faults.push(fault);
+        self.engine.start_timer(CONTROL_TAG_BASE + idx, micros(at_seconds));
+    }
+
+    /// Access a node (eKV tails read the log through this).
+    pub fn node(&self, id: usize) -> &SimNode {
+        &self.nodes[id]
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[SimNode] {
+        &self.nodes
+    }
+
+    /// Current virtual time in seconds.
+    pub fn now_seconds(&self) -> f64 {
+        seconds(self.engine.now())
+    }
+
+    /// Power on every node simultaneously and run until the cluster
+    /// settles (all nodes `Up` or `Hung` with no pending events).
+    pub fn run_reinstall(&mut self) -> ReinstallResult {
+        for i in 0..self.nodes.len() {
+            self.nodes[i].power_on(&mut self.engine, &self.cfg);
+        }
+        self.run_to_quiescence();
+        self.collect_result()
+    }
+
+    /// Power on every node with a fixed gap between machines — the
+    /// §6.4 integration procedure, where "nodes are booted sequentially
+    /// in order for insert-ethers to bind hostnames to physical
+    /// locations". Node `i` powers on at `i × gap_seconds`.
+    pub fn run_reinstall_staggered(&mut self, gap_seconds: f64) -> ReinstallResult {
+        // Reuse the fault timer mechanism for delayed power-ons.
+        for i in 0..self.nodes.len() {
+            if i == 0 {
+                self.nodes[0].power_on(&mut self.engine, &self.cfg);
+            } else {
+                let idx = self.faults.len();
+                self.faults.push(Fault::PowerCycle(i));
+                self.engine.start_timer(CONTROL_TAG_BASE + idx, micros(gap_seconds * i as f64));
+            }
+        }
+        self.run_to_quiescence();
+        self.collect_result()
+    }
+
+    /// Power on a subset of nodes (rolling upgrades reinstall in waves).
+    pub fn reinstall_subset(&mut self, ids: &[usize]) -> ReinstallResult {
+        for &id in ids {
+            self.nodes[id].power_on(&mut self.engine, &self.cfg);
+        }
+        self.run_to_quiescence();
+        self.collect_result()
+    }
+
+    fn run_to_quiescence(&mut self) {
+        loop {
+            match self.engine.step() {
+                Wakeup::Idle => break,
+                Wakeup::FlowDone { tag } | Wakeup::TimerFired { tag } => {
+                    if tag >= CONTROL_TAG_BASE {
+                        self.apply_fault(tag - CONTROL_TAG_BASE);
+                    } else {
+                        self.nodes[tag].on_wakeup(&mut self.engine, &self.cfg);
+                    }
+                }
+            }
+            let delivered: f64 =
+                self.engine.link_bytes()[..self.cfg.n_servers].iter().sum();
+            self.samples.push((seconds(self.engine.now()), delivered));
+        }
+    }
+
+    /// Aggregate server utilization per time bucket: fraction of total
+    /// server capacity in use during each `bucket_s`-second interval of
+    /// the last run. Useful to see the saturation plateau during a
+    /// concurrent reinstall.
+    pub fn server_utilization(&self, bucket_s: f64) -> Vec<f64> {
+        assert!(bucket_s > 0.0);
+        let Some(&(end, _)) = self.samples.last() else { return Vec::new() };
+        let capacity = self.cfg.server_capacity_bps * self.cfg.n_servers as f64;
+        let n_buckets = (end / bucket_s).ceil() as usize;
+        let mut per_bucket = vec![0.0f64; n_buckets];
+        let mut prev = (0.0f64, 0.0f64);
+        for &(t, bytes) in &self.samples {
+            let moved = bytes - prev.1;
+            // Spread the interval's bytes across the buckets it spans
+            // (intervals are tiny relative to buckets, so proportional
+            // attribution is exact enough for a timeline).
+            let mid = 0.5 * (t + prev.0);
+            let bucket = ((mid / bucket_s) as usize).min(n_buckets.saturating_sub(1));
+            per_bucket[bucket] += moved;
+            prev = (t, bytes);
+        }
+        per_bucket
+            .into_iter()
+            .map(|bytes| (bytes / (bucket_s * capacity)).min(1.0))
+            .collect()
+    }
+
+    fn apply_fault(&mut self, idx: usize) {
+        match self.faults[idx].clone() {
+            Fault::ServerDown(id) => self.engine.set_link_capacity(id, 0.0),
+            Fault::ServerUp(id) => {
+                self.engine.set_link_capacity(id, self.cfg.server_capacity_bps)
+            }
+            Fault::NodeHang(id) => self.nodes[id].hang(&mut self.engine),
+            Fault::PowerCycle(id) => self.nodes[id].power_on(&mut self.engine, &self.cfg),
+        }
+    }
+
+    fn collect_result(&self) -> ReinstallResult {
+        let per_node_seconds: Vec<Option<f64>> =
+            self.nodes.iter().map(|n| n.last_install_seconds()).collect();
+        ReinstallResult {
+            per_node_seconds,
+            total_seconds: seconds(self.engine.now()),
+            server_bytes: self.engine.link_bytes()[..self.cfg.n_servers].to_vec(),
+        }
+    }
+}
+
+/// Table I: total reinstall time for each concurrency level.
+pub fn table1_sweep(ns: &[usize], seed: u64) -> Vec<(usize, f64)> {
+    ns.iter()
+        .map(|&n| {
+            let cfg = SimConfig::paper_testbed(seed);
+            let mut sim = ClusterSim::new(cfg, n);
+            let result = sim.run_reinstall();
+            assert_eq!(result.completed(), n, "all nodes must finish");
+            (n, result.total_minutes())
+        })
+        .collect()
+}
+
+/// §6.3 micro-benchmark: "serially downloading all the RPMs a compute
+/// node downloads during its reinstallation" — one client, no install
+/// time, back-to-back fetches. Returns MB/s.
+pub fn serial_download_benchmark(cfg: &SimConfig) -> f64 {
+    let mut engine = Engine::new(vec![cfg.server_capacity_bps; cfg.n_servers]);
+    let mut total_bytes = 0u64;
+    for pkg in &cfg.packages {
+        engine.start_flow(0, 0, pkg.transfer_bytes, cfg.per_stream_bps);
+        total_bytes += pkg.transfer_bytes;
+        // One flow at a time: drain it before the next request.
+        while engine.step() != Wakeup::Idle {}
+    }
+    let elapsed = seconds(engine.now());
+    (total_bytes as f64 / elapsed) / 1e6
+}
+
+/// Largest concurrency that still reinstalls at "full speed": mean
+/// per-node time within `tolerance` of the single-node time. Doubling
+/// search then binary search, as the curve is monotone.
+pub fn max_full_speed_concurrency(make_cfg: &dyn Fn(u64) -> SimConfig, tolerance: f64, limit: usize) -> usize {
+    let single = {
+        let mut sim = ClusterSim::new(make_cfg(7), 1);
+        sim.run_reinstall().mean_node_seconds()
+    };
+    let full_speed = |n: usize| -> bool {
+        let mut sim = ClusterSim::new(make_cfg(7), n);
+        let result = sim.run_reinstall();
+        result.mean_node_seconds() <= single * (1.0 + tolerance)
+    };
+    // Doubling phase.
+    let mut lo = 1usize;
+    let mut hi = 2usize;
+    while hi <= limit && full_speed(hi) {
+        lo = hi;
+        hi *= 2;
+    }
+    if hi > limit {
+        return limit;
+    }
+    // Binary search in (lo, hi).
+    while hi - lo > 1 {
+        let mid = (lo + hi) / 2;
+        if full_speed(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Timestamp type re-export for callers inspecting node logs.
+pub type LogTime = SimTime;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeState;
+
+    /// A reduced package set keeps unit tests fast; ratios are preserved.
+    fn small_cfg(seed: u64) -> SimConfig {
+        let mut cfg = SimConfig::paper_testbed(seed);
+        // Collapse 162 packages into 12 with the same totals.
+        let total_transfer: u64 = cfg.packages.iter().map(|p| p.transfer_bytes).sum();
+        let total_installed: u64 = cfg.packages.iter().map(|p| p.installed_bytes).sum();
+        cfg.packages = (0..12)
+            .map(|i| crate::config::PackageWork {
+                name: format!("bundle-{i}"),
+                transfer_bytes: total_transfer / 12,
+                installed_bytes: total_installed / 12,
+            })
+            .collect();
+        cfg
+    }
+
+    #[test]
+    fn single_node_takes_about_ten_minutes() {
+        let mut sim = ClusterSim::new(small_cfg(1), 1);
+        let result = sim.run_reinstall();
+        let minutes = result.total_minutes();
+        assert!((9.0..11.5).contains(&minutes), "single node took {minutes} min");
+    }
+
+    #[test]
+    fn eight_nodes_are_nearly_flat() {
+        let one = ClusterSim::new(small_cfg(1), 1).run_reinstall().total_minutes();
+        let eight = ClusterSim::new(small_cfg(1), 8).run_reinstall().total_minutes();
+        assert!(eight < one * 1.15, "8 nodes {eight} vs 1 node {one}");
+    }
+
+    #[test]
+    fn thirty_two_nodes_degrade_gracefully() {
+        let one = ClusterSim::new(small_cfg(1), 1).run_reinstall().total_minutes();
+        let thirty_two = ClusterSim::new(small_cfg(1), 32).run_reinstall().total_minutes();
+        // Table I: 10.3 → 13.7 minutes — graceful, strongly sub-linear
+        // degradation (32× the demand, ~1.3× the time). Our fluid model
+        // with an 11 MB/s server gives ~1.6-1.8×: the same shape, with
+        // the residual gap documented in EXPERIMENTS.md (the paper's
+        // absolute numbers imply >100 % wire utilization in places).
+        let ratio = thirty_two / one;
+        assert!((1.2..2.0).contains(&ratio), "32-node elongation {ratio}");
+        // Sub-linearity: quadrupling nodes from 8 must not quadruple time.
+        let eight = ClusterSim::new(small_cfg(1), 8).run_reinstall().total_minutes();
+        assert!(thirty_two < eight * 2.2, "32 nodes {thirty_two} vs 8 nodes {eight}");
+    }
+
+    #[test]
+    fn byte_conservation_across_cluster() {
+        let cfg = small_cfg(1);
+        let expected = cfg.node_transfer_bytes() as f64 * 4.0;
+        let mut sim = ClusterSim::new(cfg, 4);
+        let result = sim.run_reinstall();
+        let delivered: f64 = result.server_bytes.iter().sum();
+        assert!((delivered - expected).abs() < 1024.0, "{delivered} vs {expected}");
+    }
+
+    #[test]
+    fn replicated_servers_share_load() {
+        let mut cfg = small_cfg(1);
+        cfg.n_servers = 2;
+        let mut sim = ClusterSim::new(cfg, 8);
+        let result = sim.run_reinstall();
+        let a = result.server_bytes[0];
+        let b = result.server_bytes[1];
+        assert!((a - b).abs() / (a + b) < 0.05, "unbalanced: {a} vs {b}");
+    }
+
+    #[test]
+    fn replication_recovers_full_speed_at_scale() {
+        // 24 nodes on one Fast-Ethernet server is past the knee; on 3
+        // servers it is comfortably inside it.
+        let single = ClusterSim::new(small_cfg(1), 1).run_reinstall().mean_node_seconds();
+        let mut congested = ClusterSim::new(small_cfg(1), 24);
+        let mut replicated_cfg = small_cfg(1);
+        replicated_cfg.n_servers = 3;
+        let mut replicated = ClusterSim::new(replicated_cfg, 24);
+        let congested_mean = congested.run_reinstall().mean_node_seconds();
+        let replicated_mean = replicated.run_reinstall().mean_node_seconds();
+        assert!(congested_mean > single * 1.15, "expected congestion: {congested_mean} vs {single}");
+        assert!(replicated_mean < single * 1.10, "replicas should restore: {replicated_mean}");
+    }
+
+    #[test]
+    fn serial_benchmark_reports_7_to_8_mbps() {
+        let cfg = SimConfig::paper_testbed(1);
+        let mbps = serial_download_benchmark(&cfg);
+        assert!((7.0..8.5).contains(&mbps), "micro-benchmark {mbps} MB/s");
+    }
+
+    #[test]
+    fn server_failure_mid_install_stalls_then_recovers() {
+        let mut sim = ClusterSim::new(small_cfg(1), 4);
+        sim.inject_fault_at(120.0, Fault::ServerDown(0));
+        sim.inject_fault_at(600.0, Fault::ServerUp(0));
+        let result = sim.run_reinstall();
+        assert_eq!(result.completed(), 4);
+        // The outage pushes completion past the no-fault time by roughly
+        // the outage length.
+        let clean = ClusterSim::new(small_cfg(1), 4).run_reinstall().total_seconds;
+        assert!(result.total_seconds > clean + 300.0);
+    }
+
+    #[test]
+    fn hung_node_blocks_until_power_cycled() {
+        let mut sim = ClusterSim::new(small_cfg(1), 2);
+        sim.inject_fault_at(100.0, Fault::NodeHang(1));
+        let result = sim.run_reinstall();
+        assert_eq!(result.completed(), 1);
+        assert!(result.per_node_seconds[1].is_none());
+        assert_eq!(sim.node(1).state, NodeState::Hung);
+
+        // The remote hard power cycle recovers it (§4).
+        let mut sim = ClusterSim::new(small_cfg(1), 2);
+        sim.inject_fault_at(100.0, Fault::NodeHang(1));
+        sim.inject_fault_at(200.0, Fault::PowerCycle(1));
+        let result = sim.run_reinstall();
+        assert_eq!(result.completed(), 2);
+    }
+
+    #[test]
+    fn subset_reinstall_leaves_others_untouched() {
+        let mut sim = ClusterSim::new(small_cfg(1), 4);
+        let result = sim.reinstall_subset(&[0, 2]);
+        assert!(result.per_node_seconds[0].is_some());
+        assert!(result.per_node_seconds[1].is_none());
+        assert_eq!(sim.node(1).state, NodeState::Off);
+        assert_eq!(sim.node(3).installs_completed, 0);
+    }
+
+    #[test]
+    fn full_speed_search_finds_the_knee() {
+        let make = |seed| small_cfg(seed);
+        let knee = max_full_speed_concurrency(&make, 0.05, 32);
+        // Paper model: ~7-8 concurrent full-speed reinstalls on Fast
+        // Ethernet.
+        assert!((5..=12).contains(&knee), "knee at {knee}");
+    }
+
+    #[test]
+    fn staggered_boot_finishes_all_and_smooths_contention() {
+        let n = 16;
+        let simultaneous = ClusterSim::new(small_cfg(1), n).run_reinstall();
+        let mut sim = ClusterSim::new(small_cfg(1), n);
+        let staggered = sim.run_reinstall_staggered(30.0);
+        assert_eq!(staggered.completed(), n);
+        // The wall clock stretches by roughly the boot ramp...
+        assert!(staggered.total_seconds > simultaneous.total_seconds);
+        // ...but each individual node sees *less* contention: the mean
+        // per-node time cannot be worse than the simultaneous storm.
+        assert!(
+            staggered.mean_node_seconds() <= simultaneous.mean_node_seconds() * 1.02,
+            "staggered {} vs simultaneous {}",
+            staggered.mean_node_seconds(),
+            simultaneous.mean_node_seconds()
+        );
+    }
+
+    #[test]
+    fn cabinet_uplinks_become_the_bottleneck() {
+        // A GigE server feeding 16 nodes: flat wiring reinstalls at full
+        // speed, but cramming them behind one Fast-Ethernet cabinet
+        // uplink moves the knee into the cabinet.
+        let mut flat_cfg = small_cfg(1);
+        flat_cfg.server_capacity_bps = crate::config::GIGE_SERVER_BPS;
+        let flat = ClusterSim::new(flat_cfg.clone(), 16).run_reinstall();
+
+        let racked_cfg = flat_cfg.clone().with_cabinets(16, 11.0e6);
+        let racked = ClusterSim::new(racked_cfg, 16).run_reinstall();
+        assert_eq!(racked.completed(), 16);
+        assert!(
+            racked.total_seconds > flat.total_seconds * 1.1,
+            "racked {} vs flat {}",
+            racked.total_seconds,
+            flat.total_seconds
+        );
+
+        // Two cabinets of 8 relieve the pressure.
+        let split_cfg = flat_cfg.clone().with_cabinets(8, 11.0e6);
+        let split = ClusterSim::new(split_cfg, 16).run_reinstall();
+        assert!(split.total_seconds < racked.total_seconds);
+    }
+
+    #[test]
+    fn cabinet_nodes_are_named_by_rack() {
+        let cfg = small_cfg(1).with_cabinets(4, 11.0e6);
+        let sim = ClusterSim::new(cfg, 8);
+        assert_eq!(sim.node(0).name, "compute-0-0");
+        assert_eq!(sim.node(5).name, "compute-1-5");
+    }
+
+    #[test]
+    fn utilization_timeline_shows_saturation_plateau() {
+        let mut sim = ClusterSim::new(small_cfg(1), 32);
+        sim.run_reinstall();
+        let util = sim.server_utilization(30.0);
+        assert!(!util.is_empty());
+        // Physical bounds.
+        assert!(util.iter().all(|u| (0.0..=1.0).contains(u)));
+        // A 32-node storm saturates the server for a sustained stretch...
+        let saturated = util.iter().filter(|u| **u > 0.95).count();
+        assert!(saturated >= 3, "no plateau: {util:?}");
+        // ...and the first bucket (everyone in POST) is quiet.
+        assert!(util[0] < 0.25, "boot phase should be idle: {}", util[0]);
+    }
+
+    #[test]
+    fn results_are_deterministic_per_seed() {
+        let a = ClusterSim::new(small_cfg(3), 8).run_reinstall().total_seconds;
+        let b = ClusterSim::new(small_cfg(3), 8).run_reinstall().total_seconds;
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,230 @@
+//! Simulation calibration, derived from the paper's measurements.
+//!
+//! Anchors (all from §6.3 and Figure 7):
+//! * a compute node transfers ~225 MB and installs 162 packages,
+//! * of a ~600 s single-node reinstall, ~223 s is "downloading and
+//!   installing RPMs"; "the remainder of the time is spent in rebooting
+//!   and post configuration",
+//! * a serial download of the full package list sources 7–8 MB/s from the
+//!   dual-PIII Fast-Ethernet web server,
+//! * rebuilding the Myrinet driver from source costs a 20–30 % penalty,
+//!   putting Myrinet nodes at the ~10-minute upper bound,
+//! * Gigabit Ethernet supports 7.0–9.5× the concurrent full-speed
+//!   reinstalls of Fast Ethernet (paper ref 26).
+
+use rocks_rpm::{synth, Arch, Package};
+
+/// Per-package work: bytes to transfer and bytes to unpack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackageWork {
+    /// Package identity, for eKV progress lines.
+    pub name: String,
+    /// Compressed bytes pulled over HTTP.
+    pub transfer_bytes: u64,
+    /// Installed bytes (drives CPU-bound install time).
+    pub installed_bytes: u64,
+}
+
+impl PackageWork {
+    /// Derive from a package.
+    pub fn from_package(pkg: &Package) -> PackageWork {
+        PackageWork {
+            name: pkg.ident(),
+            transfer_bytes: pkg.size_bytes,
+            installed_bytes: pkg.installed_bytes,
+        }
+    }
+}
+
+/// All tunables for one simulation.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Number of HTTP install servers (replication, §6.3). Nodes are
+    /// assigned round-robin.
+    pub n_servers: usize,
+    /// Aggregate sustained HTTP throughput per server, bytes/s. Fast
+    /// Ethernet default: ~8.5 MB/s (the serial micro-benchmark observes
+    /// slightly less because a single stream caps lower).
+    pub server_capacity_bps: f64,
+    /// Per-TCP-stream throughput cap, bytes/s (single-stream HTTP on
+    /// Fast Ethernet: ~8 MB/s — this is what the serial micro-benchmark
+    /// measures).
+    pub per_stream_bps: f64,
+    /// CPU-bound install throughput, installed-bytes/s per node.
+    pub install_bps: f64,
+    /// Phase durations in seconds: (mean, jitter fraction).
+    pub post_s: (f64, f64),
+    /// DHCP exchange.
+    pub dhcp_s: (f64, f64),
+    /// Disk format / partition.
+    pub format_s: (f64, f64),
+    /// Post-configuration scripts.
+    pub postconfig_s: (f64, f64),
+    /// Myrinet GM driver source rebuild (IA-32 nodes with Myrinet only).
+    pub myrinet_s: (f64, f64),
+    /// Final reboot back into the installed system.
+    pub reboot_s: (f64, f64),
+    /// Kickstart CGI request size in bytes (the generated file).
+    pub kickstart_bytes: u64,
+    /// The package list every node installs.
+    pub packages: Vec<PackageWork>,
+    /// Whether nodes rebuild the Myrinet driver (the Table I testbed
+    /// nodes all had Myrinet).
+    pub with_myrinet: bool,
+    /// Nodes per cabinet switch. `None` models the paper's flat network
+    /// (every node on the frontend's switch); `Some(k)` inserts a
+    /// cabinet-switch uplink shared by each group of `k` nodes —
+    /// Figure 1's two-tier Ethernet as clusters actually rack it.
+    pub cabinet_size: Option<usize>,
+    /// Capacity of each cabinet-switch uplink, bytes/s.
+    pub cabinet_uplink_bps: f64,
+    /// RNG seed for phase jitter.
+    pub seed: u64,
+}
+
+/// Aggregate concurrent HTTP throughput of the Fast-Ethernet server:
+/// ~88 % of the 12.5 MB/s wire. The paper's Table I data implies the
+/// server sustained close to wire speed under concurrent load (32 nodes
+/// × 225 MB in 13.7 min ≈ 8.8 MB/s average over the *whole* run,
+/// including boot and reboot phases), while a single serial stream
+/// measured only 7–8 MB/s.
+pub const FAST_ETHERNET_SERVER_BPS: f64 = 11.0e6;
+/// Single HTTP stream on Fast Ethernet (the serial micro-benchmark's
+/// 7–8 MB/s).
+pub const FAST_ETHERNET_STREAM_BPS: f64 = 8.0e6;
+/// Gigabit Ethernet server uplink: the paper's footnote says GigE yields
+/// 7.0–9.5× the concurrent full-speed reinstalls of Fast Ethernet (paper ref 26).
+pub const GIGE_SERVER_BPS: f64 = 72.0e6;
+
+impl SimConfig {
+    /// The Table I testbed: one dual-PIII Fast Ethernet server, Myrinet
+    /// compute nodes installing the synthetic Red Hat 7.2 compute set.
+    pub fn paper_testbed(seed: u64) -> SimConfig {
+        let repo = synth::merged_distribution(seed);
+        let packages = synth::compute_install_set(&repo, Arch::I686)
+            .iter()
+            .map(PackageWork::from_package)
+            .collect::<Vec<_>>();
+        SimConfig {
+            n_servers: 1,
+            server_capacity_bps: FAST_ETHERNET_SERVER_BPS,
+            per_stream_bps: FAST_ETHERNET_STREAM_BPS,
+            // 386 MB installed in ~195 s of CPU work → ~2.0 MB/s.
+            install_bps: 2.03e6,
+            post_s: (70.0, 0.10),
+            dhcp_s: (4.0, 0.25),
+            format_s: (40.0, 0.10),
+            postconfig_s: (60.0, 0.10),
+            myrinet_s: (130.0, 0.10),
+            reboot_s: (90.0, 0.10),
+            kickstart_bytes: 96 * 1024,
+            packages,
+            with_myrinet: true,
+            cabinet_size: None,
+            cabinet_uplink_bps: FAST_ETHERNET_SERVER_BPS,
+            seed,
+        }
+    }
+
+    /// Rack the cluster into cabinets of `k` nodes, each behind an
+    /// uplink of `uplink_bps`.
+    pub fn with_cabinets(mut self, k: usize, uplink_bps: f64) -> SimConfig {
+        assert!(k > 0);
+        self.cabinet_size = Some(k);
+        self.cabinet_uplink_bps = uplink_bps;
+        self
+    }
+
+    /// Same testbed with a Gigabit server uplink.
+    pub fn gige(seed: u64) -> SimConfig {
+        SimConfig {
+            server_capacity_bps: GIGE_SERVER_BPS,
+            // Streams still terminate at Fast-Ethernet node NICs.
+            ..SimConfig::paper_testbed(seed)
+        }
+    }
+
+    /// Same testbed with `n` load-balanced replica servers.
+    pub fn replicated(n: usize, seed: u64) -> SimConfig {
+        SimConfig { n_servers: n, ..SimConfig::paper_testbed(seed) }
+    }
+
+    /// Collapse the package list into `n` equal bundles with the same
+    /// byte totals. The fluid model's results depend on totals and on
+    /// download/install alternation, not on the exact package count, so
+    /// bundling makes large concurrency sweeps tractable (the per-event
+    /// cost is quadratic in concurrent flows).
+    pub fn bundled(mut self, n: usize) -> SimConfig {
+        assert!(n > 0);
+        let total_transfer: u64 = self.packages.iter().map(|p| p.transfer_bytes).sum();
+        let total_installed: u64 = self.packages.iter().map(|p| p.installed_bytes).sum();
+        self.packages = (0..n)
+            .map(|i| PackageWork {
+                name: format!("bundle-{i}"),
+                transfer_bytes: total_transfer / n as u64,
+                installed_bytes: total_installed / n as u64,
+            })
+            .collect();
+        self
+    }
+
+    /// Total bytes one node transfers (kickstart + packages).
+    pub fn node_transfer_bytes(&self) -> u64 {
+        self.kickstart_bytes + self.packages.iter().map(|p| p.transfer_bytes).sum::<u64>()
+    }
+
+    /// Total CPU seconds one node spends unpacking.
+    pub fn node_install_seconds(&self) -> f64 {
+        self.packages.iter().map(|p| p.installed_bytes).sum::<u64>() as f64 / self.install_bps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_matches_paper_magnitudes() {
+        let cfg = SimConfig::paper_testbed(1);
+        assert_eq!(cfg.packages.len(), synth::COMPUTE_PACKAGE_COUNT);
+        let mb = cfg.node_transfer_bytes() as f64 / (1024.0 * 1024.0);
+        assert!((220.0..232.0).contains(&mb), "transfer {mb} MB");
+        // Download (at stream speed) + install ≈ 223 s.
+        let download = cfg.node_transfer_bytes() as f64 / cfg.per_stream_bps;
+        let total = download + cfg.node_install_seconds();
+        assert!((205.0..245.0).contains(&total), "download+install {total}s");
+    }
+
+    #[test]
+    fn fixed_phases_sum_to_paper_remainder() {
+        // §6.3: ~600 s total, 223 s of it download+install → remainder
+        // ≈ 377 s (Myrinet rebuild included in our breakdown).
+        let cfg = SimConfig::paper_testbed(1);
+        let fixed = cfg.post_s.0
+            + cfg.dhcp_s.0
+            + cfg.format_s.0
+            + cfg.postconfig_s.0
+            + cfg.myrinet_s.0
+            + cfg.reboot_s.0;
+        assert!((360.0..420.0).contains(&fixed), "fixed {fixed}s");
+    }
+
+    #[test]
+    fn myrinet_penalty_is_20_to_30_percent() {
+        let cfg = SimConfig::paper_testbed(1);
+        let without = cfg.post_s.0
+            + cfg.dhcp_s.0
+            + cfg.format_s.0
+            + cfg.postconfig_s.0
+            + cfg.reboot_s.0
+            + 223.0;
+        let penalty = cfg.myrinet_s.0 / without;
+        assert!((0.20..0.32).contains(&penalty), "penalty {penalty}");
+    }
+
+    #[test]
+    fn gige_is_roughly_7x_fast_ethernet() {
+        let ratio = GIGE_SERVER_BPS / FAST_ETHERNET_SERVER_BPS;
+        assert!((6.0..9.5).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,484 @@
+//! The simulation engine: virtual time, timers, and fluid bandwidth
+//! sharing.
+//!
+//! Bandwidth follows the classic fluid-flow model: at any instant every
+//! active flow receives a max-min fair rate subject to (a) its own demand
+//! cap (the node NIC / single-TCP-stream limit) and (b) its server's
+//! uplink capacity. Whenever the flow set changes, rates are recomputed
+//! and the next completion re-derived — no fixed timestep, so results are
+//! exact for the model.
+
+use std::collections::BTreeMap;
+
+/// Virtual time in microseconds since simulation start.
+pub type SimTime = u64;
+
+/// Convert seconds to [`SimTime`].
+pub fn micros(seconds: f64) -> SimTime {
+    (seconds * 1e6).round() as SimTime
+}
+
+/// Convert [`SimTime`] to seconds.
+pub fn seconds(t: SimTime) -> f64 {
+    t as f64 / 1e6
+}
+
+/// Handle to an active flow.
+pub type FlowId = u64;
+
+/// An active bulk transfer.
+#[derive(Debug, Clone)]
+pub struct Flow {
+    /// Bytes still to move.
+    pub remaining: f64,
+    /// Demand cap in bytes/s (NIC or single-stream limit).
+    pub demand_bps: f64,
+    /// Links this flow traverses (server uplink, and optionally a
+    /// cabinet-switch uplink — Figure 1's two-tier Ethernet). The first
+    /// link is where delivered bytes are accounted.
+    pub route: Vec<usize>,
+    /// Opaque tag the owner uses to route the completion (node id).
+    pub tag: usize,
+    /// Currently allocated rate (recomputed on every change).
+    rate_bps: f64,
+}
+
+/// A timer owned by a node FSM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Timer {
+    /// When it fires.
+    pub at: SimTime,
+    /// Opaque tag (node id).
+    pub tag: usize,
+}
+
+/// What the engine hands back on each step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Wakeup {
+    /// A flow finished; `tag` identifies the owner.
+    FlowDone {
+        /// Owner tag (node id).
+        tag: usize,
+    },
+    /// A timer fired; `tag` identifies the owner.
+    TimerFired {
+        /// Owner tag (node id).
+        tag: usize,
+    },
+    /// Nothing left to do.
+    Idle,
+}
+
+/// The engine: clock, flows, timers, per-link capacity.
+///
+/// Links are anonymous capacity constraints: the cluster layer assigns
+/// link 0..S to server uplinks and any further links to cabinet-switch
+/// uplinks.
+#[derive(Debug)]
+pub struct Engine {
+    now: SimTime,
+    next_flow_id: FlowId,
+    flows: BTreeMap<FlowId, Flow>,
+    timers: Vec<Timer>,
+    /// Per-link capacity in bytes/s.
+    link_capacity: Vec<f64>,
+    /// Bytes delivered over each link (for throughput accounting).
+    link_bytes: Vec<f64>,
+    /// True while rates need recomputation.
+    dirty: bool,
+}
+
+impl Engine {
+    /// Create an engine with the given per-link capacities (servers
+    /// first, by convention).
+    pub fn new(link_capacity: Vec<f64>) -> Engine {
+        let n = link_capacity.len();
+        Engine {
+            now: 0,
+            next_flow_id: 1,
+            flows: BTreeMap::new(),
+            timers: Vec::new(),
+            link_capacity,
+            link_bytes: vec![0.0; n],
+            dirty: false,
+        }
+    }
+
+    /// Append a link; returns its id. Used by topologies that add
+    /// cabinet uplinks after the server links.
+    pub fn add_link(&mut self, capacity_bps: f64) -> usize {
+        self.link_capacity.push(capacity_bps);
+        self.link_bytes.push(0.0);
+        self.link_capacity.len() - 1
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Change a link's capacity mid-run (failure injection sets 0).
+    pub fn set_link_capacity(&mut self, link: usize, bps: f64) {
+        self.link_capacity[link] = bps;
+        self.dirty = true;
+    }
+
+    /// A link's capacity.
+    pub fn link_capacity(&self, link: usize) -> f64 {
+        self.link_capacity[link]
+    }
+
+    /// Bytes delivered per link so far. For multi-link routes, bytes are
+    /// accounted to the route's first link (the server uplink), so
+    /// summing over server links counts every byte exactly once.
+    pub fn link_bytes(&self) -> &[f64] {
+        &self.link_bytes
+    }
+
+    /// Start a transfer over a single link. Returns its id.
+    pub fn start_flow(&mut self, link: usize, tag: usize, bytes: u64, demand_bps: f64) -> FlowId {
+        self.start_flow_routed(vec![link], tag, bytes, demand_bps)
+    }
+
+    /// Start a transfer crossing every link in `route` (e.g. server
+    /// uplink then cabinet uplink). Returns its id.
+    pub fn start_flow_routed(
+        &mut self,
+        route: Vec<usize>,
+        tag: usize,
+        bytes: u64,
+        demand_bps: f64,
+    ) -> FlowId {
+        assert!(!route.is_empty(), "a flow needs at least one link");
+        for &link in &route {
+            assert!(link < self.link_capacity.len(), "unknown link {link}");
+        }
+        let id = self.next_flow_id;
+        self.next_flow_id += 1;
+        self.flows.insert(
+            id,
+            Flow { remaining: bytes as f64, demand_bps, route, tag, rate_bps: 0.0 },
+        );
+        self.dirty = true;
+        id
+    }
+
+    /// Cancel a flow (node powered off mid-download).
+    pub fn cancel_flow(&mut self, id: FlowId) -> bool {
+        let removed = self.flows.remove(&id).is_some();
+        if removed {
+            self.dirty = true;
+        }
+        removed
+    }
+
+    /// Cancel all flows tagged `tag`.
+    pub fn cancel_flows_tagged(&mut self, tag: usize) {
+        let before = self.flows.len();
+        self.flows.retain(|_, f| f.tag != tag);
+        if self.flows.len() != before {
+            self.dirty = true;
+        }
+    }
+
+    /// Arm a timer.
+    pub fn start_timer(&mut self, tag: usize, delay: SimTime) {
+        self.timers.push(Timer { at: self.now + delay, tag });
+    }
+
+    /// Cancel every timer tagged `tag`.
+    pub fn cancel_timers_tagged(&mut self, tag: usize) {
+        self.timers.retain(|t| t.tag != tag);
+    }
+
+    /// Number of active flows.
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Max-min fair allocation with demand caps over multi-link routes.
+    ///
+    /// Progressive filling: repeatedly find the unfrozen flow whose
+    /// feasible rate (min of its demand and an equal share of the
+    /// residual capacity on every link it crosses) is smallest, freeze it
+    /// there, and subtract it from all its links. O(F² · L), fine for
+    /// cluster-scale flow counts and two-hop routes.
+    fn recompute_rates(&mut self) {
+        let mut residual = self.link_capacity.clone();
+        let mut unfrozen_count = vec![0usize; residual.len()];
+        for flow in self.flows.values() {
+            for &link in &flow.route {
+                unfrozen_count[link] += 1;
+            }
+        }
+        let mut unfrozen: Vec<FlowId> = self.flows.keys().copied().collect();
+        while !unfrozen.is_empty() {
+            // Feasible rate for each unfrozen flow.
+            let (pos, rate) = unfrozen
+                .iter()
+                .enumerate()
+                .map(|(pos, id)| {
+                    let flow = &self.flows[id];
+                    let share = flow
+                        .route
+                        .iter()
+                        .map(|&link| residual[link] / unfrozen_count[link] as f64)
+                        .fold(f64::INFINITY, f64::min);
+                    (pos, flow.demand_bps.min(share))
+                })
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("rates are finite"))
+                .expect("non-empty");
+            let id = unfrozen.swap_remove(pos);
+            let flow = self.flows.get_mut(&id).expect("flow exists");
+            flow.rate_bps = rate.max(0.0);
+            for i in 0..flow.route.len() {
+                let link = flow.route[i];
+                residual[link] = (residual[link] - flow.rate_bps).max(0.0);
+                unfrozen_count[link] -= 1;
+            }
+        }
+        self.dirty = false;
+    }
+
+    /// Allocated rate of a flow (test hook).
+    pub fn flow_rate(&mut self, id: FlowId) -> Option<f64> {
+        if self.dirty {
+            self.recompute_rates();
+        }
+        self.flows.get(&id).map(|f| f.rate_bps)
+    }
+
+    /// Advance to the next event and return it. Advances the clock,
+    /// debits flow bytes, and removes finished flows/timers.
+    pub fn step(&mut self) -> Wakeup {
+        if self.dirty {
+            self.recompute_rates();
+        }
+
+        // Earliest flow completion.
+        let mut flow_done: Option<(SimTime, FlowId)> = None;
+        for (id, flow) in &self.flows {
+            if flow.rate_bps <= 0.0 {
+                continue; // stalled (server down) — only timers can fire
+            }
+            let dt = micros(flow.remaining / flow.rate_bps);
+            let at = self.now + dt;
+            if flow_done.is_none_or(|(t, _)| at < t) {
+                flow_done = Some((at, *id));
+            }
+        }
+
+        // Earliest timer.
+        let timer_idx = self
+            .timers
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, t)| t.at)
+            .map(|(i, t)| (t.at, i));
+
+        let (advance_to, is_timer) = match (flow_done, timer_idx) {
+            (Some((ft, _)), Some((tt, _))) => {
+                if tt <= ft {
+                    (tt, true)
+                } else {
+                    (ft, false)
+                }
+            }
+            (Some((ft, _)), None) => (ft, false),
+            (None, Some((tt, _))) => (tt, true),
+            (None, None) => return Wakeup::Idle,
+        };
+
+        // Debit all flows for the elapsed interval. Completion times are
+        // quantized to whole microseconds, so clamp the transferred
+        // amount to the flow's remaining bytes — otherwise the per-server
+        // byte accounting would drift by up to rate × 0.5 µs per event.
+        let dt_s = seconds(advance_to.saturating_sub(self.now));
+        for flow in self.flows.values_mut() {
+            let moved = (flow.rate_bps * dt_s).min(flow.remaining);
+            flow.remaining -= moved;
+            self.link_bytes[flow.route[0]] += moved;
+        }
+        self.now = advance_to;
+
+        if is_timer {
+            let (_, idx) = timer_idx.expect("checked above");
+            let timer = self.timers.swap_remove(idx);
+            Wakeup::TimerFired { tag: timer.tag }
+        } else {
+            let (_, id) = flow_done.expect("checked above");
+            let flow = self.flows.remove(&id).expect("flow exists");
+            // Completion may land half a microsecond early after
+            // rounding; credit the residue so bytes are conserved.
+            self.link_bytes[flow.route[0]] += flow.remaining;
+            self.dirty = true;
+            Wakeup::FlowDone { tag: flow.tag }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: f64 = 1e6;
+
+    #[test]
+    fn single_flow_runs_at_demand_cap() {
+        let mut engine = Engine::new(vec![8.5 * MB]);
+        let id = engine.start_flow(0, 7, 8_000_000, 8.0 * MB);
+        assert!((engine.flow_rate(id).unwrap() - 8.0 * MB).abs() < 1.0);
+        let wakeup = engine.step();
+        assert_eq!(wakeup, Wakeup::FlowDone { tag: 7 });
+        assert!((seconds(engine.now()) - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn two_flows_split_server_capacity() {
+        let mut engine = Engine::new(vec![8.0 * MB]);
+        let a = engine.start_flow(0, 1, 1_000_000, 8.0 * MB);
+        let b = engine.start_flow(0, 2, 1_000_000, 8.0 * MB);
+        assert!((engine.flow_rate(a).unwrap() - 4.0 * MB).abs() < 1.0);
+        assert!((engine.flow_rate(b).unwrap() - 4.0 * MB).abs() < 1.0);
+    }
+
+    #[test]
+    fn low_demand_flow_leaves_capacity_for_others() {
+        // Max-min: a 1 MB/s-capped flow frees the rest for the hungry one.
+        let mut engine = Engine::new(vec![8.0 * MB]);
+        let slow = engine.start_flow(0, 1, 1_000_000, 1.0 * MB);
+        let fast = engine.start_flow(0, 2, 1_000_000, 12.0 * MB);
+        assert!((engine.flow_rate(slow).unwrap() - 1.0 * MB).abs() < 1.0);
+        assert!((engine.flow_rate(fast).unwrap() - 7.0 * MB).abs() < 1.0);
+    }
+
+    #[test]
+    fn servers_are_independent() {
+        let mut engine = Engine::new(vec![8.0 * MB, 8.0 * MB]);
+        let a = engine.start_flow(0, 1, 1_000_000, 10.0 * MB);
+        let b = engine.start_flow(1, 2, 1_000_000, 10.0 * MB);
+        assert!((engine.flow_rate(a).unwrap() - 8.0 * MB).abs() < 1.0);
+        assert!((engine.flow_rate(b).unwrap() - 8.0 * MB).abs() < 1.0);
+    }
+
+    #[test]
+    fn completion_order_respects_sizes() {
+        let mut engine = Engine::new(vec![10.0 * MB]);
+        engine.start_flow(0, 1, 1_000_000, 10.0 * MB);
+        engine.start_flow(0, 2, 9_000_000, 10.0 * MB);
+        // Both run at 5 MB/s; flow 1 (1 MB) finishes at t=0.2 s.
+        assert_eq!(engine.step(), Wakeup::FlowDone { tag: 1 });
+        assert!((seconds(engine.now()) - 0.2).abs() < 1e-3);
+        // Flow 2 has 8 MB left, now alone at 10 MB/s → +0.8 s.
+        assert_eq!(engine.step(), Wakeup::FlowDone { tag: 2 });
+        assert!((seconds(engine.now()) - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn timers_interleave_with_flows() {
+        let mut engine = Engine::new(vec![10.0 * MB]);
+        engine.start_flow(0, 1, 10_000_000, 10.0 * MB); // done at t=1s
+        engine.start_timer(9, micros(0.5));
+        assert_eq!(engine.step(), Wakeup::TimerFired { tag: 9 });
+        assert_eq!(engine.step(), Wakeup::FlowDone { tag: 1 });
+        assert!((seconds(engine.now()) - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn server_failure_stalls_flows_but_not_timers() {
+        let mut engine = Engine::new(vec![10.0 * MB]);
+        engine.start_flow(0, 1, 10_000_000, 10.0 * MB);
+        engine.set_link_capacity(0, 0.0);
+        engine.start_timer(2, micros(3.0));
+        // The only runnable event is the timer.
+        assert_eq!(engine.step(), Wakeup::TimerFired { tag: 2 });
+        assert!((seconds(engine.now()) - 3.0).abs() < 1e-3);
+        // Restore the server: the flow completes 1 s later.
+        engine.set_link_capacity(0, 10.0 * MB);
+        assert_eq!(engine.step(), Wakeup::FlowDone { tag: 1 });
+        assert!((seconds(engine.now()) - 4.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn cancel_flow_removes_it() {
+        let mut engine = Engine::new(vec![10.0 * MB]);
+        let a = engine.start_flow(0, 1, 1_000_000, 10.0 * MB);
+        let b = engine.start_flow(0, 2, 1_000_000, 10.0 * MB);
+        assert!(engine.cancel_flow(a));
+        assert!(!engine.cancel_flow(a));
+        // b now gets full capacity.
+        assert!((engine.flow_rate(b).unwrap() - 10.0 * MB).abs() < 1.0);
+        assert_eq!(engine.active_flows(), 1);
+    }
+
+    #[test]
+    fn idle_when_empty() {
+        let mut engine = Engine::new(vec![1.0]);
+        assert_eq!(engine.step(), Wakeup::Idle);
+    }
+
+    #[test]
+    fn byte_accounting_conserves() {
+        let mut engine = Engine::new(vec![5.0 * MB]);
+        engine.start_flow(0, 1, 2_000_000, 10.0 * MB);
+        engine.start_flow(0, 2, 3_000_000, 10.0 * MB);
+        while engine.step() != Wakeup::Idle {}
+        assert!((engine.link_bytes()[0] - 5_000_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn two_link_flow_limited_by_tighter_link() {
+        let mut engine = Engine::new(vec![10.0 * MB]);
+        let cabinet = engine.add_link(3.0 * MB);
+        let id = engine.start_flow_routed(vec![0, cabinet], 1, 3_000_000, 8.0 * MB);
+        assert!((engine.flow_rate(id).unwrap() - 3.0 * MB).abs() < 1.0);
+        engine.step();
+        assert!((seconds(engine.now()) - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn cabinet_contention_is_local() {
+        // Two cabinets behind 4 MB/s uplinks, one 10 MB/s server. Three
+        // flows in cabinet A share its uplink; the lone flow in cabinet B
+        // gets its full uplink (server has room for all).
+        let mut engine = Engine::new(vec![10.0 * MB]);
+        let cab_a = engine.add_link(4.0 * MB);
+        let cab_b = engine.add_link(4.0 * MB);
+        let a: Vec<_> = (0..3)
+            .map(|i| engine.start_flow_routed(vec![0, cab_a], i, 1_000_000, 8.0 * MB))
+            .collect();
+        let b = engine.start_flow_routed(vec![0, cab_b], 9, 1_000_000, 8.0 * MB);
+        for id in &a {
+            assert!((engine.flow_rate(*id).unwrap() - 4.0 * MB / 3.0).abs() < 1.0);
+        }
+        assert!((engine.flow_rate(b).unwrap() - 4.0 * MB).abs() < 1.0);
+    }
+
+    #[test]
+    fn max_min_gives_leftover_to_unconstrained_flows() {
+        // One flow throttled by a 1 MB/s cabinet; the other, direct flow
+        // soaks up the server's remaining capacity.
+        let mut engine = Engine::new(vec![10.0 * MB]);
+        let slow_cab = engine.add_link(1.0 * MB);
+        let slow = engine.start_flow_routed(vec![0, slow_cab], 1, 1_000_000, 8.0 * MB);
+        let fast = engine.start_flow(0, 2, 1_000_000, 12.0 * MB);
+        assert!((engine.flow_rate(slow).unwrap() - 1.0 * MB).abs() < 1.0);
+        assert!((engine.flow_rate(fast).unwrap() - 9.0 * MB).abs() < 1.0);
+    }
+
+    #[test]
+    fn fairness_conservation_property() {
+        // Sum of allocated rates never exceeds capacity; each flow never
+        // exceeds its demand.
+        let mut engine = Engine::new(vec![7.0 * MB]);
+        let ids: Vec<_> = (0..13)
+            .map(|i| engine.start_flow(0, i, 1_000_000, (1 + i as u64) as f64 * 0.4 * MB))
+            .collect();
+        let rates: Vec<f64> = ids.iter().map(|id| engine.flow_rate(*id).unwrap()).collect();
+        let total: f64 = rates.iter().sum();
+        assert!(total <= 7.0 * MB + 1.0, "total {total}");
+        for (i, r) in rates.iter().enumerate() {
+            assert!(*r <= (1 + i as u64) as f64 * 0.4 * MB + 1.0);
+        }
+    }
+}

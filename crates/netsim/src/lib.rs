@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! A discrete-event cluster/network simulator: the reproduction's stand-in
+//! for the paper's physical testbed.
+//!
+//! The paper's evaluation (Table I, the §6.3 micro-benchmark, the Gigabit
+//! and replication projections) is a *bandwidth-contention* phenomenon:
+//! each reinstalling node alternates short download bursts with longer
+//! CPU-bound install work, so a single Fast-Ethernet HTTP server
+//! comfortably feeds ~8 concurrent reinstalls and degrades gracefully
+//! beyond that. This crate models exactly those mechanics:
+//!
+//! * [`engine`] — virtual time, timer events, and a fluid max-min fair
+//!   bandwidth allocator over server uplinks with per-flow demand caps,
+//! * [`node`] — the installing node's state machine (POST → DHCP →
+//!   kickstart fetch → format → per-RPM fetch/install loop → post-config
+//!   → Myrinet driver rebuild → reboot), emitting the eKV progress lines
+//!   of Figure 7,
+//! * [`config`] — calibration constants derived from the paper's own
+//!   numbers (225 MB per node, 223 s download+install, 7–8 MB/s serial
+//!   HTTP throughput, 20–30 % Myrinet rebuild penalty),
+//! * [`cluster`] — the experiment driver: concurrent reinstallations,
+//!   serial-download micro-benchmark, server replication, Gigabit uplink,
+//!   power-distribution-unit control, and failure injection.
+//!
+//! Virtual time is `u64` microseconds; experiments over 32 nodes and ~160
+//! packages each run in well under a millisecond of real time.
+
+pub mod cluster;
+pub mod config;
+pub mod engine;
+pub mod node;
+
+pub use cluster::{ClusterSim, ReinstallOutcome, ReinstallResult};
+pub use config::{PackageWork, SimConfig};
+pub use engine::{micros, seconds, SimTime};
+pub use node::{NodeLogLine, NodeState};

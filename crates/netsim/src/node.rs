@@ -1,0 +1,355 @@
+//! The installing node's state machine.
+//!
+//! Mirrors what anaconda does on a Rocks compute node: power-on self
+//! test, DHCP, fetch the generated Kickstart file over HTTP, format the
+//! root partition, then alternate per-RPM download and install work,
+//! run post-configuration (including the Myrinet GM source rebuild,
+//! §6.3), and reboot. Every visible step emits an eKV progress line —
+//! the text Figure 7 shows in the shoot-node xterm.
+
+use crate::config::SimConfig;
+use crate::engine::{micros, Engine, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Installation phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeState {
+    /// Powered off.
+    Off,
+    /// BIOS / power-on self test — the window where an administrator is
+    /// "in the dark" (§4).
+    Post,
+    /// DHCP exchange.
+    Dhcp,
+    /// Fetching the generated Kickstart file from the frontend CGI.
+    KickstartFetch,
+    /// Partitioning and formatting the root filesystem.
+    Format,
+    /// Downloading package `i`.
+    Fetch(usize),
+    /// Installing (unpacking) package `i`.
+    Install(usize),
+    /// Running %post configuration scripts.
+    PostConfig,
+    /// Rebuilding the Myrinet GM driver from source.
+    MyrinetBuild,
+    /// Final reboot into the installed system.
+    Reboot,
+    /// Installed and serving jobs.
+    Up,
+    /// Hung (failure injection); only a power cycle recovers it (§4).
+    Hung,
+}
+
+/// One eKV progress line with its timestamp.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeLogLine {
+    /// Virtual time of the event.
+    pub at: SimTime,
+    /// Telnet-rendered text.
+    pub text: String,
+}
+
+/// A simulated node.
+#[derive(Debug, Clone)]
+pub struct SimNode {
+    /// Index into the cluster's node table; also the engine tag.
+    pub id: usize,
+    /// Hostname, e.g. `compute-0-5`.
+    pub name: String,
+    /// Links this node's downloads traverse: its HTTP server's uplink,
+    /// then (in a cabinet topology) the cabinet-switch uplink.
+    pub route: Vec<usize>,
+    /// Current phase.
+    pub state: NodeState,
+    /// When the current install began.
+    pub install_started: Option<SimTime>,
+    /// When the node reached `Up`.
+    pub install_finished: Option<SimTime>,
+    /// eKV output.
+    pub log: Vec<NodeLogLine>,
+    /// Per-node jitter source.
+    rng: StdRng,
+    /// Count of completed installs (a reinstall increments this).
+    pub installs_completed: usize,
+}
+
+impl SimNode {
+    /// Create a node whose downloads traverse `route` (server uplink
+    /// first).
+    pub fn new(id: usize, name: &str, route: Vec<usize>, seed: u64) -> SimNode {
+        SimNode {
+            id,
+            name: name.to_string(),
+            route,
+            state: NodeState::Off,
+            install_started: None,
+            install_finished: None,
+            log: Vec::new(),
+            rng: StdRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            installs_completed: 0,
+        }
+    }
+
+    fn jittered(&mut self, (mean, jitter): (f64, f64)) -> SimTime {
+        let factor = 1.0 + self.rng.gen_range(-jitter..=jitter);
+        micros(mean * factor)
+    }
+
+    fn log_line(&mut self, at: SimTime, text: String) {
+        self.log.push(NodeLogLine { at, text });
+    }
+
+    /// Power the node on into installation mode (what a hard power cycle
+    /// or `shoot-node` produces — a Rocks node that boots from the
+    /// network always reinstalls).
+    pub fn power_on(&mut self, engine: &mut Engine, cfg: &SimConfig) {
+        // Drop anything in flight from a previous life.
+        engine.cancel_flows_tagged(self.id);
+        engine.cancel_timers_tagged(self.id);
+        self.state = NodeState::Post;
+        self.install_started = Some(engine.now());
+        self.install_finished = None;
+        let at = engine.now();
+        self.log_line(at, format!("{}: power on, POST", self.name));
+        let delay = self.jittered(cfg.post_s);
+        engine.start_timer(self.id, delay);
+    }
+
+    /// Force the node into the hung state (failure injection): all
+    /// in-flight work is lost and no further events fire.
+    pub fn hang(&mut self, engine: &mut Engine) {
+        engine.cancel_flows_tagged(self.id);
+        engine.cancel_timers_tagged(self.id);
+        self.state = NodeState::Hung;
+        let at = engine.now();
+        self.log_line(at, format!("{}: hung (no response on Ethernet)", self.name));
+    }
+
+    /// Seconds the last completed install took, if any.
+    pub fn last_install_seconds(&self) -> Option<f64> {
+        match (self.install_started, self.install_finished) {
+            (Some(start), Some(end)) => Some(crate::engine::seconds(end - start)),
+            _ => None,
+        }
+    }
+
+    /// Advance the FSM after a wakeup (flow done or timer fired). The
+    /// caller guarantees the wakeup was tagged with this node's id.
+    pub fn on_wakeup(&mut self, engine: &mut Engine, cfg: &SimConfig) {
+        let now = engine.now();
+        match self.state {
+            NodeState::Off | NodeState::Up | NodeState::Hung => {
+                // Stale wakeup from a cancelled life; ignore.
+            }
+            NodeState::Post => {
+                self.state = NodeState::Dhcp;
+                self.log_line(now, format!("{}: DHCP discover", self.name));
+                let delay = self.jittered(cfg.dhcp_s);
+                engine.start_timer(self.id, delay);
+            }
+            NodeState::Dhcp => {
+                self.state = NodeState::KickstartFetch;
+                self.log_line(now, format!("{}: requesting kickstart via HTTP CGI", self.name));
+                engine.start_flow_routed(self.route.clone(), self.id, cfg.kickstart_bytes, cfg.per_stream_bps);
+            }
+            NodeState::KickstartFetch => {
+                self.state = NodeState::Format;
+                self.log_line(now, format!("{}: formatting / (non-root partitions preserved)", self.name));
+                let delay = self.jittered(cfg.format_s);
+                engine.start_timer(self.id, delay);
+            }
+            NodeState::Format => {
+                self.start_fetch(engine, cfg, 0);
+            }
+            NodeState::Fetch(i) => {
+                // Package downloaded; unpack it.
+                let pkg = &cfg.packages[i];
+                self.state = NodeState::Install(i);
+                self.log_line(
+                    now,
+                    format!(
+                        "{}: installing {} ({}k) [{}/{}]",
+                        self.name,
+                        pkg.name,
+                        pkg.transfer_bytes / 1024,
+                        i + 1,
+                        cfg.packages.len()
+                    ),
+                );
+                let delay = micros(pkg.installed_bytes as f64 / cfg.install_bps);
+                engine.start_timer(self.id, delay);
+            }
+            NodeState::Install(i) => {
+                if i + 1 < cfg.packages.len() {
+                    self.start_fetch(engine, cfg, i + 1);
+                } else {
+                    self.state = NodeState::PostConfig;
+                    self.log_line(now, format!("{}: running %post configuration", self.name));
+                    let delay = self.jittered(cfg.postconfig_s);
+                    engine.start_timer(self.id, delay);
+                }
+            }
+            NodeState::PostConfig => {
+                if cfg.with_myrinet {
+                    self.state = NodeState::MyrinetBuild;
+                    self.log_line(now, format!("{}: rebuilding Myrinet gm driver from source", self.name));
+                    let delay = self.jittered(cfg.myrinet_s);
+                    engine.start_timer(self.id, delay);
+                } else {
+                    self.begin_reboot(engine, cfg, now);
+                }
+            }
+            NodeState::MyrinetBuild => {
+                let now = engine.now();
+                self.begin_reboot(engine, cfg, now);
+            }
+            NodeState::Reboot => {
+                self.state = NodeState::Up;
+                self.install_finished = Some(now);
+                self.installs_completed += 1;
+                self.log_line(now, format!("{}: up (install complete)", self.name));
+            }
+        }
+    }
+
+    fn start_fetch(&mut self, engine: &mut Engine, cfg: &SimConfig, i: usize) {
+        self.state = NodeState::Fetch(i);
+        let pkg = &cfg.packages[i];
+        engine.start_flow_routed(self.route.clone(), self.id, pkg.transfer_bytes, cfg.per_stream_bps);
+    }
+
+    fn begin_reboot(&mut self, engine: &mut Engine, cfg: &SimConfig, now: SimTime) {
+        self.state = NodeState::Reboot;
+        self.log_line(now, format!("{}: rebooting into installed system", self.name));
+        let delay = self.jittered(cfg.reboot_s);
+        engine.start_timer(self.id, delay);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Wakeup;
+
+    fn tiny_config() -> SimConfig {
+        let mut cfg = SimConfig::paper_testbed(1);
+        cfg.packages.truncate(3);
+        cfg
+    }
+
+    fn run_to_up(node: &mut SimNode, engine: &mut Engine, cfg: &SimConfig) {
+        node.power_on(engine, cfg);
+        loop {
+            match engine.step() {
+                Wakeup::Idle => break,
+                Wakeup::FlowDone { tag } | Wakeup::TimerFired { tag } => {
+                    assert_eq!(tag, node.id);
+                    node.on_wakeup(engine, cfg);
+                }
+            }
+            if node.state == NodeState::Up {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn full_install_reaches_up() {
+        let cfg = tiny_config();
+        let mut engine = Engine::new(vec![cfg.server_capacity_bps]);
+        let mut node = SimNode::new(0, "compute-0-0", vec![0], 42);
+        run_to_up(&mut node, &mut engine, &cfg);
+        assert_eq!(node.state, NodeState::Up);
+        assert_eq!(node.installs_completed, 1);
+        assert!(node.last_install_seconds().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn log_shows_figure7_style_progress() {
+        let cfg = tiny_config();
+        let mut engine = Engine::new(vec![cfg.server_capacity_bps]);
+        let mut node = SimNode::new(0, "compute-0-0", vec![0], 42);
+        run_to_up(&mut node, &mut engine, &cfg);
+        let text: Vec<&str> = node.log.iter().map(|l| l.text.as_str()).collect();
+        assert!(text.iter().any(|l| l.contains("POST")));
+        assert!(text.iter().any(|l| l.contains("requesting kickstart")));
+        assert!(text.iter().any(|l| l.contains("[1/3]")));
+        assert!(text.iter().any(|l| l.contains("[3/3]")));
+        assert!(text.iter().any(|l| l.contains("Myrinet")));
+        assert!(text.iter().any(|l| l.contains("up (install complete)")));
+        // Timestamps are monotone.
+        assert!(node.log.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn no_myrinet_skips_rebuild() {
+        let mut cfg = tiny_config();
+        cfg.with_myrinet = false;
+        let mut engine = Engine::new(vec![cfg.server_capacity_bps]);
+        let mut node = SimNode::new(0, "compute-0-0", vec![0], 42);
+        run_to_up(&mut node, &mut engine, &cfg);
+        assert!(node.log.iter().all(|l| !l.text.contains("Myrinet")));
+    }
+
+    #[test]
+    fn myrinet_penalty_is_visible_in_duration() {
+        let mk = |with: bool| {
+            let mut cfg = tiny_config();
+            cfg.with_myrinet = with;
+            let mut engine = Engine::new(vec![cfg.server_capacity_bps]);
+            let mut node = SimNode::new(0, "n", vec![0], 42);
+            run_to_up(&mut node, &mut engine, &cfg);
+            node.last_install_seconds().unwrap()
+        };
+        let with = mk(true);
+        let without = mk(false);
+        assert!(with > without + 100.0, "with={with} without={without}");
+    }
+
+    #[test]
+    fn hang_stops_all_events() {
+        let cfg = tiny_config();
+        let mut engine = Engine::new(vec![cfg.server_capacity_bps]);
+        let mut node = SimNode::new(0, "n", vec![0], 42);
+        node.power_on(&mut engine, &cfg);
+        node.hang(&mut engine);
+        assert_eq!(engine.step(), Wakeup::Idle);
+        assert_eq!(node.state, NodeState::Hung);
+    }
+
+    #[test]
+    fn power_cycle_restarts_install() {
+        let cfg = tiny_config();
+        let mut engine = Engine::new(vec![cfg.server_capacity_bps]);
+        let mut node = SimNode::new(0, "n", vec![0], 42);
+        node.power_on(&mut engine, &cfg);
+        // Step a few events, then hard power cycle mid-install.
+        for _ in 0..4 {
+            match engine.step() {
+                Wakeup::FlowDone { .. } | Wakeup::TimerFired { .. } => {
+                    node.on_wakeup(&mut engine, &cfg)
+                }
+                Wakeup::Idle => break,
+            }
+        }
+        node.power_on(&mut engine, &cfg); // the PDU's hard power cycle
+        run_to_up(&mut node, &mut engine, &cfg);
+        assert_eq!(node.state, NodeState::Up);
+        assert_eq!(node.installs_completed, 1);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let cfg = tiny_config();
+        let run = |seed| {
+            let mut engine = Engine::new(vec![cfg.server_capacity_bps]);
+            let mut node = SimNode::new(0, "n", vec![0], seed);
+            run_to_up(&mut node, &mut engine, &cfg);
+            node.last_install_seconds().unwrap()
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+    }
+}

@@ -1,0 +1,65 @@
+#![warn(missing_docs)]
+
+//! A PBS-like workload manager with a Maui-like backfill scheduler.
+//!
+//! The paper packages "the Portable Batch System (PBS) and the Maui
+//! scheduler. PBS is used for its workload management system (starting
+//! and monitoring jobs) and Maui is used for its rich scheduling
+//! functionality" (§4.1), and the upgrade workflow relies on it: "the
+//! production system can be upgraded by submitting a 'reinstall cluster'
+//! job to Maui, as not to disturb any running applications" (§5).
+//!
+//! This crate provides exactly the behaviours the paper exercises:
+//!
+//! * queues, jobs, and node states ([`server::PbsServer`]),
+//! * FIFO-with-backfill scheduling and head-of-queue reservations
+//!   ([`scheduler`]),
+//! * the drain-and-reinstall system job ([`reinstall::ReinstallJob`])
+//!   that rolls a cluster onto a new distribution without killing
+//!   running work.
+//!
+//! Time is a caller-advanced `f64` seconds clock so the workload manager
+//! composes with the `rocks-netsim` virtual clock.
+
+pub mod reinstall;
+pub mod scheduler;
+pub mod server;
+
+pub use reinstall::ReinstallJob;
+pub use server::{Job, JobId, JobState, NodeState, PbsServer};
+
+/// Errors from workload-manager operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PbsError {
+    /// Job id not found.
+    NoSuchJob(u64),
+    /// Node name not found.
+    NoSuchNode(String),
+    /// More nodes requested than the cluster owns.
+    TooLarge {
+        /// Nodes the job asked for.
+        requested: usize,
+        /// Nodes the cluster has.
+        cluster: usize,
+    },
+    /// Job is not in a state where the operation applies.
+    BadState(&'static str),
+}
+
+impl std::fmt::Display for PbsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PbsError::NoSuchJob(id) => write!(f, "no such job: {id}"),
+            PbsError::NoSuchNode(n) => write!(f, "no such node: {n}"),
+            PbsError::TooLarge { requested, cluster } => {
+                write!(f, "job requests {requested} nodes but the cluster has {cluster}")
+            }
+            PbsError::BadState(m) => write!(f, "operation invalid in current state: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PbsError {}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, PbsError>;

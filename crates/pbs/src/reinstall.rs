@@ -1,0 +1,219 @@
+//! The "reinstall cluster" system job (paper §5).
+//!
+//! "After the updates are validated on a small test cluster, the
+//! production system can be upgraded by submitting a 'reinstall cluster'
+//! job to Maui, as not to disturb any running applications. Once the
+//! reinstallation is complete, the next job will have a known, consistent
+//! software base."
+//!
+//! Mechanically: every node is marked to drain; as nodes come free they
+//! go `Down` and reinstall (the caller supplies the reinstall duration —
+//! in the full system it comes from `rocks-netsim`); reinstalled nodes
+//! return to service. Running jobs are never interrupted.
+
+use crate::server::{NodeState, PbsServer};
+use crate::{PbsError, Result};
+use std::collections::BTreeMap;
+
+/// Progress of a rolling reinstall.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReinstallPhase {
+    /// Nodes still draining or reinstalling.
+    InProgress,
+    /// Every node has been reinstalled and returned to service.
+    Complete,
+}
+
+/// A rolling cluster reinstall driven alongside the scheduler.
+#[derive(Debug)]
+pub struct ReinstallJob {
+    /// Nodes still waiting to start their reinstall.
+    pending: Vec<String>,
+    /// Nodes reinstalling: name → completion time.
+    installing: BTreeMap<String, f64>,
+    /// Nodes finished.
+    done: Vec<String>,
+    /// Seconds one reinstall takes (from the netsim calibration).
+    reinstall_seconds: f64,
+}
+
+impl ReinstallJob {
+    /// Begin a rolling reinstall of every node. Idle nodes are taken
+    /// immediately; busy nodes are marked `Offline` so the scheduler
+    /// stops giving them new work.
+    pub fn start(server: &mut PbsServer, reinstall_seconds: f64) -> Result<ReinstallJob> {
+        let mut job = ReinstallJob {
+            pending: Vec::new(),
+            installing: BTreeMap::new(),
+            done: Vec::new(),
+            reinstall_seconds,
+        };
+        for name in server.node_names() {
+            match server.node_state(&name)? {
+                NodeState::Free => job.begin_node(server, &name)?,
+                NodeState::Busy => {
+                    server.set_node_state(&name, NodeState::Offline)?;
+                    job.pending.push(name);
+                }
+                NodeState::Offline | NodeState::Down => job.pending.push(name),
+            }
+        }
+        Ok(job)
+    }
+
+    fn begin_node(&mut self, server: &mut PbsServer, name: &str) -> Result<()> {
+        server.set_node_state(name, NodeState::Down)?;
+        self.installing
+            .insert(name.to_string(), server.now() + self.reinstall_seconds);
+        Ok(())
+    }
+
+    /// Advance the reinstall at the server's current time: finish
+    /// installs whose time elapsed (nodes return to `Free`), and start
+    /// installs on any drained nodes. Call after every
+    /// `PbsServer::advance_to`.
+    pub fn tick(&mut self, server: &mut PbsServer) -> Result<ReinstallPhase> {
+        let now = server.now();
+
+        // Completions.
+        let finished: Vec<String> = self
+            .installing
+            .iter()
+            .filter(|(_, end)| **end <= now)
+            .map(|(n, _)| n.clone())
+            .collect();
+        for name in finished {
+            self.installing.remove(&name);
+            server.set_node_state(&name, NodeState::Free)?;
+            self.done.push(name);
+        }
+
+        // Newly-drained nodes: marked Offline AND no longer occupied by a
+        // running job (a draining node keeps its job until completion).
+        let drained: Vec<String> = self
+            .pending
+            .iter()
+            .filter(|n| {
+                server.node_state(n).map(|s| s == NodeState::Offline).unwrap_or(false)
+                    && !server.node_running_job(n)
+            })
+            .cloned()
+            .collect();
+        for name in drained {
+            self.pending.retain(|n| n != &name);
+            self.begin_node(server, &name)?;
+        }
+
+        Ok(if self.pending.is_empty() && self.installing.is_empty() {
+            ReinstallPhase::Complete
+        } else {
+            ReinstallPhase::InProgress
+        })
+    }
+
+    /// Earliest pending completion, for event-driven callers.
+    pub fn next_completion(&self) -> Option<f64> {
+        self.installing
+            .values()
+            .copied()
+            .min_by(|a, b| a.partial_cmp(b).expect("finite"))
+    }
+
+    /// Nodes already reinstalled.
+    pub fn completed_nodes(&self) -> &[String] {
+        &self.done
+    }
+}
+
+/// Drive a full rolling reinstall to completion alongside the scheduler,
+/// letting running jobs finish undisturbed. Returns the time the last
+/// node returned to service.
+pub fn roll_cluster(server: &mut PbsServer, reinstall_seconds: f64) -> Result<f64> {
+    let mut job = ReinstallJob::start(server, reinstall_seconds)?;
+    loop {
+        if job.tick(server)? == ReinstallPhase::Complete {
+            return Ok(server.now());
+        }
+        // Next event: a job completion or a reinstall completion.
+        let next = match (server.next_completion(), job.next_completion()) {
+            (Some(a), Some(b)) => a.min(b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => {
+                return Err(PbsError::BadState("reinstall stalled with no pending events"))
+            }
+        };
+        server.advance_to(next);
+        crate::scheduler::schedule(server);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::schedule;
+    use crate::server::JobState;
+
+    fn server(n: usize) -> PbsServer {
+        let mut s = PbsServer::new();
+        for i in 0..n {
+            s.add_node(&format!("compute-0-{i}"));
+        }
+        s
+    }
+
+    #[test]
+    fn idle_cluster_reinstalls_immediately() {
+        let mut s = server(4);
+        let end = roll_cluster(&mut s, 600.0).unwrap();
+        assert!((end - 600.0).abs() < 1e-6);
+        assert_eq!(s.nodes_in_state(NodeState::Free).len(), 4);
+    }
+
+    #[test]
+    fn running_jobs_are_never_disturbed() {
+        let mut s = server(4);
+        let job = s.qsub("science", 2, 500.0).unwrap();
+        schedule(&mut s);
+        let end = roll_cluster(&mut s, 600.0).unwrap();
+        // The running job completed normally...
+        assert!(matches!(s.job(job).unwrap().state, JobState::Done { .. }));
+        // ...and its nodes reinstalled after it finished: 500 s of job +
+        // 600 s of reinstall.
+        assert!((end - 1100.0).abs() < 1e-6, "end {end}");
+        assert_eq!(s.nodes_in_state(NodeState::Free).len(), 4);
+    }
+
+    #[test]
+    fn idle_nodes_reinstall_while_jobs_run() {
+        let mut s = server(4);
+        s.qsub("science", 2, 2000.0).unwrap();
+        schedule(&mut s);
+        let mut job = ReinstallJob::start(&mut s, 600.0).unwrap();
+        // The two idle nodes start immediately.
+        assert_eq!(s.nodes_in_state(NodeState::Down).len(), 2);
+        s.advance_to(600.0);
+        job.tick(&mut s).unwrap();
+        assert_eq!(job.completed_nodes().len(), 2);
+        // The busy pair is still draining.
+        assert_eq!(s.nodes_in_state(NodeState::Offline).len(), 2);
+    }
+
+    #[test]
+    fn queued_work_resumes_after_roll() {
+        let mut s = server(2);
+        let end = roll_cluster(&mut s, 300.0).unwrap();
+        assert!((end - 300.0).abs() < 1e-6);
+        // Post-roll, the cluster schedules normally.
+        let id = s.qsub("next", 2, 10.0).unwrap();
+        let started = schedule(&mut s);
+        assert_eq!(started, vec![id]);
+    }
+
+    #[test]
+    fn next_completion_exposes_install_horizon() {
+        let mut s = server(1);
+        let job = ReinstallJob::start(&mut s, 42.0).unwrap();
+        assert_eq!(job.next_completion(), Some(42.0));
+    }
+}

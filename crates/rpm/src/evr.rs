@@ -1,0 +1,328 @@
+//! Epoch–Version–Release handling and the `rpmvercmp` ordering algorithm.
+//!
+//! This is a faithful port of the segment-wise comparison implemented in
+//! `rpm/lib/rpmvercmp.c`, including the RPM 4.x tilde (`~` sorts before
+//! everything, used for pre-releases) and caret (`^` sorts after the bare
+//! version but before any longer suffix) extensions. rocks-dist's
+//! "only include the most recent software" behaviour (paper §6.2.1) is only
+//! correct if this ordering matches what RPM itself would decide at install
+//! time.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Compare two RPM version strings segment-wise, exactly as `rpmvercmp`.
+///
+/// The algorithm:
+/// 1. Skip any characters that are not alphanumeric, `~`, or `^`.
+/// 2. A `~` in one string and not the other makes that string *older*
+///    (`1.0~rc1 < 1.0`); `~` in both skips it.
+/// 3. A `^` in one string: if the other string has ended, the `^` side is
+///    *newer* (`1.0^post > 1.0`); otherwise the `^` side is *older*.
+/// 4. Extract a maximal run of either digits or letters from both strings.
+///    A numeric segment always beats an alphabetic one (`1.0a < 1.0.1`,
+///    because `a` loses to `1`).
+/// 5. Numeric segments compare by value (leading zeros stripped, longer
+///    digit-run wins, then lexicographic); alphabetic segments compare
+///    lexicographically (ASCII).
+/// 6. If all common segments tie, the string with leftover content is newer.
+///
+/// ```
+/// use rocks_rpm::rpmvercmp;
+/// use std::cmp::Ordering;
+/// assert_eq!(rpmvercmp("1.0", "1.0"), Ordering::Equal);
+/// assert_eq!(rpmvercmp("1.10", "1.9"), Ordering::Greater);
+/// assert_eq!(rpmvercmp("1.0~rc1", "1.0"), Ordering::Less);
+/// ```
+pub fn rpmvercmp(a: &str, b: &str) -> Ordering {
+    let a = a.as_bytes();
+    let b = b.as_bytes();
+    let (mut i, mut j) = (0usize, 0usize);
+
+    while i < a.len() || j < b.len() {
+        // Step 1: skip separators.
+        while i < a.len() && !is_seg_byte(a[i]) {
+            i += 1;
+        }
+        while j < b.len() && !is_seg_byte(b[j]) {
+            j += 1;
+        }
+
+        // Step 2: tilde handling.
+        let a_tilde = i < a.len() && a[i] == b'~';
+        let b_tilde = j < b.len() && b[j] == b'~';
+        if a_tilde || b_tilde {
+            if a_tilde && b_tilde {
+                i += 1;
+                j += 1;
+                continue;
+            }
+            return if a_tilde { Ordering::Less } else { Ordering::Greater };
+        }
+
+        // Step 3: caret handling.
+        let a_caret = i < a.len() && a[i] == b'^';
+        let b_caret = j < b.len() && b[j] == b'^';
+        if a_caret || b_caret {
+            if a_caret && b_caret {
+                i += 1;
+                j += 1;
+                continue;
+            }
+            // `1.0^x` vs `1.0` → the caret side is newer; `1.0^x` vs `1.0.1`
+            // → the caret side is older.
+            if a_caret {
+                return if j >= b.len() { Ordering::Greater } else { Ordering::Less };
+            }
+            return if i >= a.len() { Ordering::Less } else { Ordering::Greater };
+        }
+
+        // End-of-string after separator skipping.
+        if i >= a.len() || j >= b.len() {
+            break;
+        }
+
+        // Step 4: pull one segment from each side.
+        let a_digit = a[i].is_ascii_digit();
+        let b_digit = b[j].is_ascii_digit();
+
+        let seg_a = take_segment(a, &mut i, a_digit);
+        let seg_b = take_segment(b, &mut j, b_digit);
+
+        if a_digit != b_digit {
+            // Numeric beats alphabetic.
+            return if a_digit { Ordering::Greater } else { Ordering::Less };
+        }
+
+        let ord = if a_digit {
+            compare_numeric(seg_a, seg_b)
+        } else {
+            seg_a.cmp(seg_b)
+        };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+
+    // Step 6: whoever has leftover segment content is newer.
+    let a_left = i < a.len();
+    let b_left = j < b.len();
+    match (a_left, b_left) {
+        (false, false) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (true, true) => Ordering::Equal, // unreachable: loop runs until one side is exhausted
+    }
+}
+
+fn is_seg_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'~' || b == b'^'
+}
+
+fn take_segment<'a>(s: &'a [u8], idx: &mut usize, digits: bool) -> &'a [u8] {
+    let start = *idx;
+    while *idx < s.len() {
+        let c = s[*idx];
+        let matches = if digits { c.is_ascii_digit() } else { c.is_ascii_alphabetic() };
+        if !matches {
+            break;
+        }
+        *idx += 1;
+    }
+    &s[start..*idx]
+}
+
+fn compare_numeric(a: &[u8], b: &[u8]) -> Ordering {
+    let a = strip_leading_zeros(a);
+    let b = strip_leading_zeros(b);
+    a.len().cmp(&b.len()).then_with(|| a.cmp(b))
+}
+
+fn strip_leading_zeros(s: &[u8]) -> &[u8] {
+    let mut i = 0;
+    while i + 1 < s.len() && s[i] == b'0' {
+        i += 1;
+    }
+    // Keep at least one digit so "0" stays comparable.
+    if i == s.len() {
+        &s[s.len().saturating_sub(1)..]
+    } else {
+        &s[i..]
+    }
+}
+
+/// An Epoch–Version–Release triple, the full identity of an RPM build.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Evr {
+    /// Epoch: an override knob that trumps version comparison entirely.
+    /// Missing epoch compares as 0, as RPM does.
+    pub epoch: u32,
+    /// Upstream version, e.g. `3.0.6`.
+    pub version: String,
+    /// Package release, e.g. `5` or `5.7.2` (vendor build number).
+    pub release: String,
+}
+
+impl Evr {
+    /// Construct from parts.
+    pub fn new(epoch: u32, version: impl Into<String>, release: impl Into<String>) -> Self {
+        Evr { epoch, version: version.into(), release: release.into() }
+    }
+
+    /// Parse `[epoch:]version[-release]`, e.g. `3.0.6-5` or `1:1.2-3`.
+    /// The release defaults to `"0"` when absent.
+    pub fn parse(s: &str) -> Option<Evr> {
+        let (epoch, rest) = match s.split_once(':') {
+            Some((e, rest)) => (e.parse::<u32>().ok()?, rest),
+            None => (0, s),
+        };
+        if rest.is_empty() {
+            return None;
+        }
+        let (version, release) = match rest.rsplit_once('-') {
+            Some((v, r)) if !v.is_empty() => (v, r),
+            _ => (rest, "0"),
+        };
+        Some(Evr::new(epoch, version, release))
+    }
+}
+
+impl fmt::Display for Evr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.epoch != 0 {
+            write!(f, "{}:", self.epoch)?;
+        }
+        write!(f, "{}-{}", self.version, self.release)
+    }
+}
+
+impl PartialOrd for Evr {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Evr {
+    /// Full EVR ordering: epoch dominates, then version, then release —
+    /// exactly RPM's `rpmVersionCompare`.
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.epoch
+            .cmp(&other.epoch)
+            .then_with(|| rpmvercmp(&self.version, &other.version))
+            .then_with(|| rpmvercmp(&self.release, &other.release))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Assert `a` and `b` compare as `ord` AND the mirrored comparison
+    /// agrees — catches asymmetric bugs.
+    fn check(a: &str, b: &str, ord: Ordering) {
+        assert_eq!(rpmvercmp(a, b), ord, "rpmvercmp({a:?}, {b:?})");
+        assert_eq!(rpmvercmp(b, a), ord.reverse(), "rpmvercmp({b:?}, {a:?})");
+    }
+
+    /// Cases lifted from rpm's own test suite (tests/rpmvercmp.at).
+    #[test]
+    fn rpm_upstream_test_vectors() {
+        check("1.0", "1.0", Ordering::Equal);
+        check("1.0", "2.0", Ordering::Less);
+        check("2.0.1", "2.0.1", Ordering::Equal);
+        check("2.0", "2.0.1", Ordering::Less);
+        check("2.0.1a", "2.0.1a", Ordering::Equal);
+        check("2.0.1a", "2.0.1", Ordering::Greater);
+        check("5.5p1", "5.5p1", Ordering::Equal);
+        check("5.5p1", "5.5p2", Ordering::Less);
+        check("5.5p10", "5.5p10", Ordering::Equal);
+        check("5.5p1", "5.5p10", Ordering::Less);
+        check("10xyz", "10.1xyz", Ordering::Less);
+        check("xyz10", "xyz10", Ordering::Equal);
+        check("xyz10", "xyz10.1", Ordering::Less);
+        check("xyz.4", "xyz.4", Ordering::Equal);
+        check("xyz.4", "8", Ordering::Less);
+        check("xyz.4", "2", Ordering::Less);
+        check("5.5p2", "5.6p1", Ordering::Less);
+        check("5.6p1", "6.5p1", Ordering::Less);
+        check("6.0.rc1", "6.0", Ordering::Greater);
+        check("10b2", "10a1", Ordering::Greater);
+        check("10a2", "10b2", Ordering::Less);
+        check("1.0aa", "1.0aa", Ordering::Equal);
+        check("1.0a", "1.0aa", Ordering::Less);
+        check("10.0001", "10.0001", Ordering::Equal);
+        check("10.0001", "10.1", Ordering::Equal);
+        check("10.0001", "10.0039", Ordering::Less);
+        check("4.999.9", "5.0", Ordering::Less);
+        check("20101121", "20101121", Ordering::Equal);
+        check("20101121", "20101122", Ordering::Less);
+        check("2_0", "2_0", Ordering::Equal);
+        check("2.0", "2_0", Ordering::Equal);
+        check("a", "a", Ordering::Equal);
+        check("a+", "a+", Ordering::Equal);
+        check("a+", "a_", Ordering::Equal);
+        check("+a", "+a", Ordering::Equal);
+        check("+a", "_a", Ordering::Equal);
+        check("+_", "_+", Ordering::Equal);
+        check("+", "_", Ordering::Equal);
+    }
+
+    #[test]
+    fn tilde_sorts_before_everything() {
+        check("1.0~rc1", "1.0~rc1", Ordering::Equal);
+        check("1.0~rc1", "1.0", Ordering::Less);
+        check("1.0~rc1", "1.0arc1", Ordering::Less);
+        check("1.0~rc1~git123", "1.0~rc1", Ordering::Less);
+        check("1.0~rc1", "1.0~rc2", Ordering::Less);
+    }
+
+    #[test]
+    fn caret_sorts_after_base_but_before_longer() {
+        check("1.0^", "1.0^", Ordering::Equal);
+        check("1.0^", "1.0", Ordering::Greater);
+        check("1.0^git1", "1.0", Ordering::Greater);
+        check("1.0^git1", "1.01", Ordering::Less);
+        check("1.0^git1", "1.0^git2", Ordering::Less);
+        check("1.0~rc1^git1", "1.0~rc1", Ordering::Greater);
+        check("1.0^git1~pre", "1.0^git1", Ordering::Less);
+    }
+
+    #[test]
+    fn rocks_era_kernel_versions() {
+        // The paper notes 16 updates to the 2.4 stable tree in one year.
+        check("2.4.9", "2.4.18", Ordering::Less);
+        check("2.4.18", "2.4.18", Ordering::Equal);
+        check("2.2.19", "2.4.2", Ordering::Less);
+    }
+
+    #[test]
+    fn evr_parsing() {
+        assert_eq!(Evr::parse("3.0.6-5"), Some(Evr::new(0, "3.0.6", "5")));
+        assert_eq!(Evr::parse("1:1.2-3"), Some(Evr::new(1, "1.2", "3")));
+        assert_eq!(Evr::parse("7.2"), Some(Evr::new(0, "7.2", "0")));
+        assert_eq!(Evr::parse(""), None);
+        assert_eq!(Evr::parse("bad:1.0"), None);
+    }
+
+    #[test]
+    fn evr_ordering_epoch_dominates() {
+        assert!(Evr::new(1, "0.1", "1") > Evr::new(0, "99.9", "9"));
+        assert!(Evr::new(0, "1.0", "2") > Evr::new(0, "1.0", "1"));
+        assert!(Evr::new(0, "1.1", "1") > Evr::new(0, "1.0", "99"));
+    }
+
+    #[test]
+    fn evr_display_round_trips() {
+        for s in ["3.0.6-5", "1:1.2-3", "2.4.18-3.7.2"] {
+            let evr = Evr::parse(s).unwrap();
+            assert_eq!(Evr::parse(&evr.to_string()).unwrap(), evr);
+        }
+    }
+
+    #[test]
+    fn leading_zero_numeric_segments() {
+        check("0.5", "00.5", Ordering::Equal);
+        check("007", "7", Ordering::Equal);
+        check("0", "00", Ordering::Equal);
+    }
+}

@@ -1,0 +1,362 @@
+//! [`Repository`]: a set of packages with the merge semantics rocks-dist
+//! depends on.
+//!
+//! A Red Hat distribution "is only a collection of RPMs" (paper §6.2), and
+//! rocks-dist builds new distributions by merging collections while
+//! "resolv\[ing\] version numbers of RPMs and only includ\[ing\] the most
+//! recent software" (§6.2.1). `Repository` is that collection type.
+
+use crate::evr::Evr;
+use crate::package::{Arch, Package};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A named collection of packages, keyed by (name, arch) with at most one
+/// version per key. Insertion applies newest-wins resolution.
+#[derive(Debug, Clone, Default)]
+pub struct Repository {
+    name: String,
+    packages: BTreeMap<(String, Arch), Package>,
+    /// Older versions displaced by newest-wins inserts; retained so update
+    /// statistics (§6.2.1) can be computed.
+    superseded: Vec<Package>,
+}
+
+/// Failures from dependency closure resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolveError {
+    /// A requested root package is not in the repository.
+    UnknownPackage(String),
+    /// A required capability has no provider.
+    MissingCapability {
+        /// Package whose requirement failed.
+        requirer: String,
+        /// The unsatisfied capability.
+        capability: String,
+    },
+}
+
+impl std::fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResolveError::UnknownPackage(p) => write!(f, "package not in repository: {p}"),
+            ResolveError::MissingCapability { requirer, capability } => {
+                write!(f, "{requirer} requires {capability}, which nothing provides")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ResolveError {}
+
+impl Repository {
+    /// Create an empty repository.
+    pub fn new(name: impl Into<String>) -> Self {
+        Repository { name: name.into(), packages: BTreeMap::new(), superseded: Vec::new() }
+    }
+
+    /// The repository's name (e.g. `redhat-7.2`, `rocks-2.2.1`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of distinct (name, arch) slots.
+    pub fn len(&self) -> usize {
+        self.packages.len()
+    }
+
+    /// True when no packages are present.
+    pub fn is_empty(&self) -> bool {
+        self.packages.is_empty()
+    }
+
+    /// Insert with newest-wins semantics. Returns `true` when the package
+    /// was stored (it was new, or strictly newer than the incumbent);
+    /// `false` when an equal-or-newer version was already present.
+    ///
+    /// A stored package's `Obsoletes:` list is honoured the way RPM does
+    /// during an upgrade: any slot whose *name* it obsoletes is removed
+    /// (every architecture), landing in [`Self::superseded`].
+    pub fn insert(&mut self, pkg: Package) -> bool {
+        let stored = match self.packages.get_mut(&pkg.key()) {
+            Some(existing) if existing.evr >= pkg.evr => {
+                self.superseded.push(pkg);
+                return false;
+            }
+            Some(existing) => {
+                let old = std::mem::replace(existing, pkg.clone());
+                self.superseded.push(old);
+                true
+            }
+            None => {
+                self.packages.insert(pkg.key(), pkg.clone());
+                true
+            }
+        };
+        if stored && !pkg.obsoletes.is_empty() {
+            let victims: Vec<(String, Arch)> = self
+                .packages
+                .keys()
+                .filter(|(name, _)| pkg.obsoletes.iter().any(|o| o == name))
+                .cloned()
+                .collect();
+            for key in victims {
+                if let Some(old) = self.packages.remove(&key) {
+                    self.superseded.push(old);
+                }
+            }
+        }
+        stored
+    }
+
+    /// Merge every package from `other`, newest-wins. Returns how many
+    /// slots ended up holding `other`'s version.
+    pub fn merge(&mut self, other: &Repository) -> usize {
+        other.iter().filter(|p| self.insert((*p).clone())).count()
+    }
+
+    /// Packages in deterministic (name, arch) order.
+    pub fn iter(&self) -> impl Iterator<Item = &Package> {
+        self.packages.values()
+    }
+
+    /// Packages whose architecture can install on `node_arch`.
+    pub fn iter_for_arch(&self, node_arch: Arch) -> impl Iterator<Item = &Package> + '_ {
+        self.packages.values().filter(move |p| p.arch.installs_on(node_arch))
+    }
+
+    /// Find the package occupying slot `(name, arch)`.
+    pub fn get(&self, name: &str, arch: Arch) -> Option<&Package> {
+        self.packages.get(&(name.to_string(), arch))
+    }
+
+    /// Find the best package for `name` installable on `node_arch`:
+    /// the most specific compatible architecture wins (athlon ≻ i686 ≻
+    /// i386 ≻ noarch), mirroring how anaconda picks optimized builds.
+    pub fn best_for(&self, name: &str, node_arch: Arch) -> Option<&Package> {
+        let mut best: Option<&Package> = None;
+        for arch in [node_arch, Arch::I686, Arch::I386, Arch::Noarch, Arch::Src] {
+            if let Some(p) = self.packages.get(&(name.to_string(), arch)) {
+                if p.arch.installs_on(node_arch) && best.is_none() {
+                    best = Some(p);
+                }
+            }
+        }
+        best
+    }
+
+    /// Current EVR for `name` on any architecture (highest across arches).
+    pub fn newest_evr(&self, name: &str) -> Option<&Evr> {
+        self.packages
+            .values()
+            .filter(|p| p.name == name)
+            .map(|p| &p.evr)
+            .max()
+    }
+
+    /// Versions displaced by newest-wins inserts since construction.
+    pub fn superseded(&self) -> &[Package] {
+        &self.superseded
+    }
+
+    /// Total compressed bytes across all packages.
+    pub fn total_size_bytes(&self) -> u64 {
+        self.packages.values().map(|p| p.size_bytes).sum()
+    }
+
+    /// Compute the dependency closure of `roots` for a node of
+    /// architecture `node_arch`: the set of packages that must be
+    /// installed so every `requires` is satisfied. This is what turns a
+    /// Kickstart `%packages` list into the actual transfer set.
+    pub fn closure(&self, roots: &[String], node_arch: Arch) -> Result<Vec<&Package>, ResolveError> {
+        // Build a capability index once.
+        let mut providers: BTreeMap<&str, Vec<&Package>> = BTreeMap::new();
+        for p in self.iter_for_arch(node_arch) {
+            providers.entry(p.name.as_str()).or_default().push(p);
+            for cap in &p.provides {
+                providers.entry(cap.as_str()).or_default().push(p);
+            }
+        }
+
+        let mut selected: BTreeSet<(String, Arch)> = BTreeSet::new();
+        let mut order: Vec<&Package> = Vec::new();
+        let mut queue: VecDeque<&Package> = VecDeque::new();
+
+        for root in roots {
+            let pkg = self
+                .best_for(root, node_arch)
+                .ok_or_else(|| ResolveError::UnknownPackage(root.clone()))?;
+            if selected.insert(pkg.key()) {
+                order.push(pkg);
+                queue.push_back(pkg);
+            }
+        }
+
+        while let Some(pkg) = queue.pop_front() {
+            for cap in &pkg.requires {
+                // Already satisfied by something selected?
+                let satisfied = order.iter().any(|p| p.provides_cap(cap));
+                if satisfied {
+                    continue;
+                }
+                let candidates = providers.get(cap.as_str()).ok_or_else(|| {
+                    ResolveError::MissingCapability {
+                        requirer: pkg.ident(),
+                        capability: cap.clone(),
+                    }
+                })?;
+                // Deterministic choice: first provider in (name, arch) order.
+                let choice = candidates[0];
+                if selected.insert(choice.key()) {
+                    order.push(choice);
+                    queue.push_back(choice);
+                }
+            }
+        }
+        Ok(order)
+    }
+}
+
+impl<'a> IntoIterator for &'a Repository {
+    type Item = &'a Package;
+    type IntoIter = std::collections::btree_map::Values<'a, (String, Arch), Package>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.packages.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::package::PackageKind;
+
+    fn pkg(name: &str, evr: &str) -> Package {
+        Package::builder(name, evr).build()
+    }
+
+    #[test]
+    fn newest_wins_on_insert() {
+        let mut repo = Repository::new("test");
+        assert!(repo.insert(pkg("glibc", "2.2.4-13")));
+        assert!(repo.insert(pkg("glibc", "2.2.4-19"))); // update wins
+        assert!(!repo.insert(pkg("glibc", "2.2.4-13"))); // stale loses
+        assert_eq!(repo.len(), 1);
+        assert_eq!(repo.newest_evr("glibc").unwrap(), &Evr::parse("2.2.4-19").unwrap());
+        assert_eq!(repo.superseded().len(), 2);
+    }
+
+    #[test]
+    fn merge_counts_updates() {
+        let mut base = Repository::new("redhat-7.2");
+        base.insert(pkg("glibc", "2.2.4-13"));
+        base.insert(pkg("dev", "3.0.6-5"));
+        let mut updates = Repository::new("updates");
+        updates.insert(pkg("glibc", "2.2.4-19"));
+        updates.insert(pkg("openssh", "2.9p2-12"));
+        let changed = base.merge(&updates);
+        assert_eq!(changed, 2); // one update + one new package
+        assert_eq!(base.len(), 3);
+    }
+
+    #[test]
+    fn per_arch_slots_are_distinct() {
+        let mut repo = Repository::new("test");
+        repo.insert(Package::builder("kernel", "2.4.9-31").arch(Arch::I686).build());
+        repo.insert(Package::builder("kernel", "2.4.9-31").arch(Arch::Athlon).build());
+        assert_eq!(repo.len(), 2);
+    }
+
+    #[test]
+    fn best_for_prefers_specific_arch() {
+        let mut repo = Repository::new("test");
+        repo.insert(Package::builder("kernel", "2.4.9-31").arch(Arch::I386).build());
+        repo.insert(Package::builder("kernel", "2.4.9-31").arch(Arch::Athlon).build());
+        assert_eq!(repo.best_for("kernel", Arch::Athlon).unwrap().arch, Arch::Athlon);
+        assert_eq!(repo.best_for("kernel", Arch::I686).unwrap().arch, Arch::I386);
+        // IA-64 node cannot use either build.
+        assert!(repo.best_for("kernel", Arch::Ia64).is_none());
+    }
+
+    #[test]
+    fn closure_pulls_requirements_transitively() {
+        let mut repo = Repository::new("test");
+        repo.insert(Package::builder("mpich", "1.2.1-1").requires("libc").kind(PackageKind::Library).build());
+        repo.insert(Package::builder("glibc", "2.2.4-19").provides("libc").build());
+        repo.insert(Package::builder("gcc", "2.96-98").requires("binutils").build());
+        repo.insert(pkg("binutils", "2.11.90-1"));
+        repo.insert(pkg("unrelated", "1-1"));
+        let closure = repo.closure(&["mpich".into(), "gcc".into()], Arch::I386).unwrap();
+        let names: Vec<_> = closure.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, ["mpich", "gcc", "glibc", "binutils"]);
+    }
+
+    #[test]
+    fn closure_reports_missing_capability() {
+        let mut repo = Repository::new("test");
+        repo.insert(Package::builder("pbs", "2.3.12-1").requires("tcl").build());
+        let err = repo.closure(&["pbs".into()], Arch::I386).unwrap_err();
+        assert!(matches!(err, ResolveError::MissingCapability { capability, .. } if capability == "tcl"));
+    }
+
+    #[test]
+    fn closure_reports_unknown_root() {
+        let repo = Repository::new("test");
+        let err = repo.closure(&["ghost".into()], Arch::I386).unwrap_err();
+        assert_eq!(err, ResolveError::UnknownPackage("ghost".into()));
+    }
+
+    #[test]
+    fn closure_is_deterministic() {
+        let mut repo = Repository::new("test");
+        for n in ["a", "b", "c", "d"] {
+            repo.insert(Package::builder(n, "1-1").provides("cap").build());
+        }
+        repo.insert(Package::builder("root", "1-1").requires("cap").build());
+        let c1: Vec<_> =
+            repo.closure(&["root".into()], Arch::I386).unwrap().iter().map(|p| p.ident()).collect();
+        let c2: Vec<_> =
+            repo.closure(&["root".into()], Arch::I386).unwrap().iter().map(|p| p.ident()).collect();
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn obsoletes_removes_replaced_slot() {
+        // Red Hat renamed `dhcpd` to `dhcp`; the new package obsoletes
+        // the old so upgrades drop it.
+        let mut repo = Repository::new("test");
+        repo.insert(Package::builder("dhcpd", "1.0-1").build());
+        repo.insert(Package::builder("dhcp", "2.0pl5-1").obsoletes("dhcpd").build());
+        assert!(repo.get("dhcpd", Arch::I386).is_none());
+        assert!(repo.get("dhcp", Arch::I386).is_some());
+        assert!(repo.superseded().iter().any(|p| p.name == "dhcpd"));
+        assert_eq!(repo.len(), 1);
+    }
+
+    #[test]
+    fn stale_obsoleter_does_not_remove_anything() {
+        let mut repo = Repository::new("test");
+        repo.insert(Package::builder("dhcp", "3.0-1").build());
+        repo.insert(Package::builder("victim", "1.0-1").build());
+        // An older dhcp that claims to obsolete `victim` loses the
+        // version race and must have no side effects.
+        assert!(!repo.insert(Package::builder("dhcp", "2.0-1").obsoletes("victim").build()));
+        assert!(repo.get("victim", Arch::I386).is_some());
+    }
+
+    #[test]
+    fn obsoletes_sweeps_all_architectures() {
+        let mut repo = Repository::new("test");
+        repo.insert(Package::builder("kernel-old", "2.2.19-1").arch(Arch::I686).build());
+        repo.insert(Package::builder("kernel-old", "2.2.19-1").arch(Arch::Athlon).build());
+        repo.insert(Package::builder("kernel", "2.4.9-31").obsoletes("kernel-old").build());
+        assert!(repo.get("kernel-old", Arch::I686).is_none());
+        assert!(repo.get("kernel-old", Arch::Athlon).is_none());
+    }
+
+    #[test]
+    fn total_size_sums_packages() {
+        let mut repo = Repository::new("test");
+        repo.insert(Package::builder("a", "1-1").size(100).build());
+        repo.insert(Package::builder("b", "1-1").size(250).build());
+        assert_eq!(repo.total_size_bytes(), 350);
+    }
+}

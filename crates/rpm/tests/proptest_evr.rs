@@ -1,0 +1,108 @@
+//! Property tests for the rpmvercmp ordering: it must be a total order
+//! (antisymmetric, transitive on sampled triples) and agree with numeric
+//! comparison on plain integers, or newest-wins resolution in rocks-dist
+//! would mis-sort vendor updates.
+
+use proptest::prelude::*;
+use rocks_rpm::{rpmvercmp, Evr};
+use std::cmp::Ordering;
+
+/// Version-like strings: digit/alpha segments joined by separators, with
+/// occasional tildes and carets.
+fn version_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            "[0-9]{1,4}".prop_map(|s| s),
+            "[a-z]{1,4}".prop_map(|s| s),
+            Just(".".to_string()),
+            Just("-".to_string()),
+            Just("_".to_string()),
+            Just("~".to_string()),
+            Just("^".to_string()),
+        ],
+        1..8,
+    )
+    .prop_map(|parts| parts.concat())
+}
+
+proptest! {
+    #[test]
+    fn antisymmetric(a in version_strategy(), b in version_strategy()) {
+        prop_assert_eq!(rpmvercmp(&a, &b), rpmvercmp(&b, &a).reverse());
+    }
+
+    #[test]
+    fn reflexive(a in version_strategy()) {
+        prop_assert_eq!(rpmvercmp(&a, &a), Ordering::Equal);
+    }
+
+    #[test]
+    fn transitive_on_sampled_triples(
+        a in version_strategy(),
+        b in version_strategy(),
+        c in version_strategy(),
+    ) {
+        let ab = rpmvercmp(&a, &b);
+        let bc = rpmvercmp(&b, &c);
+        if ab == bc && ab != Ordering::Equal {
+            prop_assert_eq!(rpmvercmp(&a, &c), ab,
+                "transitivity violated: {:?} {:?} {:?}", a, b, c);
+        }
+        if ab == Ordering::Equal {
+            prop_assert_eq!(rpmvercmp(&b, &c), rpmvercmp(&a, &c),
+                "equal substitution violated: {:?} {:?} {:?}", a, b, c);
+        }
+    }
+
+    #[test]
+    fn agrees_with_integers(a in 0u64..100_000, b in 0u64..100_000) {
+        prop_assert_eq!(rpmvercmp(&a.to_string(), &b.to_string()), a.cmp(&b));
+    }
+
+    #[test]
+    fn dotted_numeric_agrees_with_tuple_order(
+        a in proptest::collection::vec(0u32..999, 1..4),
+        b in proptest::collection::vec(0u32..999, 1..4),
+    ) {
+        let sa = a.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(".");
+        let sb = b.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(".");
+        // Tuple comparison where a strict prefix is older — exactly RPM's rule.
+        let expected = {
+            let mut ord = Ordering::Equal;
+            for (x, y) in a.iter().zip(&b) {
+                ord = x.cmp(y);
+                if ord != Ordering::Equal { break; }
+            }
+            if ord == Ordering::Equal { a.len().cmp(&b.len()) } else { ord }
+        };
+        prop_assert_eq!(rpmvercmp(&sa, &sb), expected, "{} vs {}", sa, sb);
+    }
+
+    #[test]
+    fn evr_parse_display_round_trip(
+        epoch in 0u32..5,
+        v in "[0-9]{1,3}(\\.[0-9]{1,3}){0,2}",
+        r in "[0-9]{1,3}",
+    ) {
+        let evr = Evr::new(epoch, v, r);
+        let parsed = Evr::parse(&evr.to_string()).unwrap();
+        prop_assert_eq!(parsed, evr);
+    }
+
+    #[test]
+    fn epoch_always_dominates(
+        e1 in 0u32..3, e2 in 0u32..3,
+        v1 in version_strategy(), v2 in version_strategy(),
+    ) {
+        let a = Evr::new(e1, v1, "1");
+        let b = Evr::new(e2, v2, "1");
+        if e1 != e2 {
+            prop_assert_eq!(a.cmp(&b), e1.cmp(&e2));
+        }
+    }
+
+    #[test]
+    fn rpmvercmp_never_panics(a in ".{0,32}", b in ".{0,32}") {
+        let _ = rpmvercmp(&a, &b);
+    }
+}

@@ -1,0 +1,208 @@
+#![warn(missing_docs)]
+
+//! An embedded mini-SQL engine: the reproduction's stand-in for MySQL.
+//!
+//! Rocks keeps all "global knowledge" of the cluster in a MySQL database
+//! (paper §6.4) and deliberately exposes *raw SQL* to administrators:
+//! management scripts accept `--query="select nodes.name from
+//! nodes,memberships where ..."`, including multi-table joins. Faithfully
+//! reproducing that interface requires an actual SQL engine, not a typed
+//! key-value store — so this crate implements one, sized to the subset the
+//! paper exercises:
+//!
+//! * `CREATE TABLE t (col INT, col TEXT, ...)`
+//! * `INSERT INTO t [(cols)] VALUES (...), (...)`
+//! * `SELECT cols FROM t1, t2, ... [WHERE expr] [GROUP BY cols]
+//!   [ORDER BY col [DESC]] [LIMIT n]` with qualified names
+//!   (`nodes.name`), comparison operators, `AND`/`OR`, `NOT`,
+//!   parentheses, `LIKE` patterns, `IS [NOT] NULL`, and the aggregates
+//!   `COUNT(*)`, `MIN(col)`, `MAX(col)`, `SUM(col)` — grouped or global
+//! * `UPDATE t SET col = expr [WHERE expr]`
+//! * `DELETE FROM t [WHERE expr]`
+//!
+//! # Example — the paper's own query (§6.4)
+//!
+//! ```
+//! use rocks_sql::Database;
+//!
+//! let mut db = Database::new();
+//! db.execute("create table nodes (name text, membership int)").unwrap();
+//! db.execute("create table memberships (id int, name text)").unwrap();
+//! db.execute("insert into nodes values ('compute-0-0', 2)").unwrap();
+//! db.execute("insert into memberships values (2, 'Compute')").unwrap();
+//!
+//! let rows = db.query(
+//!     "select nodes.name from nodes,memberships where \
+//!      nodes.membership = memberships.id and memberships.name = 'Compute'",
+//! ).unwrap();
+//! assert_eq!(rows.rows[0][0].as_text(), Some("compute-0-0"));
+//! ```
+
+pub mod ast;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+pub mod table;
+pub mod value;
+
+pub use ast::Statement;
+pub use exec::{ExecOutcome, QueryResult};
+pub use table::{Column, ColumnType, Table};
+pub use value::Value;
+
+use std::collections::BTreeMap;
+
+/// Errors from any stage of statement processing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlError {
+    /// Tokenizer-level problem (unterminated string, stray character).
+    Lex(String),
+    /// Grammar-level problem.
+    Parse(String),
+    /// Unknown table.
+    NoSuchTable(String),
+    /// Unknown column, with the name as written.
+    NoSuchColumn(String),
+    /// Ambiguous unqualified column in a join.
+    AmbiguousColumn(String),
+    /// Table already exists.
+    TableExists(String),
+    /// Wrong arity or type in an INSERT/UPDATE.
+    TypeMismatch(String),
+    /// Anything else (e.g. aggregate misuse).
+    Unsupported(String),
+}
+
+impl std::fmt::Display for SqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SqlError::Lex(m) => write!(f, "lex error: {m}"),
+            SqlError::Parse(m) => write!(f, "parse error: {m}"),
+            SqlError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            SqlError::NoSuchColumn(c) => write!(f, "no such column: {c}"),
+            SqlError::AmbiguousColumn(c) => write!(f, "ambiguous column: {c}"),
+            SqlError::TableExists(t) => write!(f, "table already exists: {t}"),
+            SqlError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+            SqlError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// Result alias for SQL operations.
+pub type Result<T> = std::result::Result<T, SqlError>;
+
+/// An in-memory database: a set of named tables.
+#[derive(Debug, Default, Clone)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    /// Create an empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Parse and execute one statement of any kind.
+    pub fn execute(&mut self, sql: &str) -> Result<ExecOutcome> {
+        let stmt = parser::parse(sql)?;
+        exec::execute(self, stmt)
+    }
+
+    /// Execute a statement expected to produce rows (a `SELECT`); errors
+    /// if the statement was a write.
+    pub fn query(&mut self, sql: &str) -> Result<QueryResult> {
+        match self.execute(sql)? {
+            ExecOutcome::Rows(result) => Ok(result),
+            ExecOutcome::Written { .. } => {
+                Err(SqlError::Unsupported("statement did not return rows".into()))
+            }
+        }
+    }
+
+    /// Convenience: run a query and return the first column of every row
+    /// rendered as text. This is exactly how `cluster-kill --query=...`
+    /// consumes results (paper §6.4): a list of node names.
+    pub fn query_column(&mut self, sql: &str) -> Result<Vec<String>> {
+        let result = self.query(sql)?;
+        Ok(result
+            .rows
+            .iter()
+            .filter_map(|row| row.first())
+            .map(|v| v.render())
+            .collect())
+    }
+
+    /// Look up a table by (case-insensitive) name.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(&name.to_ascii_lowercase())
+    }
+
+    /// Mutable table lookup.
+    pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
+        self.tables.get_mut(&name.to_ascii_lowercase())
+    }
+
+    /// Register a table built programmatically.
+    pub fn add_table(&mut self, table: Table) -> Result<()> {
+        let key = table.name().to_ascii_lowercase();
+        if self.tables.contains_key(&key) {
+            return Err(SqlError::TableExists(table.name().to_string()));
+        }
+        self.tables.insert(key, table);
+        Ok(())
+    }
+
+    /// Remove a table (no-op if absent). Returns whether it existed.
+    pub fn remove_table(&mut self, name: &str) -> bool {
+        self.tables.remove(&name.to_ascii_lowercase()).is_some()
+    }
+
+    /// Names of all tables, sorted.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.values().map(|t| t.name()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_paper_join() {
+        let mut db = Database::new();
+        db.execute(
+            "create table nodes (id int, name text, membership int, rack int, rank int)",
+        )
+        .unwrap();
+        db.execute("create table memberships (id int, name text, compute text)").unwrap();
+        db.execute("insert into nodes values (1, 'frontend-0', 1, 0, 0)").unwrap();
+        db.execute("insert into nodes values (4, 'compute-0-0', 2, 0, 0)").unwrap();
+        db.execute("insert into nodes values (5, 'compute-0-1', 2, 0, 1)").unwrap();
+        db.execute("insert into memberships values (1, 'Frontend', 'no')").unwrap();
+        db.execute("insert into memberships values (2, 'Compute', 'yes')").unwrap();
+
+        // The exact query from §6.4's cluster-kill example.
+        let names = db
+            .query_column(
+                "select nodes.name from nodes,memberships where \
+                 nodes.membership = memberships.id and \
+                 memberships.name = 'Compute'",
+            )
+            .unwrap();
+        assert_eq!(names, vec!["compute-0-0", "compute-0-1"]);
+
+        // And the simpler rack-targeted form.
+        let names = db.query_column("select name from nodes where rack=0 and rank=1").unwrap();
+        assert_eq!(names, vec!["compute-0-1"]);
+    }
+
+    #[test]
+    fn query_on_write_statement_errors() {
+        let mut db = Database::new();
+        db.execute("create table t (x int)").unwrap();
+        assert!(db.query("insert into t values (1)").is_err());
+    }
+}

@@ -1,0 +1,199 @@
+//! Table storage: a schema plus rows.
+
+use crate::value::Value;
+use crate::{Result, SqlError};
+
+/// Declared column types. Storage is dynamically typed (every cell is a
+/// [`Value`]), but INSERT/UPDATE coerce or reject against the declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    /// 64-bit integer.
+    Int,
+    /// String.
+    Text,
+}
+
+/// A column declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Lower-cased name.
+    pub name: String,
+    /// Declared type.
+    pub ty: ColumnType,
+}
+
+/// An in-memory table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    name: String,
+    columns: Vec<Column>,
+    rows: Vec<Vec<Value>>,
+}
+
+impl Table {
+    /// Create an empty table; names are lower-cased for case-insensitive
+    /// lookup (MySQL on Linux is case-sensitive for table names but the
+    /// Rocks tooling always writes lowercase).
+    pub fn new(name: impl Into<String>, columns: Vec<(String, ColumnType)>) -> Self {
+        Table {
+            name: name.into().to_ascii_lowercase(),
+            columns: columns
+                .into_iter()
+                .map(|(name, ty)| Column { name: name.to_ascii_lowercase(), ty })
+                .collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Table name (lower-cased).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Column declarations in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Index of a column by case-insensitive name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+
+    /// Mutable rows (used by UPDATE/DELETE execution).
+    pub(crate) fn rows_mut(&mut self) -> &mut Vec<Vec<Value>> {
+        &mut self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Validate and coerce a value against a column's declared type.
+    /// Ints are accepted into TEXT columns (rendered), and integer-shaped
+    /// strings into INT columns — matching MySQL's forgiving coercion that
+    /// the Rocks scripts rely on.
+    pub fn coerce(column: &Column, value: Value) -> Result<Value> {
+        match (column.ty, value) {
+            (_, Value::Null) => Ok(Value::Null),
+            (ColumnType::Int, Value::Int(n)) => Ok(Value::Int(n)),
+            (ColumnType::Text, Value::Text(s)) => Ok(Value::Text(s)),
+            (ColumnType::Text, Value::Int(n)) => Ok(Value::Text(n.to_string())),
+            (ColumnType::Int, Value::Text(s)) => match s.trim().parse::<i64>() {
+                Ok(n) => Ok(Value::Int(n)),
+                Err(_) => Err(SqlError::TypeMismatch(format!(
+                    "cannot store {s:?} in INT column {}",
+                    column.name
+                ))),
+            },
+        }
+    }
+
+    /// Append a full-width row, coercing each value.
+    pub fn insert_row(&mut self, values: Vec<Value>) -> Result<()> {
+        if values.len() != self.columns.len() {
+            return Err(SqlError::TypeMismatch(format!(
+                "table {} has {} columns but {} values were supplied",
+                self.name,
+                self.columns.len(),
+                values.len()
+            )));
+        }
+        let row = self
+            .columns
+            .iter()
+            .zip(values)
+            .map(|(col, v)| Self::coerce(col, v))
+            .collect::<Result<Vec<Value>>>()?;
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Append a row given a subset of named columns; unnamed columns get
+    /// NULL.
+    pub fn insert_named(&mut self, names: &[String], values: Vec<Value>) -> Result<()> {
+        if names.len() != values.len() {
+            return Err(SqlError::TypeMismatch(format!(
+                "{} columns named but {} values supplied",
+                names.len(),
+                values.len()
+            )));
+        }
+        let mut row = vec![Value::Null; self.columns.len()];
+        for (name, value) in names.iter().zip(values) {
+            let idx = self
+                .column_index(name)
+                .ok_or_else(|| SqlError::NoSuchColumn(format!("{}.{name}", self.name)))?;
+            row[idx] = Self::coerce(&self.columns[idx], value)?;
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Table {
+        Table::new(
+            "Nodes",
+            vec![("ID".into(), ColumnType::Int), ("Name".into(), ColumnType::Text)],
+        )
+    }
+
+    #[test]
+    fn names_are_lowercased() {
+        let table = t();
+        assert_eq!(table.name(), "nodes");
+        assert_eq!(table.columns()[0].name, "id");
+        assert_eq!(table.column_index("ID"), Some(0));
+        assert_eq!(table.column_index("nAmE"), Some(1));
+        assert_eq!(table.column_index("missing"), None);
+    }
+
+    #[test]
+    fn insert_row_coerces() {
+        let mut table = t();
+        table.insert_row(vec![Value::Text(" 7 ".into()), Value::Int(3)]).unwrap();
+        assert_eq!(table.rows()[0], vec![Value::Int(7), Value::Text("3".into())]);
+    }
+
+    #[test]
+    fn insert_row_rejects_bad_int() {
+        let mut table = t();
+        let err = table.insert_row(vec![Value::Text("abc".into()), Value::Null]).unwrap_err();
+        assert!(matches!(err, SqlError::TypeMismatch(_)));
+    }
+
+    #[test]
+    fn insert_row_arity_checked() {
+        let mut table = t();
+        assert!(table.insert_row(vec![Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn insert_named_fills_nulls() {
+        let mut table = t();
+        table.insert_named(&["name".into()], vec![Value::Text("compute-0-0".into())]).unwrap();
+        assert_eq!(table.rows()[0], vec![Value::Null, Value::Text("compute-0-0".into())]);
+    }
+
+    #[test]
+    fn insert_named_unknown_column() {
+        let mut table = t();
+        let err = table.insert_named(&["bogus".into()], vec![Value::Int(1)]).unwrap_err();
+        assert!(matches!(err, SqlError::NoSuchColumn(_)));
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests: parse ∘ write = identity on generated documents, and the
+//! parser never panics on arbitrary input.
+
+use proptest::prelude::*;
+use rocks_xml::{write_document, Document, Element, Node, WriteStyle};
+
+/// Generate plausible element/attribute names.
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z_][a-zA-Z0-9_.-]{0,11}"
+}
+
+/// Text content with XML-special characters mixed in.
+fn text_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just("&".to_string()),
+            Just("<".to_string()),
+            Just(">".to_string()),
+            Just("\"".to_string()),
+            Just("'".to_string()),
+            "[ -~]{1,8}".prop_map(|s| s),
+            Just("π∞".to_string()),
+        ],
+        0..6,
+    )
+    .prop_map(|parts| parts.concat())
+}
+
+fn element_strategy() -> impl Strategy<Value = Element> {
+    let leaf = (name_strategy(), proptest::collection::vec((name_strategy(), text_strategy()), 0..3), text_strategy())
+        .prop_map(|(name, attrs, text)| {
+            let mut el = Element::new(name);
+            let mut seen = std::collections::HashSet::new();
+            for (n, v) in attrs {
+                // The parser rejects duplicate attributes (case-insensitive),
+                // so only generate unique names.
+                if seen.insert(n.to_ascii_lowercase()) {
+                    el.set_attr(n, v);
+                }
+            }
+            if !text.is_empty() {
+                el.push(Node::Text(text));
+            }
+            el
+        });
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (name_strategy(), proptest::collection::vec(inner, 0..4)).prop_map(|(name, children)| {
+            let mut el = Element::new(name);
+            for c in children {
+                el.push(Node::Element(c));
+            }
+            el
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn compact_write_then_parse_is_identity(root in element_strategy()) {
+        let doc = Document::from_root(root);
+        let text = write_document(&doc, WriteStyle::Compact);
+        let reparsed = Document::parse(&text).unwrap();
+        prop_assert_eq!(doc.root(), reparsed.root());
+    }
+
+    #[test]
+    fn pretty_write_preserves_structure_names(root in element_strategy()) {
+        let doc = Document::from_root(root);
+        let text = write_document(&doc, WriteStyle::Pretty);
+        let reparsed = Document::parse(&text).unwrap();
+        // Pretty printing may normalize whitespace between elements, but
+        // names, attributes, and element counts must be identical.
+        type Attrs = Vec<(String, String)>;
+        fn skeleton(e: &rocks_xml::Element) -> (String, Attrs, Vec<Box<(String, Attrs)>>) {
+            (
+                e.name().to_string(),
+                e.attrs().to_vec(),
+                e.all_elements()
+                    .map(|c| Box::new((c.name().to_string(), c.attrs().to_vec())))
+                    .collect(),
+            )
+        }
+        prop_assert_eq!(skeleton(doc.root()), skeleton(reparsed.root()));
+    }
+
+    #[test]
+    fn parser_never_panics(input in ".{0,256}") {
+        let _ = Document::parse(&input);
+    }
+
+    #[test]
+    fn parser_never_panics_on_taggy_input(
+        input in proptest::collection::vec(
+            prop_oneof![
+                Just("<".to_string()), Just(">".to_string()), Just("/".to_string()),
+                Just("&".to_string()), Just(";".to_string()), Just("=".to_string()),
+                Just("\"".to_string()), Just("<!--".to_string()), Just("-->".to_string()),
+                Just("<![CDATA[".to_string()), Just("]]>".to_string()),
+                "[a-z ]{1,6}".prop_map(|s| s),
+            ],
+            0..32,
+        )
+    ) {
+        let _ = Document::parse(&input.concat());
+    }
+}

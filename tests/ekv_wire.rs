@@ -1,0 +1,81 @@
+//! eKV over the real wire: a simulated install's transcript served on a
+//! TCP port, consumed by a shoot-node-style watcher, with interactive
+//! input flowing back — the full §6.3 loop across crates.
+
+use rocks::ekv::{watch_lines, EkvServer};
+use rocks::netsim::{ClusterSim, SimConfig};
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+#[test]
+fn full_install_transcript_streams_over_tcp() {
+    // Produce a real install transcript.
+    let cfg = SimConfig::paper_testbed(3).bundled(10);
+    let mut sim = ClusterSim::new(cfg, 1);
+    sim.run_reinstall();
+    let transcript: Vec<String> =
+        sim.node(0).log.iter().map(|l| l.text.clone()).collect();
+    let expected = transcript.len();
+
+    // Node side.
+    let server = EkvServer::start().expect("bind");
+    let addr = server.addr();
+    let publisher = std::thread::spawn(move || {
+        for line in &transcript {
+            server.publish(line);
+        }
+        server.publish("== install complete ==");
+        std::thread::sleep(Duration::from_millis(200));
+        server
+    });
+
+    // Watcher side: stream everything, stop at the completion marker.
+    let mut seen = Vec::new();
+    let count = watch_lines(
+        addr,
+        Duration::from_secs(5),
+        |line| seen.push(line.to_string()),
+        |line| line.starts_with("== install complete"),
+    )
+    .expect("watch");
+    let server = publisher.join().expect("publisher");
+    assert_eq!(count, expected + 1);
+    assert!(seen.iter().any(|l| l.contains("requesting kickstart")));
+    assert!(seen.iter().any(|l| l.contains("[10/10]")), "per-package progress missing");
+    assert!(seen.first().unwrap().contains("power on"), "backlog replay must start at boot");
+
+    // Interactive path: the watcher types back into the install.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    writeln!(stream, "ok").expect("send");
+    stream.flush().expect("flush");
+    assert_eq!(
+        server.wait_input(Duration::from_secs(5)).as_deref(),
+        Some("ok"),
+        "watcher input must reach the installer"
+    );
+}
+
+#[test]
+fn two_watchers_see_identical_streams() {
+    let server = EkvServer::start().expect("bind");
+    let addr = server.addr();
+    for i in 0..20 {
+        server.publish(&format!("line {i}"));
+    }
+    let watch = |addr| {
+        let mut lines = Vec::new();
+        watch_lines(
+            addr,
+            Duration::from_millis(300),
+            |l| lines.push(l.to_string()),
+            |l| l == "line 19",
+        )
+        .expect("watch");
+        lines
+    };
+    let a = watch(addr);
+    let b = watch(addr);
+    assert_eq!(a, b);
+    assert_eq!(a.len(), 20);
+}
