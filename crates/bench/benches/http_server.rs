@@ -1,15 +1,21 @@
-//! §6.3 micro-benchmark plus the Gigabit and replication projections.
+//! §6.3 micro-benchmark plus the Gigabit and replication projections,
+//! and the end-to-end reinstall pipeline (Kickstart generation service
+//! feeding the simulated HTTP install server).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rocks_kickstart::{profiles, GenerationService, KickstartGenerator};
 use rocks_netsim::cluster::{max_full_speed_concurrency, serial_download_benchmark};
+use rocks_netsim::reinstall::{mass_reinstall, provision_cluster};
 use rocks_netsim::SimConfig;
+use rocks_rpm::Arch;
 
 fn bench_serial_download(c: &mut Criterion) {
     let cfg = SimConfig::paper_testbed(1);
-    println!("micro: serial download sources {:.1} MB/s (paper: 7-8)", serial_download_benchmark(&cfg));
-    c.bench_function("serial_download_micro", |b| {
-        b.iter(|| serial_download_benchmark(&cfg))
-    });
+    println!(
+        "micro: serial download sources {:.1} MB/s (paper: 7-8)",
+        serial_download_benchmark(&cfg)
+    );
+    c.bench_function("serial_download_micro", |b| b.iter(|| serial_download_benchmark(&cfg)));
 }
 
 fn bench_full_speed_search(c: &mut Criterion) {
@@ -17,7 +23,10 @@ fn bench_full_speed_search(c: &mut Criterion) {
     group.sample_size(10);
     let fast = max_full_speed_concurrency(&|s| SimConfig::paper_testbed(s).bundled(12), 0.05, 256);
     let gige = max_full_speed_concurrency(&|s| SimConfig::gige(s).bundled(12), 0.05, 256);
-    println!("full-speed: fast-ethernet {fast} nodes, gige {gige} nodes ({:.1}x; paper 7.0-9.5x)", gige as f64 / fast as f64);
+    println!(
+        "full-speed: fast-ethernet {fast} nodes, gige {gige} nodes ({:.1}x; paper 7.0-9.5x)",
+        gige as f64 / fast as f64
+    );
     for (name, make) in [
         ("fast_ethernet", (|s| SimConfig::paper_testbed(s).bundled(12)) as fn(u64) -> SimConfig),
         ("gige", (|s| SimConfig::gige(s).bundled(12)) as fn(u64) -> SimConfig),
@@ -31,5 +40,43 @@ fn bench_full_speed_search(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_serial_download, bench_full_speed_search);
+/// Table I, end to end: the frontend generates every node's profile
+/// through the shared service (worker pool), then the simulated HTTP
+/// server feeds the reinstall storm. The generation side rides the
+/// skeleton cache, so the sweep stresses the localization + simulation
+/// path rather than repeated graph traversals.
+fn bench_mass_reinstall_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mass_reinstall_pipeline");
+    group.sample_size(10);
+    for nodes in [32usize, 128] {
+        let db = provision_cluster(nodes);
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &db, |b, db| {
+            let service = GenerationService::new(KickstartGenerator::new(
+                profiles::default_profiles(),
+                "10.1.1.1",
+                "install/rocks-dist",
+            ));
+            b.iter(|| {
+                let report = mass_reinstall(
+                    SimConfig::paper_testbed(1).bundled(12),
+                    db,
+                    &service,
+                    Arch::I686,
+                    8,
+                )
+                .unwrap();
+                assert_eq!(report.result.completed(), nodes);
+                report.result.total_seconds
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_serial_download,
+    bench_full_speed_search,
+    bench_mass_reinstall_pipeline
+);
 criterion_main!(benches);

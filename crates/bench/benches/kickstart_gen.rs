@@ -1,42 +1,47 @@
 //! §6.1: on-the-fly Kickstart generation — the CGI path every installing
 //! node hits. The paper's flow (SQL lookups + graph traversal + render)
-//! must be fast enough to feed 32 simultaneous installers.
+//! must be fast enough to feed 32 simultaneous installers; the caching
+//! generation service must beat it by a wide margin on mass reinstalls.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rocks_db::insert_ethers::{register_frontend, DhcpRequest, InsertEthers};
 use rocks_db::ClusterDb;
-use rocks_kickstart::{profiles, KickstartGenerator};
+use rocks_kickstart::{profiles, GenerationService, KickstartGenerator};
 use rocks_rpm::Arch;
 
-fn setup() -> (KickstartGenerator, ClusterDb) {
-    let generator =
-        KickstartGenerator::new(profiles::default_profiles(), "10.1.1.1", "install/rocks-dist");
+fn generator() -> KickstartGenerator {
+    KickstartGenerator::new(profiles::default_profiles(), "10.1.1.1", "install/rocks-dist")
+}
+
+fn cluster_db(computes: usize) -> ClusterDb {
     let mut db = ClusterDb::new();
     register_frontend(&mut db, "00:30:c1:d8:ac:80", "frontend-0").unwrap();
     let mut session = InsertEthers::start(&mut db, "Compute", 0).unwrap();
-    for i in 0..32 {
-        session.observe(&DhcpRequest { mac: format!("00:50:8b:e0:00:{i:02x}") }).unwrap();
+    for i in 0..computes {
+        session
+            .observe(&DhcpRequest { mac: format!("00:50:8b:e0:{:02x}:{:02x}", i / 256, i % 256) })
+            .unwrap();
     }
-    (generator, db)
+    db
 }
 
 fn bench_kickstart(c: &mut Criterion) {
-    let (generator, mut db) = setup();
+    let generator = generator();
+    let db = cluster_db(32);
 
-    c.bench_function("parse_default_profiles", |b| {
-        b.iter(profiles::default_profiles)
-    });
+    c.bench_function("parse_default_profiles", |b| b.iter(profiles::default_profiles));
 
     c.bench_function("generate_compute_appliance", |b| {
         b.iter(|| generator.generate_for_appliance("compute", Arch::I686).unwrap())
     });
 
     c.bench_function("cgi_request_flow", |b| {
-        b.iter(|| {
-            generator
-                .generate_for_request(&mut db, "10.255.255.254", Arch::I686)
-                .unwrap()
-        })
+        b.iter(|| generator.generate_for_request(&db, "10.255.255.254", Arch::I686).unwrap())
+    });
+
+    c.bench_function("cgi_request_flow_cached", |b| {
+        let service = GenerationService::new(self::generator());
+        b.iter(|| service.generate_for_request(&db, "10.255.255.254", Arch::I686).unwrap())
     });
 
     c.bench_function("render_kickstart_text", |b| {
@@ -45,5 +50,53 @@ fn bench_kickstart(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_kickstart);
+/// The acceptance experiment: a 128-node single-appliance cluster,
+/// generated cold (the paper's per-request CGI path) versus through the
+/// caching service, sequentially and on a worker pool.
+fn bench_mass_generation(c: &mut Criterion) {
+    let db = cluster_db(128);
+    let generator = generator();
+    let targets: Vec<String> =
+        db.compute_nodes().unwrap().iter().map(|n| n.ip.to_string()).collect();
+    assert_eq!(targets.len(), 128);
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!(
+        "mass_generation_128: host has {cores} core(s) — parallel variants only \
+         outrun cached_sequential when cores > 1 (thread spawn is pure overhead \
+         on a single-core host)"
+    );
+
+    let mut group = c.benchmark_group("mass_generation_128");
+    group.sample_size(10);
+
+    group.bench_function("cold_sequential", |b| {
+        b.iter(|| {
+            let profiles: Vec<_> = targets
+                .iter()
+                .map(|ip| generator.generate_for_request(&db, ip, Arch::I686).unwrap())
+                .collect();
+            profiles.len()
+        })
+    });
+
+    group.bench_function("cached_sequential", |b| {
+        let service = GenerationService::new(self::generator());
+        b.iter(|| service.generate_all(&db, Arch::I686, 1).unwrap().len())
+    });
+
+    for threads in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("cached_parallel", threads),
+            &threads,
+            |b, &threads| {
+                let service = GenerationService::new(self::generator());
+                b.iter(|| service.generate_all(&db, Arch::I686, threads).unwrap().len())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kickstart, bench_mass_generation);
 criterion_main!(benches);

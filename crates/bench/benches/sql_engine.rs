@@ -20,7 +20,7 @@ fn cluster_db(n: usize) -> ClusterDb {
 fn bench_sql(c: &mut Criterion) {
     let mut group = c.benchmark_group("cluster_db");
     for &n in &[32usize, 128, 512] {
-        let mut db = cluster_db(n);
+        let db = cluster_db(n);
         group.bench_with_input(BenchmarkId::new("compute_join", n), &n, |b, _| {
             b.iter(|| {
                 db.query_names(
@@ -45,7 +45,12 @@ fn bench_sql(c: &mut Criterion) {
             let mut session = InsertEthers::start(&mut db, "Compute", 1).unwrap();
             session
                 .observe(&DhcpRequest {
-                    mac: format!("00:aa:{:02x}:{:02x}:{:02x}:02", i >> 16, (i >> 8) & 0xff, i & 0xff),
+                    mac: format!(
+                        "00:aa:{:02x}:{:02x}:{:02x}:02",
+                        i >> 16,
+                        (i >> 8) & 0xff,
+                        i & 0xff
+                    ),
                 })
                 .unwrap()
         })

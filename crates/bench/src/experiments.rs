@@ -56,13 +56,40 @@ pub fn table2_db() -> ClusterDb {
     type Row = (i64, &'static str, &'static str, i64, i64, i64, [u8; 4], &'static str);
     let rows: &[Row] = &[
         (1, "00:30:c1:d8:ac:80", "frontend-0", 1, 0, 0, [10, 1, 1, 1], "Gateway machine"),
-        (2, "00:01:e7:1a:be:00", "network-0-0", 4, 0, 0, [10, 255, 255, 253], "Switch for Cabinet 0"),
-        (3, "00:50:8b:a5:4d:b1", "nfs-0-0", 7, 0, 0, [10, 255, 255, 249], "NFS Server in Cabinet 0"),
+        (
+            2,
+            "00:01:e7:1a:be:00",
+            "network-0-0",
+            4,
+            0,
+            0,
+            [10, 255, 255, 253],
+            "Switch for Cabinet 0",
+        ),
+        (
+            3,
+            "00:50:8b:a5:4d:b1",
+            "nfs-0-0",
+            7,
+            0,
+            0,
+            [10, 255, 255, 249],
+            "NFS Server in Cabinet 0",
+        ),
         (4, "00:50:8b:e0:3a:a7", "compute-0-0", 2, 0, 0, [10, 255, 255, 245], "Compute node"),
         (5, "00:50:8b:e0:44:5e", "compute-0-1", 2, 0, 1, [10, 255, 255, 244], "Compute node"),
         (6, "00:50:8b:e0:40:95", "compute-0-2", 2, 0, 2, [10, 255, 255, 243], "Compute node"),
         (7, "00:50:8b:e0:40:93", "compute-0-3", 2, 0, 3, [10, 255, 255, 242], "Compute node"),
-        (8, "00:50:8b:c5:c7:d3", "web-1-0", 8, 1, 0, [10, 255, 255, 246], "Web Server in Cabinet 1"),
+        (
+            8,
+            "00:50:8b:c5:c7:d3",
+            "web-1-0",
+            8,
+            1,
+            0,
+            [10, 255, 255, 246],
+            "Web Server in Cabinet 1",
+        ),
     ];
     for (id, mac, name, membership, rack, rank, ip, comment) in rows {
         db.add_node(
@@ -105,7 +132,7 @@ pub fn table3() -> String {
 /// Figure 1: the Rocks hardware architecture, rendered from the Table II
 /// cluster's database content.
 pub fn fig1() -> String {
-    let mut db = table2_db();
+    let db = table2_db();
     let nodes = db.nodes().expect("nodes");
     let computes: Vec<&NodeRecord> = nodes.iter().filter(|n| n.membership == 2).collect();
     let mut out = String::new();
@@ -170,10 +197,8 @@ pub fn fig3() -> String {
 /// traversal.
 pub fn fig4() -> String {
     let set = profiles::default_profiles();
-    let traversal = set
-        .graph
-        .traverse("compute", rocks_rpm::Arch::I686)
-        .expect("compute is a root");
+    let traversal =
+        set.graph.traverse("compute", rocks_rpm::Arch::I686).expect("compute is a root");
     format!(
         "Figure 4. Visualization of the XML graph description\n\n{}\n\
          compute-appliance traversal: {}\n",
@@ -297,13 +322,9 @@ pub fn micro_benchmark() -> String {
 /// §6.3: Gigabit Ethernet supports 7.0–9.5× the concurrent full-speed
 /// reinstalls of Fast Ethernet.
 pub fn gige_scaling() -> String {
-    let fast = max_full_speed_concurrency(
-        &|seed| SimConfig::paper_testbed(seed).bundled(12),
-        0.05,
-        256,
-    );
-    let gige =
-        max_full_speed_concurrency(&|seed| SimConfig::gige(seed).bundled(12), 0.05, 256);
+    let fast =
+        max_full_speed_concurrency(&|seed| SimConfig::paper_testbed(seed).bundled(12), 0.05, 256);
+    let gige = max_full_speed_concurrency(&|seed| SimConfig::gige(seed).bundled(12), 0.05, 256);
     let ratio = gige as f64 / fast as f64;
     format!(
         "Gigabit scaling (Section 6.3): concurrent full-speed reinstalls\n\
@@ -328,10 +349,7 @@ pub fn replica_scaling() -> String {
         if n == 1 {
             base = knee;
         }
-        out.push_str(&format!(
-            "{n:>7} | {knee:>16} | {:.1}x\n",
-            knee as f64 / base as f64
-        ));
+        out.push_str(&format!("{n:>7} | {knee:>16} | {:.1}x\n", knee as f64 / base as f64));
     }
     out.push_str("(paper: N servers -> N times the concurrent full-speed reinstalls)\n");
     out
@@ -499,8 +517,8 @@ pub fn ablation() -> String {
 /// A cluster-state summary after a full simulated bring-up, for the
 /// `reproduce all` footer.
 pub fn bringup_summary() -> String {
-    let mut cluster = rocks_core::Cluster::install_frontend("00:30:c1:d8:ac:80", 7)
-        .expect("frontend installs");
+    let mut cluster =
+        rocks_core::Cluster::install_frontend("00:30:c1:d8:ac:80", 7).expect("frontend installs");
     let macs: Vec<String> = (0..8).map(|i| format!("00:50:8b:e0:44:{i:02x}")).collect();
     cluster.integrate_rack("Compute", 0, &macs).expect("rack integrates");
     let inconsistent = cluster.inconsistent_nodes().expect("check runs");
@@ -529,10 +547,7 @@ mod tests {
         // Flat region: 1..=8 nodes within 15% of each other.
         let t1 = measured[0].1;
         for (n, minutes) in &measured[..4] {
-            assert!(
-                (minutes / t1 - 1.0).abs() < 0.15,
-                "{n} nodes: {minutes} vs {t1}"
-            );
+            assert!((minutes / t1 - 1.0).abs() < 0.15, "{n} nodes: {minutes} vs {t1}");
         }
         // Monotone-ish growth into the knee, and 32 nodes degrade
         // gracefully (well under 4x despite 32x the data).
@@ -558,7 +573,14 @@ mod tests {
     #[test]
     fn table3_contains_default_memberships() {
         let text = table3();
-        for needle in ["Frontend", "Compute", "External", "Ethernet Switches", "Myrinet Switches", "Power Units"] {
+        for needle in [
+            "Frontend",
+            "Compute",
+            "External",
+            "Ethernet Switches",
+            "Myrinet Switches",
+            "Power Units",
+        ] {
             assert!(text.contains(needle), "missing {needle}");
         }
     }

@@ -4,7 +4,7 @@ use crate::{Result, RocksError};
 use rocks_db::insert_ethers::{register_frontend, DhcpRequest, InsertEthers};
 use rocks_db::{reports, ClusterDb, NodeRecord};
 use rocks_dist::{builder, BuildConfig, Distribution};
-use rocks_kickstart::{profiles, KickstartGenerator};
+use rocks_kickstart::{profiles, GeneratedProfile, GenerationService, KickstartGenerator};
 use rocks_netsim::{ClusterSim, SimConfig};
 use rocks_rexec::NodeAgent;
 use rocks_rpm::{synth, Arch, Repository};
@@ -42,8 +42,10 @@ pub struct ReinstallReport {
 pub struct Cluster {
     /// The cluster database (§6.4).
     pub db: ClusterDb,
-    /// The Kickstart generator (§6.1).
-    pub generator: KickstartGenerator,
+    /// The Kickstart generation service (§6.1): the CGI generator behind
+    /// a thread-safe skeleton cache invalidated by database writes and
+    /// [`Self::rebuild_distribution`].
+    pub kickstart: GenerationService,
     /// The current distribution (§6.2).
     pub distribution: Distribution,
     /// Frontend DHCP service.
@@ -78,18 +80,18 @@ impl Cluster {
         let mut db = ClusterDb::new();
         register_frontend(&mut db, frontend_mac, "frontend-0")?;
 
-        let generator = KickstartGenerator::new(
+        let kickstart = GenerationService::new(KickstartGenerator::new(
             profiles::default_profiles(),
             "10.1.1.1",
             "install/rocks-dist",
-        );
+        ));
 
         let mut nfs = NfsServer::new();
         nfs.export("/export/home", "10.");
 
         Ok(Cluster {
             db,
-            generator,
+            kickstart,
             distribution,
             dhcp: DhcpService::new(),
             nis: NisDomain::new(),
@@ -138,12 +140,30 @@ impl Cluster {
         Ok(records)
     }
 
+    /// The Kickstart generator inside the service (read-only).
+    pub fn generator(&self) -> &KickstartGenerator {
+        self.kickstart.generator()
+    }
+
+    /// Mutable generator access for site customization (§6.2.3). Editing
+    /// the profiles drops every cached skeleton.
+    pub fn generator_mut(&mut self) -> &mut KickstartGenerator {
+        self.kickstart.generator_mut()
+    }
+
+    /// Generate every registered node's Kickstart profile through the
+    /// shared service, fanning out over `threads` workers — the mass
+    /// pre-generation a frontend performs ahead of a reinstall wave.
+    pub fn generate_kickstarts(&self, threads: usize) -> Result<Vec<GeneratedProfile>> {
+        Ok(self.kickstart.generate_all(&self.db, Arch::I686, threads)?)
+    }
+
     /// The package identities a compute node of `arch` installs from the
     /// current distribution.
     pub fn compute_image(&self, arch: Arch) -> BTreeSet<String> {
         let ks = self
-            .generator
-            .generate_for_appliance("compute", arch)
+            .kickstart
+            .appliance_profile(&self.db, "compute", arch)
             .expect("default profiles are closed");
         ks.packages
             .iter()
@@ -171,11 +191,7 @@ impl Cluster {
     pub(crate) fn agents_for(&self, names: &[String]) -> Result<Vec<&NodeAgent>> {
         names
             .iter()
-            .map(|n| {
-                self.agents
-                    .get(n)
-                    .ok_or_else(|| RocksError::NoSuchNode(n.clone()))
-            })
+            .map(|n| self.agents.get(n).ok_or_else(|| RocksError::NoSuchNode(n.clone())))
             .collect()
     }
 
@@ -193,8 +209,8 @@ impl Cluster {
 
     fn compute_package_list(&self, arch: Arch) -> Vec<rocks_rpm::Package> {
         let ks = self
-            .generator
-            .generate_for_appliance("compute", arch)
+            .kickstart
+            .appliance_profile(&self.db, "compute", arch)
             .expect("default profiles are closed");
         ks.packages
             .iter()
@@ -232,8 +248,7 @@ impl Cluster {
             let record = self.db.node_by_name(name)?;
             per_node_minutes.push(outcome.per_node_seconds[i].unwrap_or(f64::NAN) / 60.0);
 
-            let install_count =
-                self.images.get(name).map(|im| im.install_count).unwrap_or(0) + 1;
+            let install_count = self.images.get(name).map(|im| im.install_count).unwrap_or(0) + 1;
             self.images.insert(
                 name.clone(),
                 NodeImage {
@@ -315,24 +330,15 @@ impl Cluster {
         compute: bool,
     ) -> Result<i64> {
         // Appliance row: next free id in the appliances table.
-        let next_appliance = self
-            .db
-            .sql()
-            .query("select max(id) from appliances")?
-            .rows[0][0]
-            .as_int()
-            .unwrap_or(0)
-            + 1;
+        let next_appliance =
+            self.db.sql().query("select max(id) from appliances")?.rows[0][0].as_int().unwrap_or(0)
+                + 1;
         self.db.sql().execute(&format!(
             "insert into appliances values ({next_appliance}, '{}', '{}')",
             rocks_db::sql_escape(membership_name),
             rocks_db::sql_escape(graph_root),
         ))?;
-        let next_membership = self
-            .db
-            .sql()
-            .query("select max(id) from memberships")?
-            .rows[0][0]
+        let next_membership = self.db.sql().query("select max(id) from memberships")?.rows[0][0]
             .as_int()
             .unwrap_or(0)
             + 1;
@@ -377,9 +383,7 @@ impl Cluster {
         let mut out = Vec::new();
         for name in self.compute_node_names()? {
             let consistent = self.images.get(&name).is_some_and(|image| {
-                image.dist_name == dist
-                    && image.packages == expected
-                    && image.drifted.is_empty()
+                image.dist_name == dist && image.packages == expected && image.drifted.is_empty()
             });
             if !consistent {
                 out.push(name);
@@ -406,6 +410,9 @@ impl Cluster {
             ..Default::default()
         })?;
         self.distribution = dist;
+        // New RPMs on disk: cached Kickstart skeletons may list stale
+        // package sets, so flush them (the rocks-dist invalidation hook).
+        self.kickstart.notify_dist_rebuilt();
         Ok(())
     }
 }
@@ -426,7 +433,7 @@ mod tests {
 
     #[test]
     fn frontend_install_builds_distribution_and_db() {
-        let mut cluster = Cluster::install_frontend("00:30:c1:d8:ac:80", 1).unwrap();
+        let cluster = Cluster::install_frontend("00:30:c1:d8:ac:80", 1).unwrap();
         assert_eq!(cluster.distribution.name, "rocks-2.2.1");
         assert!(cluster.distribution.repo().get("mpich", Arch::I386).is_some());
         let nodes = cluster.db.nodes().unwrap();
@@ -479,14 +486,8 @@ mod tests {
     #[test]
     fn unknown_node_errors() {
         let mut cluster = small_cluster(1);
-        assert!(matches!(
-            cluster.shoot_nodes(&["compute-9-9".into()]),
-            Err(RocksError::Db(_))
-        ));
-        assert!(matches!(
-            cluster.inject_drift("ghost", "/x"),
-            Err(RocksError::NoSuchNode(_))
-        ));
+        assert!(matches!(cluster.shoot_nodes(&["compute-9-9".into()]), Err(RocksError::Db(_))));
+        assert!(matches!(cluster.inject_drift("ghost", "/x"), Err(RocksError::NoSuchNode(_))));
     }
 
     #[test]
@@ -519,7 +520,10 @@ mod tests {
         for (name, feed) in &feeds {
             let backlog = feed.backlog();
             assert!(backlog.iter().any(|l| l.contains("requesting kickstart")), "{name}");
-            assert!(backlog.iter().any(|l| l.contains(&format!("{name}: up"))), "{name}: {backlog:?}");
+            assert!(
+                backlog.iter().any(|l| l.contains(&format!("{name}: up"))),
+                "{name}: {backlog:?}"
+            );
             // Late subscribers still see the whole install.
             let rx = feed.subscribe();
             assert_eq!(rx.try_iter().count(), backlog.len());
@@ -530,13 +534,47 @@ mod tests {
 
     #[test]
     fn kickstart_served_for_integrated_node() {
-        let mut cluster = small_cluster(1);
+        let cluster = small_cluster(1);
         let record = cluster.db.node_by_name("compute-0-0").unwrap();
         let ks = cluster
-            .generator
-            .generate_for_request(&mut cluster.db, &record.ip.to_string(), Arch::I686)
+            .kickstart
+            .generate_for_request(&cluster.db, &record.ip.to_string(), Arch::I686)
             .unwrap();
         assert!(ks.render().contains("--hostname compute-0-0"));
+    }
+
+    #[test]
+    fn mass_generation_matches_per_request_cgi() {
+        let cluster = small_cluster(4);
+        let profiles = cluster.generate_kickstarts(4).unwrap();
+        assert_eq!(profiles.len(), 5); // 4 computes + frontend
+        for profile in &profiles {
+            let cold = cluster
+                .generator()
+                .generate_for_request(&cluster.db, &profile.ip, Arch::I686)
+                .unwrap();
+            assert_eq!(profile.kickstart.render(), cold.render(), "{}", profile.node);
+        }
+    }
+
+    #[test]
+    fn dist_rebuild_flushes_kickstart_cache() {
+        let mut cluster = small_cluster(1);
+        cluster.generate_kickstarts(1).unwrap();
+        let misses_before = cluster.kickstart.stats().misses();
+        let mut updates = Repository::new("updates");
+        updates.insert(
+            rocks_rpm::Package::builder("glibc", "2.2.4-24")
+                .arch(Arch::I686)
+                .size(14 << 20)
+                .build(),
+        );
+        cluster.rebuild_distribution(&[&updates]).unwrap();
+        cluster.generate_kickstarts(1).unwrap();
+        assert!(
+            cluster.kickstart.stats().misses() > misses_before,
+            "stale skeletons must be rebuilt after a dist rebuild"
+        );
     }
 
     #[test]
@@ -545,17 +583,13 @@ mod tests {
         // nfs-server graph root.
         let mut cluster = small_cluster(1);
         cluster.add_appliance("Storage", "storage", "nfs-server", false).unwrap();
-        let records = cluster
-            .integrate_rack("Storage", 2, &["00:50:8b:a5:4d:b1".to_string()])
-            .unwrap();
+        let records =
+            cluster.integrate_rack("Storage", 2, &["00:50:8b:a5:4d:b1".to_string()]).unwrap();
         assert_eq!(records[0].name, "storage-2-0");
 
         // The CGI flow resolves the new appliance to its graph root.
         let ip = records[0].ip.to_string();
-        let ks = cluster
-            .generator
-            .generate_for_request(&mut cluster.db, &ip, Arch::I686)
-            .unwrap();
+        let ks = cluster.kickstart.generate_for_request(&cluster.db, &ip, Arch::I686).unwrap();
         let text = ks.render();
         assert!(text.contains("nfs appliance"), "storage node got wrong appliance:\n{text}");
         assert!(text.contains("exportfs -a"));

@@ -167,12 +167,7 @@ pub fn bring_to_known_state(
 
 /// A synthetic drift workload: `n` items cycling through the severity
 /// classes with the given proportions (out of 100).
-pub fn synth_drift(
-    node: &str,
-    n: usize,
-    pct_config: usize,
-    pct_package: usize,
-) -> Vec<Drift> {
+pub fn synth_drift(node: &str, n: usize, pct_config: usize, pct_package: usize) -> Vec<Drift> {
     assert!(pct_config + pct_package <= 100);
     (0..n)
         .map(|i| {
@@ -220,11 +215,8 @@ mod tests {
         let model = VerifyModel::default();
         // Core-component drift (a bad glibc) forces scan + reinstall:
         // strictly worse than reinstalling straight away.
-        let drifts = vec![Drift {
-            node: "n".into(),
-            item: "glibc".into(),
-            kind: DriftKind::CoreComponent,
-        }];
+        let drifts =
+            vec![Drift { node: "n".into(), item: "glibc".into(), kind: DriftKind::CoreComponent }];
         let verify = bring_to_known_state(Strategy::VerifyRepair, &drifts, &model);
         let reinstall = bring_to_known_state(Strategy::Reinstall, &drifts, &model);
         assert!(verify.seconds > reinstall.seconds);

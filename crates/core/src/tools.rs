@@ -36,10 +36,8 @@ pub fn cluster_status(cluster: &mut Cluster) -> Result<String> {
          where nodes.membership = memberships.id \
          group by memberships.name order by memberships.name",
     )?;
-    let by_rack = cluster
-        .db
-        .sql()
-        .query("select rack, count(*) from nodes group by rack order by rack")?;
+    let by_rack =
+        cluster.db.sql().query("select rack, count(*) from nodes group by rack order by rack")?;
     Ok(format!(
         "nodes by membership:\n{}\nnodes by rack:\n{}",
         by_membership.render_ascii(),
@@ -98,12 +96,9 @@ mod tests {
         for name in cluster.compute_node_names().unwrap() {
             cluster.agent(&name).unwrap().spawn_process("bad-job");
         }
-        let result = cluster_kill(
-            &mut cluster,
-            Some("select name from nodes where rack=1"),
-            "bad-job",
-        )
-        .unwrap();
+        let result =
+            cluster_kill(&mut cluster, Some("select name from nodes where rack=1"), "bad-job")
+                .unwrap();
         assert_eq!(result.exits.len(), 2);
         assert!(result.all_ok());
         // Rack 1's processes are dead; rack 0's survive.

@@ -44,11 +44,9 @@ pub fn upgrade_cluster(
     running_jobs: &[(&str, usize, f64)],
 ) -> Result<UpgradeReport> {
     // Phase 1: rebuild the distribution.
-    let before: Vec<String> =
-        cluster.distribution.repo().iter().map(|p| p.ident()).collect();
+    let before: Vec<String> = cluster.distribution.repo().iter().map(|p| p.ident()).collect();
     cluster.rebuild_distribution(&[updates])?;
-    let after: Vec<String> =
-        cluster.distribution.repo().iter().map(|p| p.ident()).collect();
+    let after: Vec<String> = cluster.distribution.repo().iter().map(|p| p.ident()).collect();
     let packages_updated = after.iter().filter(|ident| !before.contains(ident)).count();
 
     // Phase 2: validate on a test node (the first compute node).
@@ -68,8 +66,7 @@ pub fn upgrade_cluster(
 
     // Phase 3: roll the production nodes through PBS. The test node is
     // already done; everything else drains and reinstalls.
-    let remaining: Vec<String> =
-        names.iter().filter(|n| **n != test_node).cloned().collect();
+    let remaining: Vec<String> = names.iter().filter(|n| **n != test_node).cloned().collect();
     let mut pbs = PbsServer::new();
     for name in &remaining {
         pbs.add_node(name);
@@ -112,12 +109,9 @@ mod tests {
 
     fn security_update() -> Repository {
         let mut updates = Repository::new("rhsa");
-        updates.insert(
-            Package::builder("glibc", "2.2.4-24").arch(Arch::I686).size(14 << 20).build(),
-        );
-        updates.insert(
-            Package::builder("openssh-server", "2.9p2-14").size(320 << 10).build(),
-        );
+        updates
+            .insert(Package::builder("glibc", "2.2.4-24").arch(Arch::I686).size(14 << 20).build());
+        updates.insert(Package::builder("openssh-server", "2.9p2-14").size(320 << 10).build());
         updates
     }
 
@@ -143,8 +137,7 @@ mod tests {
         let mut cluster = cluster_with_nodes(4);
         // A 2-node job with 1 hour of walltime is running in production.
         let report =
-            upgrade_cluster(&mut cluster, &security_update(), &[("science", 2, 3600.0)])
-                .unwrap();
+            upgrade_cluster(&mut cluster, &security_update(), &[("science", 2, 3600.0)]).unwrap();
         // The roll cannot finish before the job does.
         assert!(
             report.roll_seconds >= 3600.0,

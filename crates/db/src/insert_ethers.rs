@@ -111,10 +111,7 @@ pub fn replace_node(db: &mut ClusterDb, name: &str, new_mac: &str) -> Result<Nod
     let _ = db.node_by_name(name)?; // must exist
     let clash = db
         .sql()
-        .query(&format!(
-            "select name from nodes where mac = '{}'",
-            crate::sql_escape(new_mac)
-        ))?
+        .query(&format!("select name from nodes where mac = '{}'", crate::sql_escape(new_mac)))?
         .rows
         .first()
         .map(|r| r[0].render());
@@ -246,7 +243,8 @@ mod tests {
         assert_eq!(replaced.mac, mac(99));
 
         // The old MAC is gone; the new one answers.
-        let rows = db.sql().query(&format!("select name from nodes where mac = '{}'", mac(1))).unwrap();
+        let rows =
+            db.sql().query(&format!("select name from nodes where mac = '{}'", mac(1))).unwrap();
         assert!(rows.rows.is_empty());
     }
 

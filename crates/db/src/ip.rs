@@ -32,12 +32,7 @@ impl Ipv4 {
 
     /// The four octets.
     pub fn octets(self) -> [u8; 4] {
-        [
-            (self.0 >> 24) as u8,
-            (self.0 >> 16) as u8,
-            (self.0 >> 8) as u8,
-            self.0 as u8,
-        ]
+        [(self.0 >> 24) as u8, (self.0 >> 16) as u8, (self.0 >> 8) as u8, self.0 as u8]
     }
 
     /// The previous address (wrapping is the caller's concern; allocation

@@ -71,9 +71,19 @@ pub type Result<T> = std::result::Result<T, DbError>;
 
 /// The cluster database: a [`rocks_sql::Database`] holding the Rocks
 /// schema, plus typed accessors.
+///
+/// Every mutation bumps a monotonically increasing [`revision`]
+/// counter. Caches layered above the database (notably the Kickstart
+/// generation service's profile cache) key their entries on this
+/// revision, so a `nodes`/`memberships` write — or any statement issued
+/// through the raw [`sql`] handle — invalidates them automatically.
+///
+/// [`revision`]: Self::revision
+/// [`sql`]: Self::sql
 #[derive(Debug, Clone)]
 pub struct ClusterDb {
     db: Database,
+    revision: u64,
 }
 
 impl Default for ClusterDb {
@@ -88,23 +98,45 @@ impl ClusterDb {
     pub fn new() -> Self {
         let mut db = Database::new();
         schema::create_schema(&mut db);
-        ClusterDb { db }
+        ClusterDb { db, revision: 0 }
+    }
+
+    /// The mutation counter. Strictly increases on every write (typed or
+    /// raw); equal revisions guarantee identical database contents, which
+    /// is the invalidation contract the generation-service cache relies on.
+    pub fn revision(&self) -> u64 {
+        self.revision
     }
 
     /// Raw SQL access — the paper deliberately exposes this to
     /// administrators (`cluster-kill --query="select ..."`).
+    ///
+    /// Handing out `&mut Database` means any statement — including
+    /// writes — may run, so the revision is bumped conservatively. Use
+    /// [`sql_ref`](Self::sql_ref) for queries that must not invalidate
+    /// caches.
     pub fn sql(&mut self) -> &mut Database {
+        self.revision += 1;
         &mut self.db
     }
 
+    /// Shared read-only SQL access: `SELECT` only, callable from any
+    /// number of threads at once, never bumps the revision. This is the
+    /// read path the parallel Kickstart generation workers use.
+    pub fn sql_ref(&self) -> &Database {
+        &self.db
+    }
+
     /// Run a query and return the first column as strings: the exact
-    /// contract of the `--query` flag in §6.4.
-    pub fn query_names(&mut self, sql: &str) -> Result<Vec<String>> {
-        Ok(self.db.query_column(sql)?)
+    /// contract of the `--query` flag in §6.4. Read-only — shareable
+    /// across threads.
+    pub fn query_names(&self, sql: &str) -> Result<Vec<String>> {
+        Ok(self.db.query_column_ref(sql)?)
     }
 
     /// Register a membership (appliance class) and return its id.
     pub fn add_membership(&mut self, m: &Membership) -> Result<()> {
+        self.revision += 1;
         self.db.execute(&format!(
             "insert into memberships values ({}, '{}', {}, '{}', '{}')",
             m.id,
@@ -116,17 +148,16 @@ impl ClusterDb {
         Ok(())
     }
 
-    /// Look up a membership by id.
-    pub fn membership(&mut self, id: i64) -> Result<Membership> {
-        let result =
-            self.db.query(&format!("select * from memberships where id = {id}"))?;
+    /// Look up a membership by id. Read-only.
+    pub fn membership(&self, id: i64) -> Result<Membership> {
+        let result = self.db.query_ref(&format!("select * from memberships where id = {id}"))?;
         let row = result.rows.first().ok_or(DbError::NoSuchMembership(id.to_string()))?;
         Ok(Membership::from_row(row))
     }
 
-    /// Look up a membership by (case-insensitive) name.
-    pub fn membership_by_name(&mut self, name: &str) -> Result<Membership> {
-        let result = self.db.query("select * from memberships")?;
+    /// Look up a membership by (case-insensitive) name. Read-only.
+    pub fn membership_by_name(&self, name: &str) -> Result<Membership> {
+        let result = self.db.query_ref("select * from memberships")?;
         result
             .rows
             .iter()
@@ -135,9 +166,9 @@ impl ClusterDb {
             .ok_or_else(|| DbError::NoSuchMembership(name.to_string()))
     }
 
-    /// All memberships, ordered by id.
-    pub fn memberships(&mut self) -> Result<Vec<Membership>> {
-        let result = self.db.query("select * from memberships order by id")?;
+    /// All memberships, ordered by id. Read-only.
+    pub fn memberships(&self) -> Result<Vec<Membership>> {
+        let result = self.db.query_ref("select * from memberships order by id")?;
         Ok(result.rows.iter().map(|r| Membership::from_row(r)).collect())
     }
 
@@ -146,7 +177,7 @@ impl ClusterDb {
     pub fn add_node(&mut self, node: &NodeRecord) -> Result<()> {
         let existing = self
             .db
-            .query(&format!("select id from nodes where mac = '{}'", sql_escape(&node.mac)))?;
+            .query_ref(&format!("select id from nodes where mac = '{}'", sql_escape(&node.mac)))?;
         if !existing.rows.is_empty() {
             return Err(DbError::DuplicateMac(node.mac.clone()));
         }
@@ -154,6 +185,7 @@ impl ClusterDb {
             Some(c) => format!("'{}'", sql_escape(c)),
             None => "NULL".to_string(),
         };
+        self.revision += 1;
         self.db.execute(&format!(
             "insert into nodes values ({}, '{}', '{}', {}, {}, {}, '{}', {})",
             node.id,
@@ -168,25 +200,45 @@ impl ClusterDb {
         Ok(())
     }
 
-    /// All nodes ordered by id.
-    pub fn nodes(&mut self) -> Result<Vec<NodeRecord>> {
-        let result = self.db.query("select * from nodes order by id")?;
+    /// All nodes ordered by id. Read-only.
+    pub fn nodes(&self) -> Result<Vec<NodeRecord>> {
+        let result = self.db.query_ref("select * from nodes order by id")?;
         Ok(result.rows.iter().map(|r| NodeRecord::from_row(r)).collect())
     }
 
-    /// A node by name.
-    pub fn node_by_name(&mut self, name: &str) -> Result<NodeRecord> {
+    /// A node by name. Read-only.
+    pub fn node_by_name(&self, name: &str) -> Result<NodeRecord> {
         let result = self
             .db
-            .query(&format!("select * from nodes where name = '{}'", sql_escape(name)))?;
+            .query_ref(&format!("select * from nodes where name = '{}'", sql_escape(name)))?;
         let row = result.rows.first().ok_or_else(|| DbError::NoSuchNode(name.to_string()))?;
         Ok(NodeRecord::from_row(row))
     }
 
+    /// A node by its cluster-internal IP address — the lookup that keys
+    /// the §6.1 CGI flow ("uses the requesting node's IP address").
+    /// Read-only: generation workers resolve requesters concurrently.
+    pub fn node_by_ip(&self, ip: &str) -> Result<NodeRecord> {
+        let result =
+            self.db.query_ref(&format!("select * from nodes where ip = '{}'", sql_escape(ip)))?;
+        let row = result.rows.first().ok_or_else(|| DbError::NoSuchNode(ip.to_string()))?;
+        Ok(NodeRecord::from_row(row))
+    }
+
+    /// The graph root (appliance name) that kickstarts `appliance`, or
+    /// `None` when the appliance is tracked but not kickstartable
+    /// (switches, PDUs). Read-only.
+    pub fn appliance_root(&self, appliance: i64) -> Result<Option<String>> {
+        let result = self
+            .db
+            .query_ref(&format!("select graph_node from appliances where id = {appliance}"))?;
+        Ok(result.rows.first().map(|r| r[0].render()).filter(|r| !r.is_empty()))
+    }
+
     /// Nodes whose membership is flagged `compute = 'yes'` — the join the
-    /// paper demonstrates (§6.4).
-    pub fn compute_nodes(&mut self) -> Result<Vec<NodeRecord>> {
-        let result = self.db.query(
+    /// paper demonstrates (§6.4). Read-only.
+    pub fn compute_nodes(&self) -> Result<Vec<NodeRecord>> {
+        let result = self.db.query_ref(
             "select nodes.id, nodes.mac, nodes.name, nodes.membership, nodes.rack, \
              nodes.rank, nodes.ip, nodes.comment \
              from nodes, memberships \
@@ -196,9 +248,9 @@ impl ClusterDb {
         Ok(result.rows.iter().map(|r| NodeRecord::from_row(r)).collect())
     }
 
-    /// Next unused node id.
-    pub fn next_node_id(&mut self) -> Result<i64> {
-        let result = self.db.query("select max(id) from nodes")?;
+    /// Next unused node id. Read-only.
+    pub fn next_node_id(&self) -> Result<i64> {
+        let result = self.db.query_ref("select max(id) from nodes")?;
         Ok(match result.rows[0][0] {
             Value::Int(n) => n + 1,
             _ => 1,
@@ -206,8 +258,9 @@ impl ClusterDb {
     }
 
     /// Highest rank already used in `(membership, rack)`, or None.
-    pub fn max_rank(&mut self, membership: i64, rack: i64) -> Result<Option<i64>> {
-        let result = self.db.query(&format!(
+    /// Read-only.
+    pub fn max_rank(&self, membership: i64, rack: i64) -> Result<Option<i64>> {
+        let result = self.db.query_ref(&format!(
             "select max(rank) from nodes where membership = {membership} and rack = {rack}"
         ))?;
         Ok(result.rows[0][0].as_int())
@@ -215,8 +268,8 @@ impl ClusterDb {
 
     /// Set a site-global key (the "site-specific configuration table").
     pub fn set_global(&mut self, key: &str, value: &str) -> Result<()> {
-        self.db
-            .execute(&format!("delete from app_globals where name = '{}'", sql_escape(key)))?;
+        self.revision += 1;
+        self.db.execute(&format!("delete from app_globals where name = '{}'", sql_escape(key)))?;
         self.db.execute(&format!(
             "insert into app_globals values ('{}', '{}')",
             sql_escape(key),
@@ -225,22 +278,19 @@ impl ClusterDb {
         Ok(())
     }
 
-    /// Read a site-global key.
-    pub fn global(&mut self, key: &str) -> Result<Option<String>> {
-        let result = self
-            .db
-            .query(&format!("select value from app_globals where name = '{}'", sql_escape(key)))?;
+    /// Read a site-global key. Read-only.
+    pub fn global(&self, key: &str) -> Result<Option<String>> {
+        let result = self.db.query_ref(&format!(
+            "select value from app_globals where name = '{}'",
+            sql_escape(key)
+        ))?;
         Ok(result.rows.first().map(|r| r[0].render()))
     }
 
-    /// All IPs currently assigned.
-    pub fn used_ips(&mut self) -> Result<Vec<Ipv4>> {
-        let result = self.db.query("select ip from nodes")?;
-        Ok(result
-            .rows
-            .iter()
-            .filter_map(|r| r[0].as_text().and_then(Ipv4::parse))
-            .collect())
+    /// All IPs currently assigned. Read-only.
+    pub fn used_ips(&self) -> Result<Vec<Ipv4>> {
+        let result = self.db.query_ref("select ip from nodes")?;
+        Ok(result.rows.iter().filter_map(|r| r[0].as_text().and_then(Ipv4::parse)).collect())
     }
 }
 
@@ -255,7 +305,7 @@ mod tests {
 
     #[test]
     fn schema_seeds_table_iii_memberships() {
-        let mut db = ClusterDb::new();
+        let db = ClusterDb::new();
         let ms = db.memberships().unwrap();
         assert_eq!(ms.len(), DEFAULT_MEMBERSHIPS.len());
         let compute = db.membership_by_name("Compute").unwrap();
@@ -268,7 +318,15 @@ mod tests {
     #[test]
     fn duplicate_mac_rejected() {
         let mut db = ClusterDb::new();
-        let node = NodeRecord::new(1, "00:50:8b:e0:3a:a7", "compute-0-0", 2, 0, 0, Ipv4::new(10, 255, 255, 245));
+        let node = NodeRecord::new(
+            1,
+            "00:50:8b:e0:3a:a7",
+            "compute-0-0",
+            2,
+            0,
+            0,
+            Ipv4::new(10, 255, 255, 245),
+        );
         db.add_node(&node).unwrap();
         let err = db.add_node(&node).unwrap_err();
         assert!(matches!(err, DbError::DuplicateMac(_)));
@@ -277,9 +335,36 @@ mod tests {
     #[test]
     fn compute_nodes_join() {
         let mut db = ClusterDb::new();
-        db.add_node(&NodeRecord::new(1, "aa:00:00:00:00:01", "frontend-0", 1, 0, 0, Ipv4::new(10, 1, 1, 1))).unwrap();
-        db.add_node(&NodeRecord::new(2, "aa:00:00:00:00:02", "compute-0-0", 2, 0, 0, Ipv4::new(10, 255, 255, 254))).unwrap();
-        db.add_node(&NodeRecord::new(3, "aa:00:00:00:00:03", "compute-0-1", 2, 0, 1, Ipv4::new(10, 255, 255, 253))).unwrap();
+        db.add_node(&NodeRecord::new(
+            1,
+            "aa:00:00:00:00:01",
+            "frontend-0",
+            1,
+            0,
+            0,
+            Ipv4::new(10, 1, 1, 1),
+        ))
+        .unwrap();
+        db.add_node(&NodeRecord::new(
+            2,
+            "aa:00:00:00:00:02",
+            "compute-0-0",
+            2,
+            0,
+            0,
+            Ipv4::new(10, 255, 255, 254),
+        ))
+        .unwrap();
+        db.add_node(&NodeRecord::new(
+            3,
+            "aa:00:00:00:00:03",
+            "compute-0-1",
+            2,
+            0,
+            1,
+            Ipv4::new(10, 255, 255, 253),
+        ))
+        .unwrap();
         let compute = db.compute_nodes().unwrap();
         assert_eq!(compute.len(), 2);
         assert!(compute.iter().all(|n| n.name.starts_with("compute-")));
@@ -302,17 +387,93 @@ mod tests {
     fn next_id_and_max_rank() {
         let mut db = ClusterDb::new();
         assert_eq!(db.next_node_id().unwrap(), 1);
-        db.add_node(&NodeRecord::new(1, "aa:00:00:00:00:01", "compute-0-0", 2, 0, 0, Ipv4::new(10, 255, 255, 254))).unwrap();
+        db.add_node(&NodeRecord::new(
+            1,
+            "aa:00:00:00:00:01",
+            "compute-0-0",
+            2,
+            0,
+            0,
+            Ipv4::new(10, 255, 255, 254),
+        ))
+        .unwrap();
         assert_eq!(db.next_node_id().unwrap(), 2);
         assert_eq!(db.max_rank(2, 0).unwrap(), Some(0));
         assert_eq!(db.max_rank(2, 1).unwrap(), None);
     }
 
     #[test]
+    fn revision_tracks_writes_not_reads() {
+        let mut db = ClusterDb::new();
+        let r0 = db.revision();
+        let _ = db.nodes().unwrap();
+        let _ = db.memberships().unwrap();
+        let _ = db.global("Kickstart_PublicHostname").unwrap();
+        let _ = db.query_names("select name from nodes").unwrap();
+        assert_eq!(db.revision(), r0, "reads must not invalidate caches");
+
+        db.set_global("k", "v").unwrap();
+        let r1 = db.revision();
+        assert!(r1 > r0);
+        db.add_node(&NodeRecord::new(
+            1,
+            "aa:00:00:00:00:01",
+            "compute-0-0",
+            2,
+            0,
+            0,
+            Ipv4::new(10, 255, 255, 254),
+        ))
+        .unwrap();
+        let r2 = db.revision();
+        assert!(r2 > r1);
+        // Raw &mut SQL access may write anything: bumped conservatively.
+        let _ = db.sql();
+        assert!(db.revision() > r2);
+    }
+
+    #[test]
+    fn node_by_ip_resolves_and_rejects() {
+        let mut db = ClusterDb::new();
+        db.add_node(&NodeRecord::new(
+            1,
+            "aa:00:00:00:00:01",
+            "compute-0-0",
+            2,
+            0,
+            0,
+            Ipv4::new(10, 255, 255, 254),
+        ))
+        .unwrap();
+        assert_eq!(db.node_by_ip("10.255.255.254").unwrap().name, "compute-0-0");
+        assert!(matches!(db.node_by_ip("10.9.9.9"), Err(DbError::NoSuchNode(_))));
+        assert_eq!(db.appliance_root(2).unwrap().as_deref(), Some("compute"));
+        assert_eq!(db.appliance_root(4).unwrap(), None);
+    }
+
+    #[test]
     fn raw_sql_query_interface() {
         let mut db = ClusterDb::new();
-        db.add_node(&NodeRecord::new(1, "aa:00:00:00:00:01", "compute-1-0", 2, 1, 0, Ipv4::new(10, 255, 255, 254))).unwrap();
-        db.add_node(&NodeRecord::new(2, "aa:00:00:00:00:02", "compute-2-0", 2, 2, 0, Ipv4::new(10, 255, 255, 253))).unwrap();
+        db.add_node(&NodeRecord::new(
+            1,
+            "aa:00:00:00:00:01",
+            "compute-1-0",
+            2,
+            1,
+            0,
+            Ipv4::new(10, 255, 255, 254),
+        ))
+        .unwrap();
+        db.add_node(&NodeRecord::new(
+            2,
+            "aa:00:00:00:00:02",
+            "compute-2-0",
+            2,
+            2,
+            0,
+            Ipv4::new(10, 255, 255, 253),
+        ))
+        .unwrap();
         // §6.4: cluster-kill --query="select name from nodes where rack=1".
         let names = db.query_names("select name from nodes where rack=1").unwrap();
         assert_eq!(names, vec!["compute-1-0"]);

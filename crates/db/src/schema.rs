@@ -125,8 +125,7 @@ pub fn create_schema(db: &mut Database) {
     .expect("memberships schema");
     db.execute("create table appliances (id int, name text, graph_node text)")
         .expect("appliances schema");
-    db.execute("create table app_globals (name text, value text)")
-        .expect("app_globals schema");
+    db.execute("create table app_globals (name text, value text)").expect("app_globals schema");
 
     for (id, name, appliance, compute, basename) in DEFAULT_MEMBERSHIPS {
         db.execute(&format!(

@@ -117,8 +117,7 @@ pub fn build(config: BuildConfig<'_>) -> Result<(Distribution, BuildReport), Dis
 
     // Phase 1: mirror the parent. Every parent package enters the working
     // set; provenance is tracked so the tree phase knows what to link.
-    let mut from_parent: std::collections::BTreeSet<(String, rocks_rpm::Arch)> =
-        Default::default();
+    let mut from_parent: std::collections::BTreeSet<(String, rocks_rpm::Arch)> = Default::default();
     if let Some(parent) = config.parent {
         for pkg in parent.repo().iter() {
             repo.insert(pkg.clone());
@@ -190,10 +189,7 @@ pub fn build(config: BuildConfig<'_>) -> Result<(Distribution, BuildReport), Dis
     }
 
     // Phase 5: profiles. Inherit the parent's build/ files, then overlay.
-    let mut build_files = config
-        .parent
-        .map(|p| p.build_files.clone())
-        .unwrap_or_default();
+    let mut build_files = config.parent.map(|p| p.build_files.clone()).unwrap_or_default();
     for (name, content) in config.profile_overlay {
         build_files.insert(name, content);
     }
@@ -338,7 +334,10 @@ mod tests {
         parent.add_build_file("graph.xml", "<graph/>");
         parent.add_build_file("nodes/compute.xml", "<kickstart/>");
         let mut overlay = BTreeMap::new();
-        overlay.insert("nodes/site.xml".to_string(), "<kickstart><package>x</package></kickstart>".to_string());
+        overlay.insert(
+            "nodes/site.xml".to_string(),
+            "<kickstart><package>x</package></kickstart>".to_string(),
+        );
         let (dist, _) = build(BuildConfig {
             name: "child".into(),
             parent: Some(&parent),

@@ -73,7 +73,10 @@ mod tests {
                 local: vec![synth::rocks_local()],
                 ..Default::default()
             },
-            Level::with_contrib("ucsd-campus", one_pkg_repo("campus", "campus-license-tools", 1 << 20)),
+            Level::with_contrib(
+                "ucsd-campus",
+                one_pkg_repo("campus", "campus-license-tools", 1 << 20),
+            ),
             Level::with_contrib("chem-dept", one_pkg_repo("dept", "gamess", 40 << 20)),
         ];
         let chain = build_chain(&redhat, &levels).unwrap();
@@ -130,11 +133,7 @@ mod tests {
         let chain = build_chain(
             &redhat,
             &[
-                Level {
-                    name: "rocks".into(),
-                    updates: vec![newer_glibc],
-                    ..Default::default()
-                },
+                Level { name: "rocks".into(), updates: vec![newer_glibc], ..Default::default() },
                 Level::with_contrib("campus", one_pkg_repo("c", "x", 10)),
             ],
         )

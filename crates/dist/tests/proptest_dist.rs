@@ -9,9 +9,7 @@ use rocks_rpm::{Package, Repository};
 /// A small universe of package names so collisions actually happen.
 fn pkg_strategy() -> impl Strategy<Value = Package> {
     (
-        prop_oneof![
-            Just("alpha"), Just("beta"), Just("gamma"), Just("delta"), Just("epsilon")
-        ],
+        prop_oneof![Just("alpha"), Just("beta"), Just("gamma"), Just("delta"), Just("epsilon")],
         1u32..6,
         1u32..9,
         1u64..1_000_000,

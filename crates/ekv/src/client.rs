@@ -71,13 +71,8 @@ mod tests {
     fn timeout_returns_cleanly_when_quiet() {
         let server = EkvServer::start().unwrap();
         server.publish("only line");
-        let count = watch_lines(
-            server.addr(),
-            Duration::from_millis(100),
-            |_| {},
-            |_| false,
-        )
-        .unwrap();
+        let count =
+            watch_lines(server.addr(), Duration::from_millis(100), |_| {}, |_| false).unwrap();
         assert_eq!(count, 1);
     }
 }

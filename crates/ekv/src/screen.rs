@@ -36,9 +36,7 @@ pub struct InstallScreen {
 impl InstallScreen {
     /// Start a screen for an install of `total_packages` / `total_bytes`.
     pub fn new(total_packages: usize, total_bytes: u64) -> InstallScreen {
-        InstallScreen {
-            state: PanelState { total_packages, total_bytes, ..Default::default() },
-        }
+        InstallScreen { state: PanelState { total_packages, total_bytes, ..Default::default() } }
     }
 
     /// Record that `package` (with `size_bytes`, described by `summary`)

@@ -120,9 +120,8 @@ impl EkvServer {
     pub fn publish(&self, line: &str) {
         self.backlog.lock().push(line.to_string());
         let mut clients = self.clients.lock();
-        clients.retain_mut(|stream| {
-            writeln!(stream, "{line}").and_then(|_| stream.flush()).is_ok()
-        });
+        clients
+            .retain_mut(|stream| writeln!(stream, "{line}").and_then(|_| stream.flush()).is_ok());
     }
 
     /// Number of currently-connected watchers.
@@ -258,7 +257,7 @@ mod tests {
             let _reader = connect(server.addr());
             wait_for_watchers(&server, 1);
         } // reader dropped: TCP closed
-        // Publishing twice flushes out the dead client.
+          // Publishing twice flushes out the dead client.
         server.publish("a");
         server.publish("b");
         server.publish("c");
@@ -287,10 +286,7 @@ mod tests {
         writeln!(write_half, "format-disk yes").unwrap();
         write_half.flush().unwrap();
         assert_eq!(server.wait_input(Duration::from_secs(5)).as_deref(), Some("ok"));
-        assert_eq!(
-            server.wait_input(Duration::from_secs(5)).as_deref(),
-            Some("format-disk yes")
-        );
+        assert_eq!(server.wait_input(Duration::from_secs(5)).as_deref(), Some("format-disk yes"));
         assert_eq!(server.read_input(), None);
     }
 

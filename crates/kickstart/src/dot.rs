@@ -18,8 +18,7 @@ pub fn to_dot(graph: &Graph) -> String {
         if edge.arches.is_empty() {
             out.push_str(&format!("  \"{}\" -> \"{}\";\n", edge.from, edge.to));
         } else {
-            let label =
-                edge.arches.iter().map(|a| a.as_str()).collect::<Vec<_>>().join(",");
+            let label = edge.arches.iter().map(|a| a.as_str()).collect::<Vec<_>>().join(",");
             out.push_str(&format!(
                 "  \"{}\" -> \"{}\" [label=\"{label}\", style=dashed];\n",
                 edge.from, edge.to

@@ -60,10 +60,7 @@ impl FrontendForm {
             })
         };
         if self.cluster_name.is_empty()
-            || !self
-                .cluster_name
-                .chars()
-                .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+            || !self.cluster_name.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
         {
             return field_err("cluster_name", "must be non-empty [A-Za-z0-9_-]");
         }
@@ -164,11 +161,9 @@ mod tests {
         assert!(bad_ip.validate().is_err());
         let bad_name = FrontendForm { cluster_name: "has space".into(), ..Default::default() };
         assert!(bad_name.validate().is_err());
-        let unqualified =
-            FrontendForm { public_hostname: "frontend".into(), ..Default::default() };
+        let unqualified = FrontendForm { public_hostname: "frontend".into(), ..Default::default() };
         assert!(unqualified.validate().is_err());
-        let empty_pw =
-            FrontendForm { root_password_crypted: "  ".into(), ..Default::default() };
+        let empty_pw = FrontendForm { root_password_crypted: "  ".into(), ..Default::default() };
         assert!(empty_pw.validate().is_err());
         let bad_octet = FrontendForm { gateway: "1.2.3.256".into(), ..Default::default() };
         assert!(bad_octet.validate().is_err());

@@ -80,67 +80,91 @@ impl KickstartGenerator {
     /// The full CGI flow: resolve the requesting IP through the cluster
     /// database (node → membership → appliance → graph root), apply
     /// per-node localization, traverse, and render.
+    ///
+    /// Takes `&ClusterDb` — the lookups are pure reads, so any number of
+    /// requests may be served concurrently against one shared database
+    /// (this is what lets [`crate::service::GenerationService`] fan out
+    /// across worker threads).
     pub fn generate_for_request(
         &self,
-        db: &mut ClusterDb,
+        db: &ClusterDb,
         requester_ip: &str,
         arch: Arch,
     ) -> Result<KickstartFile> {
+        let (root, node, membership) = self.resolve_request(db, requester_ip)?;
+        let mut ks = self.generate_for_appliance(&root, arch)?;
+        self.localize(&mut ks, db, &node.name, &membership.name)?;
+        Ok(ks)
+    }
+
+    /// SQL resolution half of the CGI flow: requesting IP → node row →
+    /// membership → appliance graph root. Split out so the generation
+    /// service can run it separately from (cacheable) graph traversal.
+    pub fn resolve_request(
+        &self,
+        db: &ClusterDb,
+        requester_ip: &str,
+    ) -> Result<(String, rocks_db::NodeRecord, rocks_db::Membership)> {
         // SQL query 1: which node is this? (keyed on IP, as the paper says)
-        let rows = db
-            .sql()
-            .query(&format!(
-                "select name, membership from nodes where ip = '{}'",
-                rocks_db::sql_escape(requester_ip)
-            ))
-            .map_err(|e| KsError::Db(e.to_string()))?;
-        let row = rows
-            .rows
-            .first()
-            .ok_or_else(|| KsError::UnknownAddress(requester_ip.to_string()))?;
-        let node_name = row[0].render();
-        let membership_id = row[1].as_int().unwrap_or(0);
+        let node = db.node_by_ip(requester_ip).map_err(|e| match e {
+            rocks_db::DbError::NoSuchNode(_) => KsError::UnknownAddress(requester_ip.to_string()),
+            other => KsError::Db(other.to_string()),
+        })?;
 
         // SQL query 2: membership → appliance.
-        let membership = db.membership(membership_id)?;
+        let membership = db.membership(node.membership)?;
 
         // SQL query 3: appliance → graph root.
-        let roots = db
-            .sql()
-            .query(&format!(
-                "select graph_node from appliances where id = {}",
+        let root = db.appliance_root(membership.appliance)?.ok_or_else(|| {
+            KsError::Db(format!(
+                "appliance {} has no kickstartable graph root",
                 membership.appliance
             ))
-            .map_err(|e| KsError::Db(e.to_string()))?;
-        let root = roots
-            .rows
-            .first()
-            .map(|r| r[0].render())
-            .filter(|r| !r.is_empty())
-            .ok_or_else(|| {
-                KsError::Db(format!(
-                    "appliance {} has no kickstartable graph root",
-                    membership.appliance
-                ))
-            })?;
+        })?;
+        Ok((root, node, membership))
+    }
 
-        let mut ks = self.generate_for_appliance(&root, arch)?;
+    /// Localization half of the CGI flow: node identity plus site globals
+    /// become a `%post` environment block exported to every script, and
+    /// the node's hostname lands in the `network` directive. Applied to a
+    /// freshly traversed skeleton *or* to a cached copy of one — the two
+    /// paths must stay byte-identical.
+    pub fn localize(
+        &self,
+        ks: &mut KickstartFile,
+        db: &ClusterDb,
+        node_name: &str,
+        membership_name: &str,
+    ) -> Result<()> {
+        let public = db.global("Kickstart_PublicHostname")?;
+        self.localize_resolved(ks, node_name, membership_name, public.as_deref());
+        Ok(())
+    }
 
-        // Localization: node identity plus site globals become %post
-        // environment exported to every script.
+    /// [`localize`](Self::localize) with the site globals already fetched
+    /// — the hot inner loop of mass generation, where one SQL lookup
+    /// serves every node instead of one per node.
+    pub fn localize_resolved(
+        &self,
+        ks: &mut KickstartFile,
+        node_name: &str,
+        membership_name: &str,
+        public_hostname: Option<&str>,
+    ) {
         let mut localization = format!(
-            "# Node localization from the cluster database\nexport NODE_NAME={node_name}\nexport NODE_MEMBERSHIP='{}'\n",
-            membership.name
+            "# Node localization from the cluster database\nexport NODE_NAME={node_name}\nexport NODE_MEMBERSHIP='{membership_name}'\n"
         );
-        if let Some(public) = db.global("Kickstart_PublicHostname")? {
+        if let Some(public) = public_hostname {
             localization.push_str(&format!("export PUBLIC_HOSTNAME={public}\n"));
         }
         ks.posts.insert(
             0,
-            crate::kickstart::PostScript { script: localization, origin: "sql-localization".into() },
+            crate::kickstart::PostScript {
+                script: localization,
+                origin: "sql-localization".into(),
+            },
         );
         ks.add_command("network", &format!("--bootproto dhcp --hostname {node_name}"));
-        Ok(ks)
     }
 }
 
@@ -205,10 +229,10 @@ mod tests {
 
     #[test]
     fn request_flow_resolves_ip_to_appliance() {
-        let mut db = populated_db();
+        let db = populated_db();
         let gen = generator();
         // compute-0-0 got 10.255.255.254 (first allocation).
-        let ks = gen.generate_for_request(&mut db, "10.255.255.254", Arch::I686).unwrap();
+        let ks = gen.generate_for_request(&db, "10.255.255.254", Arch::I686).unwrap();
         let text = ks.render();
         assert!(text.contains("--hostname compute-0-0"));
         assert!(text.contains("export NODE_NAME=compute-0-0"));
@@ -217,10 +241,8 @@ mod tests {
 
     #[test]
     fn unknown_ip_is_denied() {
-        let mut db = populated_db();
-        let err = generator()
-            .generate_for_request(&mut db, "10.9.9.9", Arch::I686)
-            .unwrap_err();
+        let db = populated_db();
+        let err = generator().generate_for_request(&db, "10.9.9.9", Arch::I686).unwrap_err();
         assert!(matches!(err, KsError::UnknownAddress(_)));
     }
 
@@ -228,16 +250,14 @@ mod tests {
     fn localization_includes_site_globals() {
         let mut db = populated_db();
         db.set_global("Kickstart_PublicHostname", "meteor.sdsc.edu").unwrap();
-        let ks = generator()
-            .generate_for_request(&mut db, "10.255.255.254", Arch::I686)
-            .unwrap();
+        let ks = generator().generate_for_request(&db, "10.255.255.254", Arch::I686).unwrap();
         assert!(ks.render().contains("export PUBLIC_HOSTNAME=meteor.sdsc.edu"));
     }
 
     #[test]
     fn frontend_request_uses_frontend_graph_root() {
-        let mut db = populated_db();
-        let ks = generator().generate_for_request(&mut db, "10.1.1.1", Arch::I686).unwrap();
+        let db = populated_db();
+        let ks = generator().generate_for_request(&db, "10.1.1.1", Arch::I686).unwrap();
         let text = ks.render();
         assert!(text.contains("--hostname frontend-0"));
         assert!(text.contains("mysql-server"));

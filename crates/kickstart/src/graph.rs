@@ -102,13 +102,15 @@ impl Graph {
                 .with_attr("from", edge.from.clone())
                 .with_attr("to", edge.to.clone());
             if !edge.arches.is_empty() {
-                let list =
-                    edge.arches.iter().map(|a| a.as_str()).collect::<Vec<_>>().join(",");
+                let list = edge.arches.iter().map(|a| a.as_str()).collect::<Vec<_>>().join(",");
                 el.set_attr("arch", list);
             }
             root.push(rocks_xml::Node::Element(el));
         }
-        rocks_xml::write_document(&rocks_xml::Document::from_root(root), rocks_xml::WriteStyle::Pretty)
+        rocks_xml::write_document(
+            &rocks_xml::Document::from_root(root),
+            rocks_xml::WriteStyle::Pretty,
+        )
     }
 
     /// Add an edge programmatically (used by site customization, §6.2.3).
@@ -118,22 +120,15 @@ impl Graph {
 
     /// All module names mentioned anywhere in the graph.
     pub fn mentioned(&self) -> BTreeSet<&str> {
-        self.edges
-            .iter()
-            .flat_map(|e| [e.from.as_str(), e.to.as_str()])
-            .collect()
+        self.edges.iter().flat_map(|e| [e.from.as_str(), e.to.as_str()]).collect()
     }
 
     /// Root names: modules that appear as `from` but never as `to`.
     /// "The roots of the graph represent appliances."
     pub fn roots(&self) -> Vec<&str> {
         let targets: BTreeSet<&str> = self.edges.iter().map(|e| e.to.as_str()).collect();
-        let mut roots: Vec<&str> = self
-            .edges
-            .iter()
-            .map(|e| e.from.as_str())
-            .filter(|f| !targets.contains(f))
-            .collect();
+        let mut roots: Vec<&str> =
+            self.edges.iter().map(|e| e.from.as_str()).filter(|f| !targets.contains(f)).collect();
         roots.dedup();
         let mut seen = BTreeSet::new();
         roots.retain(|r| seen.insert(*r));
@@ -226,10 +221,7 @@ pub struct ProfileSet {
 impl ProfileSet {
     /// Build from parts.
     pub fn new(graph: Graph, nodes: Vec<NodeFile>) -> ProfileSet {
-        ProfileSet {
-            graph,
-            nodes: nodes.into_iter().map(|n| (n.name.clone(), n)).collect(),
-        }
+        ProfileSet { graph, nodes: nodes.into_iter().map(|n| (n.name.clone(), n)).collect() }
     }
 
     /// Add or replace a node file (site customization).
@@ -359,10 +351,7 @@ mod tests {
     #[test]
     fn unknown_root_errors() {
         let graph = paper_graph();
-        assert!(matches!(
-            graph.traverse("toaster", Arch::I386),
-            Err(KsError::UnknownRoot(_))
-        ));
+        assert!(matches!(graph.traverse("toaster", Arch::I386), Err(KsError::UnknownRoot(_))));
     }
 
     #[test]
@@ -392,8 +381,6 @@ mod tests {
         let errors = set.validate();
         // Missing: c-development, frontend, dhcp-server.
         assert_eq!(errors.len(), 3);
-        assert!(errors
-            .iter()
-            .all(|e| matches!(e, KsError::UndefinedNode { .. })));
+        assert!(errors.iter().all(|e| matches!(e, KsError::UndefinedNode { .. })));
     }
 }

@@ -21,6 +21,12 @@
 //! The default Rocks graph and node files ship in [`profiles`], [`dot`]
 //! renders the graph in Graphviz format (Figure 4), and [`form`]
 //! implements the §7 web form that builds the frontend's own Kickstart.
+//!
+//! For mass reinstalls, [`service::GenerationService`] wraps the
+//! generator in a thread-safe memoizing layer: appliance skeletons are
+//! cached against the cluster-DB revision and rocks-dist epoch, and
+//! [`service::GenerationService::generate_all`] fans per-node generation
+//! out across a worker pool.
 
 pub mod dot;
 pub mod form;
@@ -29,12 +35,14 @@ pub mod graph;
 pub mod kickstart;
 pub mod nodefile;
 pub mod profiles;
+pub mod service;
 
 pub use form::FrontendForm;
 pub use generator::KickstartGenerator;
 pub use graph::{Edge, Graph, ProfileSet};
 pub use kickstart::{KickstartFile, PostScript};
 pub use nodefile::NodeFile;
+pub use service::{GeneratedProfile, GenerationService, Stats};
 
 /// Errors from profile parsing, graph traversal, or generation.
 #[derive(Debug, Clone, PartialEq)]

@@ -328,10 +328,7 @@ mod tests {
 
     #[test]
     fn bad_root_and_empty_package_rejected() {
-        assert!(matches!(
-            NodeFile::parse("x", "<graph/>"),
-            Err(KsError::BadNodeFile { .. })
-        ));
+        assert!(matches!(NodeFile::parse("x", "<graph/>"), Err(KsError::BadNodeFile { .. })));
         assert!(matches!(
             NodeFile::parse("x", "<kickstart><package>  </package></kickstart>"),
             Err(KsError::BadNodeFile { .. })
@@ -401,8 +398,7 @@ mod tests {
 
     #[test]
     fn empty_post_is_dropped() {
-        let nf =
-            NodeFile::parse("x", "<kickstart><post>   </post></kickstart>").unwrap();
+        let nf = NodeFile::parse("x", "<kickstart><post>   </post></kickstart>").unwrap();
         assert!(nf.posts.is_empty());
     }
 }

@@ -1,0 +1,506 @@
+//! A shared, thread-safe Kickstart generation service.
+//!
+//! The paper's CGI script (§6.1) regenerates every Kickstart file from
+//! scratch on each HTTP request. That is correct but wasteful: within one
+//! mass reinstall, the expensive half of the work — parsing the XML graph
+//! and traversing it for an appliance type — produces the *same* skeleton
+//! for every node of that appliance; only the final SQL localization pass
+//! (hostname, membership, site globals) differs per node.
+//!
+//! [`GenerationService`] exploits that split. It memoizes the rendered
+//! appliance skeleton keyed by `(graph root, architecture)` *plus* the
+//! inputs that could silently change it:
+//!
+//! * the cluster database's monotonic [`ClusterDb::revision`] counter,
+//!   bumped by every mutation (`insert-ethers` registering nodes, new
+//!   memberships, site-global edits, raw SQL writes), and
+//! * a distribution *epoch* bumped by [`notify_dist_rebuilt`] whenever
+//!   `rocks-dist` rebuilds the software repository (§6.2) — new RPMs mean
+//!   regenerated `%packages` sections.
+//!
+//! Any stale entry is evicted on the next lookup, so explicit cache
+//! invalidation falls out of key comparison; no mutation path needs to
+//! reach into the cache. Cache behaviour is observable through [`Stats`].
+//!
+//! [`generate_all`](GenerationService::generate_all) is the mass-reinstall
+//! entry point: it shards the cluster's kickstartable nodes across a
+//! worker pool of OS threads. Every worker performs read-only SQL lookups
+//! against the *shared* `&ClusterDb` concurrently (see
+//! [`rocks_sql::Database::query_ref`]) and localizes a cached skeleton per
+//! node. Output is byte-identical to the sequential cold path.
+//!
+//! [`notify_dist_rebuilt`]: GenerationService::notify_dist_rebuilt
+
+use crate::generator::KickstartGenerator;
+use crate::kickstart::KickstartFile;
+use crate::Result;
+use rocks_db::ClusterDb;
+use rocks_rpm::Arch;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Cache key: everything that can change a rendered appliance skeleton.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct SkeletonKey {
+    root: String,
+    arch: Arch,
+    db_revision: u64,
+    dist_epoch: u64,
+}
+
+/// Monotonic counters describing the service's behaviour since creation
+/// (or the last [`Stats::reset`]). All counters are atomics: workers
+/// update them lock-free from inside the pool.
+#[derive(Debug, Default)]
+pub struct Stats {
+    /// Requests served from a cached skeleton.
+    hits: AtomicU64,
+    /// Requests that had to traverse the graph.
+    misses: AtomicU64,
+    /// Cached skeletons evicted because the database revision or dist
+    /// epoch moved on.
+    invalidations: AtomicU64,
+    /// Nanoseconds spent resolving IP → appliance through SQL.
+    lookup_ns: AtomicU64,
+    /// Nanoseconds spent traversing the graph and assembling skeletons
+    /// (cache misses only).
+    skeleton_ns: AtomicU64,
+    /// Nanoseconds spent on per-node localization.
+    localize_ns: AtomicU64,
+}
+
+impl Stats {
+    /// Requests served from cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Requests that rebuilt a skeleton.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Stale skeletons evicted.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative SQL-resolution time in nanoseconds.
+    pub fn lookup_ns(&self) -> u64 {
+        self.lookup_ns.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative graph-traversal/skeleton-assembly time in nanoseconds.
+    pub fn skeleton_ns(&self) -> u64 {
+        self.skeleton_ns.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative localization time in nanoseconds.
+    pub fn localize_ns(&self) -> u64 {
+        self.localize_ns.load(Ordering::Relaxed)
+    }
+
+    /// Zero every counter.
+    pub fn reset(&self) {
+        for counter in [
+            &self.hits,
+            &self.misses,
+            &self.invalidations,
+            &self.lookup_ns,
+            &self.skeleton_ns,
+            &self.localize_ns,
+        ] {
+            counter.store(0, Ordering::Relaxed);
+        }
+    }
+
+    fn add_ns(counter: &AtomicU64, since: Instant) {
+        counter.fetch_add(since.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Display for Stats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "hits={} misses={} invalidations={} lookup={}us skeleton={}us localize={}us",
+            self.hits(),
+            self.misses(),
+            self.invalidations(),
+            self.lookup_ns() / 1_000,
+            self.skeleton_ns() / 1_000,
+            self.localize_ns() / 1_000,
+        )
+    }
+}
+
+/// One generated profile from [`GenerationService::generate_all`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeneratedProfile {
+    /// Node hostname (`compute-0-0`, ...).
+    pub node: String,
+    /// The node's private address, as the CGI script would have seen it.
+    pub ip: String,
+    /// The rendered profile.
+    pub kickstart: KickstartFile,
+}
+
+/// The shared generation service. `&GenerationService` is all a worker
+/// thread needs: the profile set is immutable, the skeleton cache sits
+/// behind a mutex, and [`Stats`] is atomic.
+#[derive(Debug)]
+pub struct GenerationService {
+    generator: KickstartGenerator,
+    cache: Mutex<HashMap<SkeletonKey, Arc<KickstartFile>>>,
+    dist_epoch: AtomicU64,
+    stats: Stats,
+}
+
+impl GenerationService {
+    /// Wrap a generator in the caching service.
+    pub fn new(generator: KickstartGenerator) -> Self {
+        GenerationService {
+            generator,
+            cache: Mutex::new(HashMap::new()),
+            dist_epoch: AtomicU64::new(0),
+            stats: Stats::default(),
+        }
+    }
+
+    /// The wrapped generator, read-only.
+    pub fn generator(&self) -> &KickstartGenerator {
+        &self.generator
+    }
+
+    /// Mutable access to the generator, for site customization (§6.2.3:
+    /// editing the XML profiles). Requires `&mut self` — no worker can be
+    /// in flight — and conservatively drops every cached skeleton, since
+    /// any profile edit may change any appliance's output.
+    pub fn generator_mut(&mut self) -> &mut KickstartGenerator {
+        self.invalidate_all();
+        &mut self.generator
+    }
+
+    /// The cached appliance skeleton for `(root, arch)` — the profile
+    /// *before* per-node localization, which is what consistency checks
+    /// and install-image computations want. Shares the request cache.
+    pub fn appliance_profile(
+        &self,
+        db: &ClusterDb,
+        root: &str,
+        arch: Arch,
+    ) -> Result<Arc<KickstartFile>> {
+        self.skeleton(db, root, arch)
+    }
+
+    /// Cache and timing counters.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Rocks-dist invalidation hook: call after `rocks-dist` rebuilds the
+    /// distribution tree (§6.2). Bumps the epoch so every cached skeleton
+    /// — whose `%packages` section may now be stale — misses on next use.
+    pub fn notify_dist_rebuilt(&self) {
+        self.dist_epoch.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Drop every cached skeleton immediately, counting the evictions.
+    pub fn invalidate_all(&self) {
+        let mut cache = self.cache.lock().unwrap();
+        let evicted = cache.len() as u64;
+        cache.clear();
+        self.stats.invalidations.fetch_add(evicted, Ordering::Relaxed);
+    }
+
+    /// Number of live (possibly stale) cache entries, for tests/inspection.
+    pub fn cached_skeletons(&self) -> usize {
+        self.cache.lock().unwrap().len()
+    }
+
+    /// Cached equivalent of
+    /// [`KickstartGenerator::generate_for_request`]: same output, bytes
+    /// for bytes, but the graph traversal is amortized across all nodes
+    /// of an appliance.
+    pub fn generate_for_request(
+        &self,
+        db: &ClusterDb,
+        requester_ip: &str,
+        arch: Arch,
+    ) -> Result<KickstartFile> {
+        let t = Instant::now();
+        let (root, node, membership) = self.generator.resolve_request(db, requester_ip)?;
+        Stats::add_ns(&self.stats.lookup_ns, t);
+
+        let skeleton = self.skeleton(db, &root, arch)?;
+
+        let t = Instant::now();
+        let mut ks = (*skeleton).clone();
+        self.generator.localize(&mut ks, db, &node.name, &membership.name)?;
+        Stats::add_ns(&self.stats.localize_ns, t);
+        Ok(ks)
+    }
+
+    /// Fetch or build the cached skeleton for `(root, arch)` under the
+    /// current database revision and dist epoch.
+    fn skeleton(&self, db: &ClusterDb, root: &str, arch: Arch) -> Result<Arc<KickstartFile>> {
+        let key = SkeletonKey {
+            root: root.to_string(),
+            arch,
+            db_revision: db.revision(),
+            dist_epoch: self.dist_epoch.load(Ordering::Relaxed),
+        };
+
+        {
+            let mut cache = self.cache.lock().unwrap();
+            // Evict entries left behind by older revisions/epochs: they
+            // can never hit again, and counting them here is what makes
+            // invalidation observable through `Stats`.
+            let before = cache.len();
+            cache.retain(|k, _| k.db_revision == key.db_revision && k.dist_epoch == key.dist_epoch);
+            let evicted = (before - cache.len()) as u64;
+            if evicted > 0 {
+                self.stats.invalidations.fetch_add(evicted, Ordering::Relaxed);
+            }
+            if let Some(hit) = cache.get(&key) {
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(hit));
+            }
+        }
+
+        // Miss: build outside the lock so other appliances' workers are
+        // not serialized behind this traversal. Two threads may race to
+        // build the same skeleton; both produce identical bytes and the
+        // second insert is a harmless overwrite.
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        let t = Instant::now();
+        let built = Arc::new(self.generator.generate_for_appliance(root, arch)?);
+        Stats::add_ns(&self.stats.skeleton_ns, t);
+
+        let mut cache = self.cache.lock().unwrap();
+        cache.insert(key, Arc::clone(&built));
+        Ok(built)
+    }
+
+    /// [`generate_all`](Self::generate_all) with the worker count sized
+    /// to the host: one worker per available core, which degenerates to
+    /// the zero-overhead sequential loop on a single-core machine.
+    pub fn generate_all_auto(&self, db: &ClusterDb, arch: Arch) -> Result<Vec<GeneratedProfile>> {
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        self.generate_all(db, arch, workers)
+    }
+
+    /// Mass generation: one profile per kickstartable node in the
+    /// database (nodes whose appliance has no graph root — switches,
+    /// power controllers — are skipped, exactly as they never issue a
+    /// kickstart request). Results are sorted by node name and
+    /// byte-identical to calling the cold generator per node.
+    ///
+    /// `threads = 1` degenerates to a sequential loop on the calling
+    /// thread; larger values shard the node list across a worker pool of
+    /// scoped OS threads, every worker reading the shared `db` through
+    /// the lock-free `query_ref` path.
+    pub fn generate_all(
+        &self,
+        db: &ClusterDb,
+        arch: Arch,
+        threads: usize,
+    ) -> Result<Vec<GeneratedProfile>> {
+        // Bulk SQL resolution: three whole-table reads replace the three
+        // per-node queries of the CGI path. Everything a worker needs per
+        // node is resolved up front, so the fan-out loop touches no SQL.
+        let t = Instant::now();
+        let nodes = db.nodes()?;
+        let mut appliances: HashMap<i64, (String, Option<String>)> = HashMap::new();
+        for membership in db.memberships()? {
+            let root = db.appliance_root(membership.appliance)?;
+            appliances.insert(membership.id, (membership.name, root));
+        }
+        let public = db.global("Kickstart_PublicHostname")?;
+
+        // (name, ip, graph root, membership name) per kickstartable node.
+        let mut targets: Vec<(String, String, String, String)> = Vec::new();
+        for node in &nodes {
+            let Some((membership_name, Some(root))) = appliances.get(&node.membership) else {
+                continue; // switches, PDUs: no kickstart request ever comes
+            };
+            targets.push((
+                node.name.clone(),
+                node.ip.to_string(),
+                root.clone(),
+                membership_name.clone(),
+            ));
+        }
+        targets.sort();
+        Stats::add_ns(&self.stats.lookup_ns, t);
+
+        // Resolve each distinct appliance skeleton once through the
+        // shared cache, then hand the Arcs straight to the workers: the
+        // per-node loop touches no lock at all.
+        let mut skeletons: HashMap<&str, Arc<KickstartFile>> = HashMap::new();
+        for (_, _, root, _) in &targets {
+            if !skeletons.contains_key(root.as_str()) {
+                skeletons.insert(root, self.skeleton(db, root, arch)?);
+            }
+        }
+
+        let generate_one = |(name, ip, root, membership_name): &(
+            String,
+            String,
+            String,
+            String,
+        )|
+         -> Result<GeneratedProfile> {
+            // Present by construction; logically a cache hit per node.
+            let skeleton = &skeletons[root.as_str()];
+            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+            let t = Instant::now();
+            let mut ks = (**skeleton).clone();
+            self.generator.localize_resolved(&mut ks, name, membership_name, public.as_deref());
+            Stats::add_ns(&self.stats.localize_ns, t);
+            Ok(GeneratedProfile { node: name.clone(), ip: ip.clone(), kickstart: ks })
+        };
+
+        let threads = threads.max(1).min(targets.len().max(1));
+        if threads == 1 {
+            return targets.iter().map(generate_one).collect();
+        }
+
+        // Shard round-robin so a rack of identical compute nodes spreads
+        // evenly. Each worker returns (original index, profile) and the
+        // final sort restores node-name order deterministically.
+        let mut results: Vec<Result<Vec<(usize, GeneratedProfile)>>> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for worker in 0..threads {
+                let targets = &targets;
+                let generate_one = &generate_one;
+                let handle = scope.spawn(move || -> Result<Vec<(usize, GeneratedProfile)>> {
+                    let mut local = Vec::new();
+                    for (idx, target) in targets.iter().enumerate().skip(worker).step_by(threads) {
+                        local.push((idx, generate_one(target)?));
+                    }
+                    Ok(local)
+                });
+                handles.push(handle);
+            }
+            for handle in handles {
+                results.push(handle.join().expect("generation worker panicked"));
+            }
+        });
+
+        let mut indexed = Vec::with_capacity(targets.len());
+        for shard in results {
+            indexed.extend(shard?);
+        }
+        indexed.sort_by_key(|(idx, _)| *idx);
+        Ok(indexed.into_iter().map(|(_, profile)| profile).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::default_profiles;
+    use rocks_db::insert_ethers::{register_frontend, DhcpRequest, InsertEthers};
+
+    fn service() -> GenerationService {
+        GenerationService::new(KickstartGenerator::new(
+            default_profiles(),
+            "10.1.1.1",
+            "install/rocks-dist",
+        ))
+    }
+
+    fn cluster(computes: usize) -> ClusterDb {
+        let mut db = ClusterDb::new();
+        register_frontend(&mut db, "00:30:c1:d8:ac:80", "frontend-0").unwrap();
+        let mut s = InsertEthers::start(&mut db, "Compute", 0).unwrap();
+        for i in 0..computes {
+            s.observe(&DhcpRequest { mac: format!("00:50:8b:e0:{:02x}:{:02x}", i / 256, i % 256) })
+                .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn cached_request_matches_cold_generator() {
+        let db = cluster(2);
+        let svc = service();
+        for ip in ["10.255.255.254", "10.255.255.253", "10.1.1.1"] {
+            let cold = svc.generator().generate_for_request(&db, ip, Arch::I686).unwrap();
+            let warm = svc.generate_for_request(&db, ip, Arch::I686).unwrap();
+            assert_eq!(cold.render(), warm.render(), "divergence for {ip}");
+        }
+    }
+
+    #[test]
+    fn second_request_hits_cache() {
+        let db = cluster(2);
+        let svc = service();
+        svc.generate_for_request(&db, "10.255.255.254", Arch::I686).unwrap();
+        assert_eq!(svc.stats().misses(), 1);
+        assert_eq!(svc.stats().hits(), 0);
+        svc.generate_for_request(&db, "10.255.255.253", Arch::I686).unwrap();
+        assert_eq!(svc.stats().misses(), 1, "same appliance skeleton must be reused");
+        assert_eq!(svc.stats().hits(), 1);
+    }
+
+    #[test]
+    fn db_mutation_invalidates() {
+        let mut db = cluster(1);
+        let svc = service();
+        svc.generate_for_request(&db, "10.255.255.254", Arch::I686).unwrap();
+        db.set_global("Kickstart_PublicHostname", "meteor.sdsc.edu").unwrap();
+        let ks = svc.generate_for_request(&db, "10.255.255.254", Arch::I686).unwrap();
+        assert!(ks.render().contains("meteor.sdsc.edu"));
+        assert_eq!(svc.stats().misses(), 2);
+        assert_eq!(svc.stats().invalidations(), 1);
+    }
+
+    #[test]
+    fn dist_rebuild_invalidates() {
+        let db = cluster(1);
+        let svc = service();
+        svc.generate_for_request(&db, "10.255.255.254", Arch::I686).unwrap();
+        svc.notify_dist_rebuilt();
+        svc.generate_for_request(&db, "10.255.255.254", Arch::I686).unwrap();
+        assert_eq!(svc.stats().misses(), 2);
+        assert_eq!(svc.stats().invalidations(), 1);
+    }
+
+    #[test]
+    fn generate_all_covers_kickstartable_nodes_only() {
+        let mut db = cluster(3);
+        // A switch: membership 4 maps to an appliance with no graph root.
+        db.add_node(&rocks_db::NodeRecord::new(
+            99,
+            "aa:bb:cc:dd:ee:ff",
+            "switch-0-0",
+            4,
+            0,
+            99,
+            rocks_db::Ipv4::new(10, 255, 1, 1),
+        ))
+        .unwrap();
+        let svc = service();
+        let profiles = svc.generate_all(&db, Arch::I686, 4).unwrap();
+        let names: Vec<&str> = profiles.iter().map(|p| p.node.as_str()).collect();
+        assert_eq!(names, vec!["compute-0-0", "compute-0-1", "compute-0-2", "frontend-0"]);
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let db = cluster(8);
+        let svc = service();
+        let seq = svc.generate_all(&db, Arch::I686, 1).unwrap();
+        let par = service().generate_all(&db, Arch::I686, 4).unwrap();
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(par.iter()) {
+            assert_eq!(a.node, b.node);
+            assert_eq!(a.kickstart.render(), b.kickstart.render());
+        }
+    }
+}

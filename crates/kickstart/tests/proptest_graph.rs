@@ -10,23 +10,27 @@ use rocks_rpm::Arch;
 /// cycles occur often).
 fn graph_strategy() -> impl Strategy<Value = Graph> {
     let node = prop_oneof![
-        Just("compute"), Just("base"), Just("mpi"), Just("cdev"),
-        Just("nis"), Just("pbs"), Just("ekv"), Just("myri"),
+        Just("compute"),
+        Just("base"),
+        Just("mpi"),
+        Just("cdev"),
+        Just("nis"),
+        Just("pbs"),
+        Just("ekv"),
+        Just("myri"),
     ];
-    proptest::collection::vec((node.clone(), node, proptest::bool::ANY), 1..20).prop_map(
-        |edges| {
-            let mut graph = Graph::default();
-            for (from, to, gate) in edges {
-                graph.add_edge(from, to);
-                if gate {
-                    // Gate the edge to IA-32 flavours only.
-                    let edge = graph.edges.last_mut().expect("just added");
-                    edge.arches = vec![Arch::I386, Arch::I686, Arch::Athlon];
-                }
+    proptest::collection::vec((node.clone(), node, proptest::bool::ANY), 1..20).prop_map(|edges| {
+        let mut graph = Graph::default();
+        for (from, to, gate) in edges {
+            graph.add_edge(from, to);
+            if gate {
+                // Gate the edge to IA-32 flavours only.
+                let edge = graph.edges.last_mut().expect("just added");
+                edge.arches = vec![Arch::I386, Arch::I686, Arch::Athlon];
             }
-            graph
-        },
-    )
+        }
+        graph
+    })
 }
 
 proptest! {

@@ -181,8 +181,7 @@ impl ClusterSim {
                     }
                 }
             }
-            let delivered: f64 =
-                self.engine.link_bytes()[..self.cfg.n_servers].iter().sum();
+            let delivered: f64 = self.engine.link_bytes()[..self.cfg.n_servers].iter().sum();
             self.samples.push((seconds(self.engine.now()), delivered));
         }
     }
@@ -208,18 +207,13 @@ impl ClusterSim {
             per_bucket[bucket] += moved;
             prev = (t, bytes);
         }
-        per_bucket
-            .into_iter()
-            .map(|bytes| (bytes / (bucket_s * capacity)).min(1.0))
-            .collect()
+        per_bucket.into_iter().map(|bytes| (bytes / (bucket_s * capacity)).min(1.0)).collect()
     }
 
     fn apply_fault(&mut self, idx: usize) {
         match self.faults[idx].clone() {
             Fault::ServerDown(id) => self.engine.set_link_capacity(id, 0.0),
-            Fault::ServerUp(id) => {
-                self.engine.set_link_capacity(id, self.cfg.server_capacity_bps)
-            }
+            Fault::ServerUp(id) => self.engine.set_link_capacity(id, self.cfg.server_capacity_bps),
             Fault::NodeHang(id) => self.nodes[id].hang(&mut self.engine),
             Fault::PowerCycle(id) => self.nodes[id].power_on(&mut self.engine, &self.cfg),
         }
@@ -268,7 +262,11 @@ pub fn serial_download_benchmark(cfg: &SimConfig) -> f64 {
 /// Largest concurrency that still reinstalls at "full speed": mean
 /// per-node time within `tolerance` of the single-node time. Doubling
 /// search then binary search, as the curve is monotone.
-pub fn max_full_speed_concurrency(make_cfg: &dyn Fn(u64) -> SimConfig, tolerance: f64, limit: usize) -> usize {
+pub fn max_full_speed_concurrency(
+    make_cfg: &dyn Fn(u64) -> SimConfig,
+    tolerance: f64,
+    limit: usize,
+) -> usize {
     let single = {
         let mut sim = ClusterSim::new(make_cfg(7), 1);
         sim.run_reinstall().mean_node_seconds()
@@ -387,7 +385,10 @@ mod tests {
         let mut replicated = ClusterSim::new(replicated_cfg, 24);
         let congested_mean = congested.run_reinstall().mean_node_seconds();
         let replicated_mean = replicated.run_reinstall().mean_node_seconds();
-        assert!(congested_mean > single * 1.15, "expected congestion: {congested_mean} vs {single}");
+        assert!(
+            congested_mean > single * 1.15,
+            "expected congestion: {congested_mean} vs {single}"
+        );
         assert!(replicated_mean < single * 1.10, "replicas should restore: {replicated_mean}");
     }
 

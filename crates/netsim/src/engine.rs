@@ -155,10 +155,8 @@ impl Engine {
         }
         let id = self.next_flow_id;
         self.next_flow_id += 1;
-        self.flows.insert(
-            id,
-            Flow { remaining: bytes as f64, demand_bps, route, tag, rate_bps: 0.0 },
-        );
+        self.flows
+            .insert(id, Flow { remaining: bytes as f64, demand_bps, route, tag, rate_bps: 0.0 });
         self.dirty = true;
         id
     }
@@ -269,12 +267,8 @@ impl Engine {
         }
 
         // Earliest timer.
-        let timer_idx = self
-            .timers
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, t)| t.at)
-            .map(|(i, t)| (t.at, i));
+        let timer_idx =
+            self.timers.iter().enumerate().min_by_key(|(_, t)| t.at).map(|(i, t)| (t.at, i));
 
         let (advance_to, is_timer) = match (flow_done, timer_idx) {
             (Some((ft, _)), Some((tt, _))) => {

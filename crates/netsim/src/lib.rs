@@ -30,8 +30,10 @@ pub mod cluster;
 pub mod config;
 pub mod engine;
 pub mod node;
+pub mod reinstall;
 
 pub use cluster::{ClusterSim, ReinstallOutcome, ReinstallResult};
 pub use config::{PackageWork, SimConfig};
 pub use engine::{micros, seconds, SimTime};
 pub use node::{NodeLogLine, NodeState};
+pub use reinstall::{mass_reinstall, provision_cluster, MassReinstallReport};

@@ -152,11 +152,19 @@ impl SimNode {
             NodeState::Dhcp => {
                 self.state = NodeState::KickstartFetch;
                 self.log_line(now, format!("{}: requesting kickstart via HTTP CGI", self.name));
-                engine.start_flow_routed(self.route.clone(), self.id, cfg.kickstart_bytes, cfg.per_stream_bps);
+                engine.start_flow_routed(
+                    self.route.clone(),
+                    self.id,
+                    cfg.kickstart_bytes,
+                    cfg.per_stream_bps,
+                );
             }
             NodeState::KickstartFetch => {
                 self.state = NodeState::Format;
-                self.log_line(now, format!("{}: formatting / (non-root partitions preserved)", self.name));
+                self.log_line(
+                    now,
+                    format!("{}: formatting / (non-root partitions preserved)", self.name),
+                );
                 let delay = self.jittered(cfg.format_s);
                 engine.start_timer(self.id, delay);
             }
@@ -194,7 +202,10 @@ impl SimNode {
             NodeState::PostConfig => {
                 if cfg.with_myrinet {
                     self.state = NodeState::MyrinetBuild;
-                    self.log_line(now, format!("{}: rebuilding Myrinet gm driver from source", self.name));
+                    self.log_line(
+                        now,
+                        format!("{}: rebuilding Myrinet gm driver from source", self.name),
+                    );
                     let delay = self.jittered(cfg.myrinet_s);
                     engine.start_timer(self.id, delay);
                 } else {
@@ -217,7 +228,12 @@ impl SimNode {
     fn start_fetch(&mut self, engine: &mut Engine, cfg: &SimConfig, i: usize) {
         self.state = NodeState::Fetch(i);
         let pkg = &cfg.packages[i];
-        engine.start_flow_routed(self.route.clone(), self.id, pkg.transfer_bytes, cfg.per_stream_bps);
+        engine.start_flow_routed(
+            self.route.clone(),
+            self.id,
+            pkg.transfer_bytes,
+            cfg.per_stream_bps,
+        );
     }
 
     fn begin_reboot(&mut self, engine: &mut Engine, cfg: &SimConfig, now: SimTime) {

@@ -1,0 +1,140 @@
+//! The mass-reinstall engine: cluster database → Kickstart generation
+//! service → network simulation, end to end.
+//!
+//! The paper's Table I experiment is really two systems working together:
+//! the frontend's CGI generator produces one Kickstart profile per
+//! requesting node (§6.1), and the HTTP server then feeds every node its
+//! profile and packages (§6.3). This module composes the reproduction's
+//! halves the same way: it registers the cluster in a [`ClusterDb`]
+//! (as `insert-ethers` would), asks a shared [`GenerationService`] to
+//! generate every profile across a worker pool, sizes the simulated
+//! kickstart transfer from the *actual* rendered bytes, and then runs the
+//! contention simulation.
+
+use crate::cluster::{ClusterSim, ReinstallResult};
+use crate::config::SimConfig;
+use rocks_db::insert_ethers::{register_frontend, DhcpRequest, InsertEthers};
+use rocks_db::ClusterDb;
+use rocks_kickstart::{GeneratedProfile, GenerationService};
+use rocks_rpm::Arch;
+use std::time::Instant;
+
+/// Everything one mass reinstall produced: the per-node profiles, the
+/// simulated network outcome, and how long (real time) generation took.
+#[derive(Debug)]
+pub struct MassReinstallReport {
+    /// One generated profile per kickstartable node, sorted by name.
+    pub profiles: Vec<GeneratedProfile>,
+    /// The simulated reinstall of the compute nodes.
+    pub result: ReinstallResult,
+    /// Real seconds spent generating profiles (the frontend-side cost the
+    /// cache and worker pool exist to shrink).
+    pub generation_seconds: f64,
+}
+
+/// Register a frontend plus `n_computes` compute nodes the way
+/// `insert-ethers` does during §6.4 integration: frontend first, then one
+/// DHCP observation per booting node in rack order.
+pub fn provision_cluster(n_computes: usize) -> ClusterDb {
+    let mut db = ClusterDb::new();
+    register_frontend(&mut db, "00:30:c1:d8:ac:80", "frontend-0")
+        .expect("frontend registration on a fresh database cannot fail");
+    let mut session = InsertEthers::start(&mut db, "Compute", 0)
+        .expect("insert-ethers session on a fresh database cannot fail");
+    for i in 0..n_computes {
+        session
+            .observe(&DhcpRequest { mac: format!("00:50:8b:e0:{:02x}:{:02x}", i / 256, i % 256) })
+            .expect("fresh MACs cannot collide");
+    }
+    db
+}
+
+/// Run one whole-cluster reinstall: generate every node's profile through
+/// `service` (fanning out over `threads` workers), then simulate the
+/// download/install storm for the compute nodes under `cfg`.
+pub fn mass_reinstall(
+    mut cfg: SimConfig,
+    db: &ClusterDb,
+    service: &GenerationService,
+    arch: Arch,
+    threads: usize,
+) -> rocks_kickstart::Result<MassReinstallReport> {
+    let started = Instant::now();
+    let profiles = service.generate_all(db, arch, threads)?;
+    let generation_seconds = started.elapsed().as_secs_f64();
+
+    let compute_names: std::collections::BTreeSet<String> = db
+        .compute_nodes()
+        .map_err(rocks_kickstart::KsError::from)?
+        .into_iter()
+        .map(|n| n.name)
+        .collect();
+    let compute_profiles: Vec<&GeneratedProfile> =
+        profiles.iter().filter(|p| compute_names.contains(&p.node)).collect();
+
+    // Size the simulated kickstart fetch from the real rendered profile
+    // instead of the calibration constant.
+    if let Some(profile) = compute_profiles.first() {
+        cfg.kickstart_bytes = profile.kickstart.render().len() as u64;
+    }
+
+    let mut sim = ClusterSim::new(cfg, compute_profiles.len());
+    let result = sim.run_reinstall();
+    Ok(MassReinstallReport { profiles, result, generation_seconds })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rocks_kickstart::KickstartGenerator;
+
+    fn small_cfg(seed: u64) -> SimConfig {
+        SimConfig::paper_testbed(seed).bundled(12)
+    }
+
+    fn service() -> GenerationService {
+        GenerationService::new(KickstartGenerator::new(
+            rocks_kickstart::profiles::default_profiles(),
+            "10.1.1.1",
+            "install/rocks-dist",
+        ))
+    }
+
+    #[test]
+    fn mass_reinstall_generates_and_installs_every_node() {
+        let db = provision_cluster(8);
+        let svc = service();
+        let report = mass_reinstall(small_cfg(1), &db, &svc, Arch::I686, 4).unwrap();
+        // 8 computes + the frontend get profiles; 8 computes reinstall.
+        assert_eq!(report.profiles.len(), 9);
+        assert_eq!(report.result.completed(), 8);
+        assert!(report.generation_seconds >= 0.0);
+    }
+
+    #[test]
+    fn generation_amortizes_graph_traversals() {
+        let db = provision_cluster(16);
+        let svc = service();
+        mass_reinstall(small_cfg(1), &db, &svc, Arch::I686, 8).unwrap();
+        // 17 nodes, 2 appliances: exactly 2 skeleton builds... plus at
+        // most a few duplicate builds from workers racing the first miss.
+        assert!(svc.stats().misses() <= 8, "misses {}", svc.stats().misses());
+        assert!(svc.stats().hits() >= 9, "hits {}", svc.stats().hits());
+    }
+
+    #[test]
+    fn kickstart_transfer_sized_from_rendered_profile() {
+        let db = provision_cluster(2);
+        let svc = service();
+        let report = mass_reinstall(small_cfg(1), &db, &svc, Arch::I686, 1).unwrap();
+        let compute = report
+            .profiles
+            .iter()
+            .find(|p| p.node == "compute-0-0")
+            .expect("compute profile present");
+        let rendered = compute.kickstart.render().len() as f64;
+        // The simulated transfer must include at least those bytes.
+        let delivered: f64 = report.result.server_bytes.iter().sum();
+        assert!(delivered > rendered * 2.0);
+    }
+}

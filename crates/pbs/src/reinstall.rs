@@ -63,8 +63,7 @@ impl ReinstallJob {
 
     fn begin_node(&mut self, server: &mut PbsServer, name: &str) -> Result<()> {
         server.set_node_state(name, NodeState::Down)?;
-        self.installing
-            .insert(name.to_string(), server.now() + self.reinstall_seconds);
+        self.installing.insert(name.to_string(), server.now() + self.reinstall_seconds);
         Ok(())
     }
 
@@ -113,10 +112,7 @@ impl ReinstallJob {
 
     /// Earliest pending completion, for event-driven callers.
     pub fn next_completion(&self) -> Option<f64> {
-        self.installing
-            .values()
-            .copied()
-            .min_by(|a, b| a.partial_cmp(b).expect("finite"))
+        self.installing.values().copied().min_by(|a, b| a.partial_cmp(b).expect("finite"))
     }
 
     /// Nodes already reinstalled.

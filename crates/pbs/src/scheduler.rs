@@ -38,9 +38,7 @@ pub fn schedule(server: &mut PbsServer) -> Vec<JobId> {
         for &candidate in queue.iter().skip(1) {
             let job = server.job(candidate).expect("queued job exists");
             let free_now = server.nodes_in_state(NodeState::Free);
-            if job.nodes <= free_now.len()
-                && server.now() + job.walltime_s <= reservation + 1e-9
-            {
+            if job.nodes <= free_now.len() && server.now() + job.walltime_s <= reservation + 1e-9 {
                 let assigned: Vec<String> = free_now.into_iter().take(job.nodes).collect();
                 server.start_job(candidate, assigned).expect("nodes are free");
                 started.push(candidate);
@@ -73,9 +71,7 @@ fn reservation_time(server: &PbsServer, wanted: usize) -> Option<f64> {
             JobState::Running { nodes, .. } => {
                 let returning = nodes
                     .iter()
-                    .filter(|n| {
-                        server.node_state(n).map(|s| s == NodeState::Busy).unwrap_or(false)
-                    })
+                    .filter(|n| server.node_state(n).map(|s| s == NodeState::Busy).unwrap_or(false))
                     .count();
                 j.finish_time().map(|t| (t, returning))
             }

@@ -113,10 +113,7 @@ impl PbsServer {
 
     /// A node's state.
     pub fn node_state(&self, name: &str) -> Result<NodeState> {
-        self.nodes
-            .get(name)
-            .copied()
-            .ok_or_else(|| PbsError::NoSuchNode(name.to_string()))
+        self.nodes.get(name).copied().ok_or_else(|| PbsError::NoSuchNode(name.to_string()))
     }
 
     /// Set a node's state directly (reinstall integration).
@@ -132,11 +129,7 @@ impl PbsServer {
 
     /// Nodes currently in `state`.
     pub fn nodes_in_state(&self, state: NodeState) -> Vec<String> {
-        self.nodes
-            .iter()
-            .filter(|(_, s)| **s == state)
-            .map(|(n, _)| n.clone())
-            .collect()
+        self.nodes.iter().filter(|(_, s)| **s == state).map(|(n, _)| n.clone()).collect()
     }
 
     /// Submit a job (`qsub`). Returns its id.
@@ -172,11 +165,8 @@ impl PbsServer {
 
     /// Queued jobs in submission order.
     pub fn queued(&self) -> Vec<JobId> {
-        let mut queued: Vec<&Job> = self
-            .jobs
-            .values()
-            .filter(|j| matches!(j.state, JobState::Queued))
-            .collect();
+        let mut queued: Vec<&Job> =
+            self.jobs.values().filter(|j| matches!(j.state, JobState::Queued)).collect();
         queued.sort_by(|a, b| {
             a.submitted_at
                 .partial_cmp(&b.submitted_at)

@@ -63,8 +63,7 @@ impl NodeAgent {
         let worker_next_pid = Arc::clone(&next_pid);
         let worker = std::thread::spawn(move || {
             while let Ok(request) = rx.recv() {
-                let exit =
-                    interpret(&worker_name, &worker_procs, &worker_next_pid, &request);
+                let exit = interpret(&worker_name, &worker_procs, &worker_next_pid, &request);
                 let _ = request.done.send(exit);
             }
         });
@@ -176,11 +175,8 @@ fn interpret(
         "pkill" => match args.first() {
             Some(name) => {
                 let mut table = procs.lock();
-                let victims: Vec<u32> = table
-                    .iter()
-                    .filter(|(_, n)| n == name)
-                    .map(|(pid, _)| *pid)
-                    .collect();
+                let victims: Vec<u32> =
+                    table.iter().filter(|(_, n)| n == name).map(|(pid, _)| *pid).collect();
                 for pid in &victims {
                     table.remove(pid);
                 }
@@ -205,9 +201,7 @@ fn interpret(
                         let _ = request.stderr.send(format!("{node}: interrupted"));
                         return 130;
                     }
-                    Err(TryRecvError::Empty) => {
-                        std::thread::sleep(Duration::from_millis(1))
-                    }
+                    Err(TryRecvError::Empty) => std::thread::sleep(Duration::from_millis(1)),
                     Err(TryRecvError::Disconnected) => break,
                 }
             }

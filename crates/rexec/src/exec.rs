@@ -144,37 +144,18 @@ impl<'a> Rexec<'a> {
             let (out_tx, out_rx) = unbounded::<String>();
             let (err_tx, err_rx) = unbounded::<String>();
             let node = agent.name().to_string();
-            let mux = output_tx.clone();
-            let mux_node = node.clone();
-            std::thread::spawn(move || {
-                // Forward until both streams close.
-                let mut out_open = true;
-                let mut err_open = true;
-                while out_open || err_open {
-                    crossbeam::channel::select! {
-                        recv(out_rx) -> line => match line {
-                            Ok(line) => {
-                                let _ = mux.send(NodeOutput {
-                                    node: mux_node.clone(),
-                                    stream: Stream::Stdout,
-                                    line,
-                                });
-                            }
-                            Err(_) => out_open = false,
-                        },
-                        recv(err_rx) -> line => match line {
-                            Ok(line) => {
-                                let _ = mux.send(NodeOutput {
-                                    node: mux_node.clone(),
-                                    stream: Stream::Stderr,
-                                    line,
-                                });
-                            }
-                            Err(_) => err_open = false,
-                        },
+            // One forwarder thread per stream; each drains its channel
+            // until the agent closes it. Per-stream line order is
+            // preserved, which is all the multiplexer guarantees anyway.
+            for (rx, stream) in [(out_rx, Stream::Stdout), (err_rx, Stream::Stderr)] {
+                let mux = output_tx.clone();
+                let mux_node = node.clone();
+                std::thread::spawn(move || {
+                    for line in rx.iter() {
+                        let _ = mux.send(NodeOutput { node: mux_node.clone(), stream, line });
                     }
-                }
-            });
+                });
+            }
             agent.submit(ExecRequest {
                 command: command.to_string(),
                 env: env.to_agent_env(),

@@ -94,11 +94,7 @@ pub fn rpmvercmp(a: &str, b: &str) -> Ordering {
             return if a_digit { Ordering::Greater } else { Ordering::Less };
         }
 
-        let ord = if a_digit {
-            compare_numeric(seg_a, seg_b)
-        } else {
-            seg_a.cmp(seg_b)
-        };
+        let ord = if a_digit { compare_numeric(seg_a, seg_b) } else { seg_a.cmp(seg_b) };
         if ord != Ordering::Equal {
             return ord;
         }

@@ -146,11 +146,7 @@ impl Repository {
 
     /// Current EVR for `name` on any architecture (highest across arches).
     pub fn newest_evr(&self, name: &str) -> Option<&Evr> {
-        self.packages
-            .values()
-            .filter(|p| p.name == name)
-            .map(|p| &p.evr)
-            .max()
+        self.packages.values().filter(|p| p.name == name).map(|p| &p.evr).max()
     }
 
     /// Versions displaced by newest-wins inserts since construction.
@@ -167,7 +163,11 @@ impl Repository {
     /// architecture `node_arch`: the set of packages that must be
     /// installed so every `requires` is satisfied. This is what turns a
     /// Kickstart `%packages` list into the actual transfer set.
-    pub fn closure(&self, roots: &[String], node_arch: Arch) -> Result<Vec<&Package>, ResolveError> {
+    pub fn closure(
+        &self,
+        roots: &[String],
+        node_arch: Arch,
+    ) -> Result<Vec<&Package>, ResolveError> {
         // Build a capability index once.
         let mut providers: BTreeMap<&str, Vec<&Package>> = BTreeMap::new();
         for p in self.iter_for_arch(node_arch) {
@@ -198,12 +198,11 @@ impl Repository {
                 if satisfied {
                     continue;
                 }
-                let candidates = providers.get(cap.as_str()).ok_or_else(|| {
-                    ResolveError::MissingCapability {
+                let candidates =
+                    providers.get(cap.as_str()).ok_or_else(|| ResolveError::MissingCapability {
                         requirer: pkg.ident(),
                         capability: cap.clone(),
-                    }
-                })?;
+                    })?;
                 // Deterministic choice: first provider in (name, arch) order.
                 let choice = candidates[0];
                 if selected.insert(choice.key()) {
@@ -279,7 +278,12 @@ mod tests {
     #[test]
     fn closure_pulls_requirements_transitively() {
         let mut repo = Repository::new("test");
-        repo.insert(Package::builder("mpich", "1.2.1-1").requires("libc").kind(PackageKind::Library).build());
+        repo.insert(
+            Package::builder("mpich", "1.2.1-1")
+                .requires("libc")
+                .kind(PackageKind::Library)
+                .build(),
+        );
         repo.insert(Package::builder("glibc", "2.2.4-19").provides("libc").build());
         repo.insert(Package::builder("gcc", "2.96-98").requires("binutils").build());
         repo.insert(pkg("binutils", "2.11.90-1"));
@@ -294,7 +298,9 @@ mod tests {
         let mut repo = Repository::new("test");
         repo.insert(Package::builder("pbs", "2.3.12-1").requires("tcl").build());
         let err = repo.closure(&["pbs".into()], Arch::I386).unwrap_err();
-        assert!(matches!(err, ResolveError::MissingCapability { capability, .. } if capability == "tcl"));
+        assert!(
+            matches!(err, ResolveError::MissingCapability { capability, .. } if capability == "tcl")
+        );
     }
 
     #[test]

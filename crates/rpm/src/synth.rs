@@ -266,8 +266,7 @@ pub fn rocks_local() -> Repository {
 /// process them: the fixed set (named base, kernel, gm, community MPI
 /// stack, Rocks eKV pieces) plus the generated filler packages.
 pub fn compute_package_names() -> Vec<String> {
-    let mut names: Vec<String> =
-        compute_fixed_set().into_iter().map(|(name, _)| name).collect();
+    let mut names: Vec<String> = compute_fixed_set().into_iter().map(|(name, _)| name).collect();
     for i in 0..filler_count() {
         names.push(format!("base-pkg-{i:03}"));
     }

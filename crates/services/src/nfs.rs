@@ -97,10 +97,7 @@ impl NfsServer {
         if self.mounts.iter().any(|(c, p)| c == client_ip && p == path) {
             Ok(())
         } else {
-            Err(MountError::NotExported {
-                path: path.to_string(),
-                client: client_ip.to_string(),
-            })
+            Err(MountError::NotExported { path: path.to_string(), client: client_ip.to_string() })
         }
     }
 

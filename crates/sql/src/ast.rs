@@ -20,10 +20,7 @@ impl ColumnRef {
 
     /// Qualified reference.
     pub fn qualified(table: &str, column: &str) -> Self {
-        ColumnRef {
-            table: Some(table.to_ascii_lowercase()),
-            column: column.to_ascii_lowercase(),
-        }
+        ColumnRef { table: Some(table.to_ascii_lowercase()), column: column.to_ascii_lowercase() }
     }
 }
 

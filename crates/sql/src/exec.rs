@@ -106,6 +106,22 @@ pub fn execute(db: &mut Database, stmt: Statement) -> Result<ExecOutcome> {
     }
 }
 
+/// Execute a parsed statement against a shared (read-only) database
+/// reference. Only `SELECT` is possible without mutation; write
+/// statements are rejected. This is the entry point for the concurrent
+/// Kickstart-generation read path, where many worker threads query one
+/// database snapshot without locking each other out.
+pub fn execute_readonly(db: &Database, stmt: Statement) -> Result<QueryResult> {
+    match stmt {
+        Statement::Select { items, from, where_clause, group_by, order_by, limit } => {
+            select(db, &items, &from, where_clause.as_ref(), &group_by, &order_by, limit)
+        }
+        _ => Err(SqlError::Unsupported(
+            "only SELECT may run on a read-only database reference".into(),
+        )),
+    }
+}
+
 /// Binding environment for expression evaluation over a (possibly joined)
 /// row: for each FROM table, its name, column names, and the slice of the
 /// joined row holding its values.
@@ -211,9 +227,7 @@ fn select(
     let tables: Vec<(&str, &Table)> = from
         .iter()
         .map(|name| {
-            db.table(name)
-                .map(|t| (t.name(), t))
-                .ok_or_else(|| SqlError::NoSuchTable(name.clone()))
+            db.table(name).map(|t| (t.name(), t)).ok_or_else(|| SqlError::NoSuchTable(name.clone()))
         })
         .collect::<Result<_>>()?;
 
@@ -261,9 +275,7 @@ fn select(
         // Resolve sort-key positions once, against an arbitrary row shape.
         let key_indices: Vec<(usize, bool)> = order_by
             .iter()
-            .map(|key| {
-                resolve_position(&tables, &offsets, &key.column).map(|idx| (idx, key.desc))
-            })
+            .map(|key| resolve_position(&tables, &offsets, &key.column).map(|idx| (idx, key.desc)))
             .collect::<Result<_>>()?;
         joined.sort_by(|a, b| {
             for &(idx, desc) in &key_indices {
@@ -311,10 +323,8 @@ fn select(
         }
     }
 
-    let rows = joined
-        .into_iter()
-        .map(|row| positions.iter().map(|&i| row[i].clone()).collect())
-        .collect();
+    let rows =
+        joined.into_iter().map(|row| positions.iter().map(|&i| row[i].clone()).collect()).collect();
     Ok(QueryResult { columns: out_columns, rows })
 }
 
@@ -357,9 +367,9 @@ fn grouped_select(
     for item in items {
         match item {
             SelectItem::Column(col) => {
-                let grouped = group_by.iter().any(|g| {
-                    g.column == col.column && (g.table.is_none() || g.table == col.table)
-                });
+                let grouped = group_by
+                    .iter()
+                    .any(|g| g.column == col.column && (g.table.is_none() || g.table == col.table));
                 if !grouped {
                     return Err(SqlError::Unsupported(format!(
                         "column {col} must appear in GROUP BY or an aggregate"
@@ -375,10 +385,8 @@ fn grouped_select(
         }
     }
 
-    let key_positions: Vec<usize> = group_by
-        .iter()
-        .map(|col| resolve_position(tables, offsets, col))
-        .collect::<Result<_>>()?;
+    let key_positions: Vec<usize> =
+        group_by.iter().map(|col| resolve_position(tables, offsets, col)).collect::<Result<_>>()?;
 
     // Partition rows into groups, preserving first-seen order.
     let mut order: Vec<Vec<Value>> = Vec::new();
@@ -431,14 +439,15 @@ fn grouped_select(
                             any = true;
                         }
                     }
-                    if any { Value::Int(total) } else { Value::Null }
+                    if any {
+                        Value::Int(total)
+                    } else {
+                        Value::Null
+                    }
                 }
                 SelectItem::Column(col) => {
                     let idx = resolve_position(tables, offsets, col)?;
-                    members
-                        .first()
-                        .map(|m| m[idx].clone())
-                        .unwrap_or(Value::Null)
+                    members.first().map(|m| m[idx].clone()).unwrap_or(Value::Null)
                 }
                 SelectItem::Wildcard => unreachable!("rejected above"),
             });
@@ -486,8 +495,7 @@ fn update(
     let set_indices: Vec<usize> = sets
         .iter()
         .map(|(col, _)| {
-            t.column_index(col)
-                .ok_or_else(|| SqlError::NoSuchColumn(format!("{name}.{col}")))
+            t.column_index(col).ok_or_else(|| SqlError::NoSuchColumn(format!("{name}.{col}")))
         })
         .collect::<Result<_>>()?;
     let columns = t.columns().to_vec();
@@ -603,7 +611,9 @@ mod tests {
         let result = db.query("select * from memberships where id = 1").unwrap();
         assert_eq!(result.columns, vec!["id", "name", "appliance", "compute"]);
         assert_eq!(result.rows.len(), 1);
-        let joined = db.query("select * from nodes, memberships where nodes.membership = memberships.id").unwrap();
+        let joined = db
+            .query("select * from nodes, memberships where nodes.membership = memberships.id")
+            .unwrap();
         assert!(joined.columns.contains(&"nodes.name".to_string()));
         assert!(joined.columns.contains(&"memberships.name".to_string()));
     }
@@ -615,18 +625,16 @@ mod tests {
             .query("select name from nodes, memberships where nodes.membership = memberships.id")
             .unwrap_err();
         assert!(matches!(err, SqlError::AmbiguousColumn(_)));
-        let err = db
-            .query("select nodes.name from nodes, memberships where name = 'x'")
-            .unwrap_err();
+        let err =
+            db.query("select nodes.name from nodes, memberships where name = 'x'").unwrap_err();
         assert!(matches!(err, SqlError::AmbiguousColumn(_)));
     }
 
     #[test]
     fn order_by_multi_key() {
         let mut db = sample_db();
-        let result = db
-            .query("select name from nodes where membership = 2 order by rank desc")
-            .unwrap();
+        let result =
+            db.query("select name from nodes where membership = 2 order by rank desc").unwrap();
         let names: Vec<_> = result.rows.iter().map(|r| r[0].render()).collect();
         assert_eq!(names, vec!["compute-0-2", "compute-0-1", "compute-0-0"]);
     }
@@ -641,26 +649,24 @@ mod tests {
     #[test]
     fn aggregates_count_min_max() {
         let mut db = sample_db();
-        let result =
-            db.query("select count(*), min(rank), max(rank) from nodes where membership = 2")
-                .unwrap();
+        let result = db
+            .query("select count(*), min(rank), max(rank) from nodes where membership = 2")
+            .unwrap();
         assert_eq!(result.rows[0], vec![Value::Int(3), Value::Int(0), Value::Int(2)]);
     }
 
     #[test]
     fn aggregates_on_empty_set() {
         let mut db = sample_db();
-        let result =
-            db.query("select count(*), max(rank) from nodes where rack = 99").unwrap();
+        let result = db.query("select count(*), max(rank) from nodes where rack = 99").unwrap();
         assert_eq!(result.rows[0], vec![Value::Int(0), Value::Null]);
     }
 
     #[test]
     fn group_by_counts_per_rack() {
         let mut db = sample_db();
-        let result = db
-            .query("select rack, count(*) from nodes group by rack order by rack")
-            .unwrap();
+        let result =
+            db.query("select rack, count(*) from nodes group by rack order by rack").unwrap();
         assert_eq!(result.columns, vec!["rack", "count(*)"]);
         assert_eq!(
             result.rows,
@@ -677,11 +683,7 @@ mod tests {
             )
             .unwrap();
         // membership 2 (compute) has ranks 0,1,2.
-        let compute = result
-            .rows
-            .iter()
-            .find(|r| r[0] == Value::Int(2))
-            .unwrap();
+        let compute = result.rows.iter().find(|r| r[0] == Value::Int(2)).unwrap();
         assert_eq!(compute[1], Value::Int(3));
         assert_eq!(compute[2], Value::Int(0));
         assert_eq!(compute[3], Value::Int(2));
@@ -696,11 +698,8 @@ mod tests {
                 "select memberships.name, count(*) from nodes, memberships                  where nodes.membership = memberships.id                  group by memberships.name order by memberships.name",
             )
             .unwrap();
-        let as_pairs: Vec<(String, i64)> = result
-            .rows
-            .iter()
-            .map(|r| (r[0].render(), r[1].as_int().unwrap()))
-            .collect();
+        let as_pairs: Vec<(String, i64)> =
+            result.rows.iter().map(|r| (r[0].render(), r[1].as_int().unwrap())).collect();
         assert!(as_pairs.contains(&("Compute".to_string(), 3)));
         assert!(as_pairs.contains(&("Frontend".to_string(), 1)));
     }
@@ -741,12 +740,13 @@ mod tests {
         let mut db = sample_db();
         let names = db.query_column("select name from nodes where name like 'compute-%'").unwrap();
         assert_eq!(names.len(), 3);
-        let names = db
-            .query_column("select name from nodes where id in (1, 8) order by id")
-            .unwrap();
+        let names =
+            db.query_column("select name from nodes where id in (1, 8) order by id").unwrap();
         assert_eq!(names, vec!["frontend-0", "web-1-0"]);
         let names = db
-            .query_column("select name from nodes where name not like 'compute-%' and rack = 0 order by id")
+            .query_column(
+                "select name from nodes where name not like 'compute-%' and rack = 0 order by id",
+            )
             .unwrap();
         assert_eq!(names, vec!["frontend-0", "network-0-0"]);
     }
@@ -760,17 +760,14 @@ mod tests {
         // ...but IS NULL finds it.
         let n = db.query_column("select name from nodes where comment is null").unwrap();
         assert_eq!(n, vec!["compute-0-2"]);
-        let n = db
-            .query_column("select count(*) from nodes where comment is not null")
-            .unwrap();
+        let n = db.query_column("select count(*) from nodes where comment is not null").unwrap();
         assert_eq!(n, vec!["5"]);
     }
 
     #[test]
     fn update_with_where() {
         let mut db = sample_db();
-        let outcome =
-            db.execute("update nodes set rack = 7 where membership = 2").unwrap();
+        let outcome = db.execute("update nodes set rack = 7 where membership = 2").unwrap();
         assert_eq!(outcome, ExecOutcome::Written { affected: 3 });
         let n = db.query_column("select count(*) from nodes where rack = 7").unwrap();
         assert_eq!(n, vec!["3"]);
@@ -799,10 +796,7 @@ mod tests {
         let mut db = sample_db();
         db.execute("drop table memberships").unwrap();
         assert!(db.table("memberships").is_none());
-        assert!(matches!(
-            db.execute("drop table memberships"),
-            Err(SqlError::NoSuchTable(_))
-        ));
+        assert!(matches!(db.execute("drop table memberships"), Err(SqlError::NoSuchTable(_))));
     }
 
     #[test]
@@ -826,13 +820,7 @@ mod tests {
     #[test]
     fn unknown_table_and_column_errors() {
         let mut db = sample_db();
-        assert!(matches!(
-            db.query("select x from ghost"),
-            Err(SqlError::NoSuchTable(_))
-        ));
-        assert!(matches!(
-            db.query("select ghost from nodes"),
-            Err(SqlError::NoSuchColumn(_))
-        ));
+        assert!(matches!(db.query("select x from ghost"), Err(SqlError::NoSuchTable(_))));
+        assert!(matches!(db.query("select ghost from nodes"), Err(SqlError::NoSuchColumn(_))));
     }
 }

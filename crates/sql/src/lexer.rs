@@ -173,9 +173,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 out.push(Token::Word(input[start..i].to_string()));
@@ -199,7 +197,7 @@ mod tests {
     fn lexes_paper_query() {
         let toks = lex("select nodes.name from nodes,memberships where \
                         nodes.membership = memberships.id")
-            .unwrap();
+        .unwrap();
         assert_eq!(toks[0], Token::Word("select".into()));
         assert_eq!(toks[1], Token::Word("nodes".into()));
         assert_eq!(toks[2], Token::Dot);

@@ -127,12 +127,23 @@ impl Database {
     /// consumes results (paper §6.4): a list of node names.
     pub fn query_column(&mut self, sql: &str) -> Result<Vec<String>> {
         let result = self.query(sql)?;
-        Ok(result
-            .rows
-            .iter()
-            .filter_map(|row| row.first())
-            .map(|v| v.render())
-            .collect())
+        Ok(result.rows.iter().filter_map(|row| row.first()).map(|v| v.render()).collect())
+    }
+
+    /// Run a `SELECT` against a shared reference. Because nothing is
+    /// mutated, any number of threads may call this concurrently on one
+    /// database — the read path of the parallel Kickstart generation
+    /// service. Write statements are rejected.
+    pub fn query_ref(&self, sql: &str) -> Result<QueryResult> {
+        let stmt = parser::parse(sql)?;
+        exec::execute_readonly(self, stmt)
+    }
+
+    /// [`query_ref`](Self::query_ref) returning the first column rendered
+    /// as text — the read-only twin of [`query_column`](Self::query_column).
+    pub fn query_column_ref(&self, sql: &str) -> Result<Vec<String>> {
+        let result = self.query_ref(sql)?;
+        Ok(result.rows.iter().filter_map(|row| row.first()).map(|v| v.render()).collect())
     }
 
     /// Look up a table by (case-insensitive) name.
@@ -173,10 +184,8 @@ mod tests {
     #[test]
     fn end_to_end_paper_join() {
         let mut db = Database::new();
-        db.execute(
-            "create table nodes (id int, name text, membership int, rack int, rank int)",
-        )
-        .unwrap();
+        db.execute("create table nodes (id int, name text, membership int, rack int, rank int)")
+            .unwrap();
         db.execute("create table memberships (id int, name text, compute text)").unwrap();
         db.execute("insert into nodes values (1, 'frontend-0', 1, 0, 0)").unwrap();
         db.execute("insert into nodes values (4, 'compute-0-0', 2, 0, 0)").unwrap();

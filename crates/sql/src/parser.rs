@@ -117,9 +117,7 @@ impl Parser {
             let ty = match ty_word.as_str() {
                 "int" | "integer" | "bigint" | "smallint" => ColumnType::Int,
                 "text" | "varchar" | "char" | "string" => ColumnType::Text,
-                other => {
-                    return Err(SqlError::Parse(format!("unknown column type {other:?}")))
-                }
+                other => return Err(SqlError::Parse(format!("unknown column type {other:?}"))),
             };
             // Tolerate a length suffix like varchar(32).
             if self.eat_tok(&Token::LParen) {
@@ -458,8 +456,7 @@ mod tests {
 
     #[test]
     fn parses_multi_row_insert() {
-        let stmt =
-            parse("insert into t (a, b) values (1, 'x'), (2, NULL)").unwrap();
+        let stmt = parse("insert into t (a, b) values (1, 'x'), (2, NULL)").unwrap();
         assert_eq!(
             stmt,
             Statement::Insert {

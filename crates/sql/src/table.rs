@@ -147,10 +147,7 @@ mod tests {
     use super::*;
 
     fn t() -> Table {
-        Table::new(
-            "Nodes",
-            vec![("ID".into(), ColumnType::Int), ("Name".into(), ColumnType::Text)],
-        )
+        Table::new("Nodes", vec![("ID".into(), ColumnType::Int), ("Name".into(), ColumnType::Text)])
     }
 
     #[test]

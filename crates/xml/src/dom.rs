@@ -71,10 +71,7 @@ impl Element {
 
     /// Look up an attribute case-insensitively (Rocks files mix cases).
     pub fn attr(&self, name: &str) -> Option<&str> {
-        self.attrs
-            .iter()
-            .find(|(n, _)| n.eq_ignore_ascii_case(name))
-            .map(|(_, v)| v.as_str())
+        self.attrs.iter().find(|(n, _)| n.eq_ignore_ascii_case(name)).map(|(_, v)| v.as_str())
     }
 
     /// All children, in document order.
@@ -294,8 +291,7 @@ mod tests {
 
     #[test]
     fn elements_iterator_filters_by_name() {
-        let doc =
-            Document::parse("<g><edge/><node/><edge/><edge/></g>").unwrap();
+        let doc = Document::parse("<g><edge/><node/><edge/><edge/></g>").unwrap();
         assert_eq!(doc.root().elements("edge").count(), 3);
         assert_eq!(doc.root().all_elements().count(), 4);
     }

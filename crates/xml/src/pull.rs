@@ -464,8 +464,8 @@ mod tests {
     #[test]
     fn declaration_like_rocks_files() {
         // Paper Figure 2 opens with an uppercase declaration.
-        let evs = collect(r#"<?XML VERSION="1.0" STANDALONE="no"?><KICKSTART></KICKSTART>"#)
-            .unwrap();
+        let evs =
+            collect(r#"<?XML VERSION="1.0" STANDALONE="no"?><KICKSTART></KICKSTART>"#).unwrap();
         assert!(matches!(&evs[0], Event::Declaration { attrs }
             if attrs == &vec![("VERSION".to_string(), "1.0".to_string()),
                               ("STANDALONE".to_string(), "no".to_string())]));
@@ -510,10 +510,7 @@ mod tests {
 
     #[test]
     fn duplicate_attribute_rejected() {
-        assert!(matches!(
-            collect(r#"<a x="1" x="2"/>"#),
-            Err(XmlError::DuplicateAttribute { .. })
-        ));
+        assert!(matches!(collect(r#"<a x="1" x="2"/>"#), Err(XmlError::DuplicateAttribute { .. })));
     }
 
     #[test]

@@ -79,10 +79,8 @@ fn write_element_into(out: &mut String, el: &Element, style: WriteStyle, depth: 
     // or CDATA), pretty mode may indent children on their own lines.
     // Otherwise emit the body compactly so whitespace-sensitive content
     // (shell scripts in <post> bodies) survives round trips.
-    let element_only = el
-        .children()
-        .iter()
-        .all(|c| matches!(c, Node::Element(_) | Node::Comment(_)));
+    let element_only =
+        el.children().iter().all(|c| matches!(c, Node::Element(_) | Node::Comment(_)));
 
     if style == WriteStyle::Pretty && element_only {
         out.push('\n');
@@ -152,7 +150,10 @@ mod tests {
 
     #[test]
     fn pretty_indents_element_only_bodies() {
-        let doc = Document::parse("<graph><edge from=\"a\" to=\"b\"/><edge from=\"b\" to=\"c\"/></graph>").unwrap();
+        let doc = Document::parse(
+            "<graph><edge from=\"a\" to=\"b\"/><edge from=\"b\" to=\"c\"/></graph>",
+        )
+        .unwrap();
         let emitted = write_document(&doc, WriteStyle::Pretty);
         assert_eq!(
             emitted,

@@ -27,7 +27,11 @@ fn text_strategy() -> impl Strategy<Value = String> {
 }
 
 fn element_strategy() -> impl Strategy<Value = Element> {
-    let leaf = (name_strategy(), proptest::collection::vec((name_strategy(), text_strategy()), 0..3), text_strategy())
+    let leaf = (
+        name_strategy(),
+        proptest::collection::vec((name_strategy(), text_strategy()), 0..3),
+        text_strategy(),
+    )
         .prop_map(|(name, attrs, text)| {
             let mut el = Element::new(name);
             let mut seen = std::collections::HashSet::new();
@@ -71,12 +75,12 @@ proptest! {
         // Pretty printing may normalize whitespace between elements, but
         // names, attributes, and element counts must be identical.
         type Attrs = Vec<(String, String)>;
-        fn skeleton(e: &rocks_xml::Element) -> (String, Attrs, Vec<Box<(String, Attrs)>>) {
+        fn skeleton(e: &rocks_xml::Element) -> (String, Attrs, Vec<(String, Attrs)>) {
             (
                 e.name().to_string(),
                 e.attrs().to_vec(),
                 e.all_elements()
-                    .map(|c| Box::new((c.name().to_string(), c.attrs().to_vec())))
+                    .map(|c| (c.name().to_string(), c.attrs().to_vec()))
                     .collect(),
             )
         }

@@ -77,13 +77,7 @@ fn main() {
     let campus = &rebuilt[1].0;
     let patched = security
         .iter()
-        .filter(|u| {
-            campus
-                .repo()
-                .get(&u.name, u.arch)
-                .map(|p| p.evr >= u.evr)
-                .unwrap_or(false)
-        })
+        .filter(|u| campus.repo().get(&u.name, u.arch).map(|p| p.evr >= u.evr).unwrap_or(false))
         .count();
     println!(
         "\nafter the advisory rebuild, {}/{} security updates visible at the campus level",

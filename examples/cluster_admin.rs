@@ -9,8 +9,7 @@ fn main() {
     // Two cabinets of compute nodes.
     let mut cluster = Cluster::install_frontend("00:30:c1:d8:ac:80", 7).expect("frontend");
     for rack in 0..2i64 {
-        let macs: Vec<String> =
-            (0..3).map(|i| format!("00:50:8b:e0:{rack:02x}:{i:02x}")).collect();
+        let macs: Vec<String> = (0..3).map(|i| format!("00:50:8b:e0:{rack:02x}:{i:02x}")).collect();
         cluster.integrate_rack("Compute", rack, &macs).expect("integrate");
     }
 
@@ -22,18 +21,11 @@ fn main() {
 
     // §6.4, example 1: target one cabinet.
     //   cluster-kill --query="select name from nodes where rack=1" bad-job
-    let result = cluster_kill(
-        &mut cluster,
-        Some("select name from nodes where rack=1"),
-        "bad-job",
-    )
-    .expect("cluster-kill");
+    let result = cluster_kill(&mut cluster, Some("select name from nodes where rack=1"), "bad-job")
+        .expect("cluster-kill");
     println!("\nkill rack 1: {} nodes targeted, all ok = {}", result.exits.len(), result.all_ok());
     for name in cluster.compute_node_names().expect("names") {
-        println!(
-            "  {name}: {:?}",
-            cluster.agent(&name).expect("agent").process_names()
-        );
+        println!("  {name}: {:?}", cluster.agent(&name).expect("agent").process_names());
     }
 
     // §6.4, example 2: the multi-table join, verbatim.

@@ -36,9 +36,8 @@ fn main() {
     );
 
     // A monitored reinstall: watch one node's eKV transcript.
-    let (report, feeds) = cluster
-        .shoot_nodes_monitored(&["compute-0-0".to_string()])
-        .expect("monitored shoot");
+    let (report, feeds) =
+        cluster.shoot_nodes_monitored(&["compute-0-0".to_string()]).expect("monitored shoot");
     let (node, feed) = &feeds[0];
     println!("\neKV transcript for {node} ({:.1} min):", report.per_node_minutes[0]);
     let backlog = feed.backlog();
@@ -48,8 +47,5 @@ fn main() {
     println!("  ... ({} more lines)", backlog.len().saturating_sub(6));
 
     // Everything is provably consistent at the end of the day.
-    println!(
-        "\ninconsistent nodes: {:?}",
-        cluster.inconsistent_nodes().expect("check")
-    );
+    println!("\ninconsistent nodes: {:?}", cluster.inconsistent_nodes().expect("check"));
 }

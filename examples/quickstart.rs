@@ -42,8 +42,8 @@ fn main() {
     //    framework + SQL lookups (§6.1).
     let record = cluster.db.node_by_name("compute-0-0").expect("node exists");
     let ks = cluster
-        .generator
-        .generate_for_request(&mut cluster.db, &record.ip.to_string(), Arch::I686)
+        .kickstart
+        .generate_for_request(&cluster.db, &record.ip.to_string(), Arch::I686)
         .expect("kickstart");
     println!(
         "kickstart for compute-0-0: {} packages, {} post sections",

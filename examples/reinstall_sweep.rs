@@ -4,13 +4,10 @@
 //!
 //! Run with: `cargo run --release --example reinstall_sweep`
 
-use rocks::netsim::cluster::{
-    max_full_speed_concurrency, serial_download_benchmark, ClusterSim,
-};
+use rocks::netsim::cluster::{max_full_speed_concurrency, serial_download_benchmark, ClusterSim};
 use rocks::netsim::SimConfig;
 
-const PAPER: &[(usize, f64)] =
-    &[(1, 10.3), (2, 9.8), (4, 10.1), (8, 10.4), (16, 11.1), (32, 13.7)];
+const PAPER: &[(usize, f64)] = &[(1, 10.3), (2, 9.8), (4, 10.1), (8, 10.4), (16, 11.1), (32, 13.7)];
 
 fn main() {
     println!("Table I: total reinstall time (minutes), one Fast-Ethernet HTTP server");
@@ -29,8 +26,7 @@ fn main() {
     println!("  {:.1} MB/s", serial_download_benchmark(&SimConfig::paper_testbed(1)));
 
     println!("\nFull-speed concurrency (mean node time within 5% of solo):");
-    let fast =
-        max_full_speed_concurrency(&|s| SimConfig::paper_testbed(s).bundled(12), 0.05, 256);
+    let fast = max_full_speed_concurrency(&|s| SimConfig::paper_testbed(s).bundled(12), 0.05, 256);
     let gige = max_full_speed_concurrency(&|s| SimConfig::gige(s).bundled(12), 0.05, 256);
     println!("  Fast Ethernet: {fast} nodes");
     println!("  Gigabit:       {gige} nodes ({:.1}x; paper 7.0-9.5x)", gige as f64 / fast as f64);

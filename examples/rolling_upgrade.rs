@@ -29,10 +29,7 @@ fn main() {
     let report = upgrade_cluster(&mut cluster, &updates, &running).expect("upgrade");
     println!("\nupgrade report:");
     println!("  packages updated in distribution: {}", report.packages_updated);
-    println!(
-        "  validated on {} in {:.1} min",
-        report.test_node, report.validation_minutes
-    );
+    println!("  validated on {} in {:.1} min", report.test_node, report.validation_minutes);
     println!(
         "  rolled {} production nodes in {:.0} s of cluster time",
         report.nodes_rolled, report.roll_seconds

@@ -39,6 +39,12 @@
 //! assert!(cluster.inconsistent_nodes().unwrap().is_empty());
 //! let report = cluster.reinstall_all().unwrap();
 //! assert!(report.total_minutes < 15.0);
+//!
+//! // Mass Kickstart generation runs through a shared caching service:
+//! // one graph traversal per appliance, fanned out over worker threads.
+//! let profiles = cluster.generate_kickstarts(4).unwrap();
+//! assert_eq!(profiles.len(), 5);
+//! assert!(cluster.kickstart.stats().hits() > 0);
 //! ```
 
 pub use rocks_core as core;
@@ -53,3 +59,5 @@ pub use rocks_rpm as rpm;
 pub use rocks_services as services;
 pub use rocks_sql as sql;
 pub use rocks_xml as xml;
+
+pub use rocks_kickstart::{GeneratedProfile, GenerationService, KickstartGenerator};

@@ -14,8 +14,7 @@ fn full_install_transcript_streams_over_tcp() {
     let cfg = SimConfig::paper_testbed(3).bundled(10);
     let mut sim = ClusterSim::new(cfg, 1);
     sim.run_reinstall();
-    let transcript: Vec<String> =
-        sim.node(0).log.iter().map(|l| l.text.clone()).collect();
+    let transcript: Vec<String> = sim.node(0).log.iter().map(|l| l.text.clone()).collect();
     let expected = transcript.len();
 
     // Node side.

@@ -34,12 +34,7 @@ fn crash_cart_scenario_hang_then_power_cycle() {
     assert_eq!(result.completed(), 4);
     assert_eq!(sim.node(2).state, NodeState::Up);
     // The cycled node's log shows the whole second life.
-    let powered_on = sim
-        .node(2)
-        .log
-        .iter()
-        .filter(|l| l.text.contains("power on"))
-        .count();
+    let powered_on = sim.node(2).log.iter().filter(|l| l.text.contains("power on")).count();
     assert_eq!(powered_on, 2);
 }
 
@@ -64,9 +59,7 @@ fn nfs_common_mode_failure_and_recovery() {
         nfs.mount(c, "/export/home").unwrap();
     }
     nfs.crash();
-    assert!(clients
-        .iter()
-        .all(|c| nfs.access(c, "/export/home") == Err(MountError::ServerDown)));
+    assert!(clients.iter().all(|c| nfs.access(c, "/export/home") == Err(MountError::ServerDown)));
     nfs.restart();
     assert!(clients.iter().all(|c| nfs.access(c, "/export/home").is_ok()));
 }

@@ -27,11 +27,12 @@ fn frontend_plus_sixteen_nodes() {
     assert_eq!(reports.dhcpd_conf.matches("host ").count(), 17);
     assert_eq!(reports.pbs_nodes.lines().count(), 16);
 
-    // Each node gets a correct kickstart from its own address.
+    // Each node gets a correct kickstart from its own address, served
+    // through the caching generation service.
     for record in cluster.db.compute_nodes().unwrap() {
         let ks = cluster
-            .generator
-            .generate_for_request(&mut cluster.db, &record.ip.to_string(), Arch::I686)
+            .kickstart
+            .generate_for_request(&cluster.db, &record.ip.to_string(), Arch::I686)
             .unwrap();
         let text = ks.render();
         assert!(text.contains(&format!("--hostname {}", record.name)));
@@ -52,11 +53,7 @@ fn every_node_image_matches_distribution_after_reinstall() {
     let report = cluster.reinstall_all().unwrap();
     assert_eq!(report.nodes.len(), 4);
     // Concurrent wave: total ≈ one install, not 4×.
-    let slowest = report
-        .per_node_minutes
-        .iter()
-        .cloned()
-        .fold(f64::NEG_INFINITY, f64::max);
+    let slowest = report.per_node_minutes.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     assert!(report.total_minutes <= slowest + 0.1);
     assert!(cluster.inconsistent_nodes().unwrap().is_empty());
 }

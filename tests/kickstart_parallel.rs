@@ -1,0 +1,207 @@
+//! The parallel, cache-aware Kickstart generation service, end to end:
+//! cold, cached, and worker-pool generation must be byte-identical per
+//! node; cached profiles must be regenerated — never served stale —
+//! after cluster-database writes or rocks-dist rebuilds.
+
+use proptest::prelude::*;
+use rocks::db::insert_ethers::{register_frontend, DhcpRequest, InsertEthers};
+use rocks::db::{ClusterDb, Ipv4, NodeRecord};
+use rocks::kickstart::profiles;
+use rocks::rpm::Arch;
+use rocks::{GenerationService, KickstartGenerator};
+
+fn service() -> GenerationService {
+    GenerationService::new(KickstartGenerator::new(
+        profiles::default_profiles(),
+        "10.1.1.1",
+        "install/rocks-dist",
+    ))
+}
+
+/// Frontend + `computes` compute nodes + one NFS appliance node, so the
+/// cache has three distinct skeletons to keep separate.
+fn cluster(computes: usize) -> ClusterDb {
+    let mut db = ClusterDb::new();
+    register_frontend(&mut db, "00:30:c1:d8:ac:80", "frontend-0").unwrap();
+    let mut session = InsertEthers::start(&mut db, "Compute", 0).unwrap();
+    for i in 0..computes {
+        session
+            .observe(&DhcpRequest { mac: format!("00:50:8b:e0:{:02x}:{:02x}", i / 256, i % 256) })
+            .unwrap();
+    }
+    db.add_node(&NodeRecord::new(
+        500,
+        "00:50:8b:ff:00:01",
+        "nfs-0-0",
+        3, // NFS membership → the nfs-server graph root
+        0,
+        500,
+        Ipv4::new(10, 254, 0, 1),
+    ))
+    .unwrap();
+    db
+}
+
+#[test]
+fn cold_cached_and_parallel_generation_are_byte_identical() {
+    let db = cluster(24);
+    let svc = service();
+    let cold_generator =
+        KickstartGenerator::new(profiles::default_profiles(), "10.1.1.1", "install/rocks-dist");
+
+    // Reference: the paper's per-request CGI path, no caching anywhere.
+    let mut cold: Vec<(String, String)> = db
+        .nodes()
+        .unwrap()
+        .iter()
+        .map(|n| {
+            let ks =
+                cold_generator.generate_for_request(&db, &n.ip.to_string(), Arch::I686).unwrap();
+            (n.name.clone(), ks.render())
+        })
+        .collect();
+    cold.sort();
+
+    // Cached per-request path: first pass fills the cache, second pass is
+    // served from it; both must match the cold bytes.
+    for pass in 0..2 {
+        for node in db.nodes().unwrap() {
+            let ks = svc.generate_for_request(&db, &node.ip.to_string(), Arch::I686).unwrap();
+            let reference = &cold.iter().find(|(name, _)| *name == node.name).unwrap().1;
+            assert_eq!(&ks.render(), reference, "pass {pass}, node {}", node.name);
+        }
+    }
+    assert!(svc.stats().hits() > 0, "second pass must hit the cache");
+
+    // Mass generation, sequential and with an 8-thread worker pool.
+    for threads in [1usize, 8] {
+        let profiles = svc.generate_all(&db, Arch::I686, threads).unwrap();
+        assert_eq!(profiles.len(), cold.len());
+        for (profile, (name, reference)) in profiles.iter().zip(cold.iter()) {
+            assert_eq!(&profile.node, name, "{threads}-thread ordering");
+            assert_eq!(&profile.kickstart.render(), reference, "{threads}-thread bytes");
+        }
+    }
+}
+
+#[test]
+fn membership_and_node_writes_regenerate_stale_profiles() {
+    let mut db = cluster(2);
+    let svc = service();
+
+    svc.generate_all(&db, Arch::I686, 2).unwrap();
+    let misses_cold = svc.stats().misses();
+    svc.generate_all(&db, Arch::I686, 2).unwrap();
+    assert_eq!(svc.stats().misses(), misses_cold, "unchanged DB must be fully cached");
+
+    // A memberships-table write invalidates every cached skeleton.
+    db.add_membership(&rocks::db::Membership {
+        id: 10,
+        name: "Storage".into(),
+        appliance: 3,
+        compute: false,
+        basename: "storage".into(),
+    })
+    .unwrap();
+    svc.generate_all(&db, Arch::I686, 2).unwrap();
+    assert!(svc.stats().misses() > misses_cold, "memberships write must force regeneration");
+    assert!(svc.stats().invalidations() > 0, "stale skeletons must be evicted");
+
+    // A nodes-table write does too.
+    let misses_after_membership = svc.stats().misses();
+    db.add_node(&NodeRecord::new(
+        600,
+        "00:50:8b:ff:00:02",
+        "storage-0-0",
+        10,
+        0,
+        600,
+        Ipv4::new(10, 254, 0, 2),
+    ))
+    .unwrap();
+    let profiles = svc.generate_all(&db, Arch::I686, 2).unwrap();
+    assert!(svc.stats().misses() > misses_after_membership);
+    assert!(profiles.iter().any(|p| p.node == "storage-0-0"), "new node gets a profile");
+}
+
+#[test]
+fn dist_rebuild_regenerates_profiles() {
+    let db = cluster(2);
+    let svc = service();
+    svc.generate_all(&db, Arch::I686, 2).unwrap();
+    let misses_cold = svc.stats().misses();
+
+    svc.notify_dist_rebuilt();
+    svc.generate_all(&db, Arch::I686, 2).unwrap();
+    assert!(svc.stats().misses() > misses_cold, "dist rebuild must force regeneration");
+    assert!(svc.stats().invalidations() > 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random interleavings of cluster mutations, invalidation events and
+    /// generation calls: the service must never serve a profile that
+    /// differs from what a fresh cold generation would produce *now*.
+    #[test]
+    fn interleaved_mutations_never_serve_stale_profiles(
+        ops in proptest::collection::vec(0u8..4, 1..10)
+    ) {
+        let mut db = cluster(2);
+        let svc = service();
+        let mut next_id = 1000i64;
+
+        for op in ops {
+            match op {
+                0 => {
+                    // insert-ethers registers another compute node.
+                    next_id += 1;
+                    db.add_node(&NodeRecord::new(
+                        next_id,
+                        format!("00:99:00:{:02x}:{:02x}:01", (next_id / 256) % 256, next_id % 256).as_str(),
+                        &format!("extra-0-{next_id}"),
+                        2,
+                        0,
+                        next_id,
+                        Ipv4::new(10, 200, ((next_id / 256) % 256) as u8, (next_id % 256) as u8),
+                    )).unwrap();
+                }
+                1 => {
+                    // A site-global edit (changes localization output).
+                    next_id += 1;
+                    db.set_global(
+                        "Kickstart_PublicHostname",
+                        &format!("frontend-{next_id}.example.org"),
+                    ).unwrap();
+                }
+                2 => {
+                    // rocks-dist rebuilt the repository.
+                    svc.notify_dist_rebuilt();
+                }
+                _ => {
+                    // A burst of individual CGI requests.
+                    for node in db.compute_nodes().unwrap().iter().take(2) {
+                        svc.generate_for_request(&db, &node.ip.to_string(), Arch::I686).unwrap();
+                    }
+                }
+            }
+
+            // After every op: mass generation matches cold generation for
+            // every node, byte for byte.
+            let profiles = svc.generate_all(&db, Arch::I686, 2).unwrap();
+            for profile in &profiles {
+                let cold = svc
+                    .generator()
+                    .generate_for_request(&db, &profile.ip, Arch::I686)
+                    .unwrap();
+                prop_assert_eq!(
+                    profile.kickstart.render(),
+                    cold.render(),
+                    "stale profile for {}", profile.node
+                );
+            }
+        }
+
+        prop_assert!(svc.stats().hits() + svc.stats().misses() > 0);
+    }
+}

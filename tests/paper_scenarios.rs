@@ -7,8 +7,7 @@ use rocks::rpm::Arch;
 fn cluster_two_racks() -> Cluster {
     let mut cluster = Cluster::install_frontend("00:30:c1:d8:ac:80", 31).unwrap();
     for rack in 0..2i64 {
-        let macs: Vec<String> =
-            (0..2).map(|i| format!("00:50:8b:{rack:02x}:0f:{i:02x}")).collect();
+        let macs: Vec<String> = (0..2).map(|i| format!("00:50:8b:{rack:02x}:0f:{i:02x}")).collect();
         cluster.integrate_rack("Compute", rack, &macs).unwrap();
     }
     cluster
@@ -21,15 +20,14 @@ fn section_3_2_questions() {
 
     // "What version of software X do I have on node Y?"
     let image = cluster.image("compute-0-0").unwrap();
-    let glibc: Vec<&String> =
-        image.packages.iter().filter(|p| p.starts_with("glibc-")).collect();
+    let glibc: Vec<&String> = image.packages.iter().filter(|p| p.starts_with("glibc-")).collect();
     assert!(!glibc.is_empty());
 
     // "Software service X on node Y appears to be down. Did I configure
     // it correctly?" — configuration is generated, not typed: the same
     // post script reaches every node.
-    let ks0 = cluster.generator.generate_for_appliance("compute", Arch::I686).unwrap();
-    let ks1 = cluster.generator.generate_for_appliance("compute", Arch::I686).unwrap();
+    let ks0 = cluster.generator().generate_for_appliance("compute", Arch::I686).unwrap();
+    let ks1 = cluster.generator().generate_for_appliance("compute", Arch::I686).unwrap();
     assert_eq!(ks0, ks1, "generated configuration is deterministic");
 
     // "When my script attempted to update 32 nodes, was node X offline?"
@@ -54,8 +52,7 @@ fn section_6_4_cluster_kill_examples() {
         cluster.agent(&name).unwrap().spawn_process("bad-job");
     }
 
-    cluster_kill(&mut cluster, Some("select name from nodes where rack=1"), "bad-job")
-        .unwrap();
+    cluster_kill(&mut cluster, Some("select name from nodes where rack=1"), "bad-job").unwrap();
     assert_eq!(cluster.agent("compute-0-0").unwrap().process_names(), vec!["bad-job"]);
     assert!(cluster.agent("compute-1-0").unwrap().process_names().is_empty());
 
@@ -78,7 +75,7 @@ fn section_6_4_cluster_kill_examples() {
 #[test]
 fn figure_2_flows_into_generated_kickstart() {
     let cluster = cluster_two_racks();
-    let ks = cluster.generator.generate_for_appliance("frontend", Arch::I686).unwrap();
+    let ks = cluster.generator().generate_for_appliance("frontend", Arch::I686).unwrap();
     let text = ks.render();
     // The DHCP module's package and its awk post script are in the
     // frontend's kickstart.
@@ -99,11 +96,11 @@ fn site_customization_is_local_to_a_generator() {
         "<kickstart><package>experimental-mpi</package></kickstart>",
     )
     .unwrap();
-    cluster_a.generator.profiles_mut().add_node_file(custom);
-    cluster_a.generator.profiles_mut().graph.add_edge("compute", "dev-sandbox");
+    cluster_a.generator_mut().profiles_mut().add_node_file(custom);
+    cluster_a.generator_mut().profiles_mut().graph.add_edge("compute", "dev-sandbox");
 
-    let ks_a = cluster_a.generator.generate_for_appliance("compute", Arch::I686).unwrap();
-    let ks_b = cluster_b.generator.generate_for_appliance("compute", Arch::I686).unwrap();
+    let ks_a = cluster_a.generator().generate_for_appliance("compute", Arch::I686).unwrap();
+    let ks_b = cluster_b.generator().generate_for_appliance("compute", Arch::I686).unwrap();
     assert!(ks_a.packages.iter().any(|p| p == "experimental-mpi"));
     assert!(!ks_b.packages.iter().any(|p| p == "experimental-mpi"));
 }
@@ -142,22 +139,14 @@ fn section_3_3_custom_kernel_workflow() {
     use rocks::rpm::{Package, Repository};
 
     let mut cluster = cluster_two_racks();
-    let stock_kernel = cluster
-        .distribution
-        .repo()
-        .best_for("kernel", Arch::I686)
-        .unwrap()
-        .evr
-        .clone();
+    let stock_kernel =
+        cluster.distribution.repo().best_for("kernel", Arch::I686).unwrap().evr.clone();
 
     // `make rpm` produced a site-built kernel; the release suffix makes it
     // strictly newer under rpmvercmp.
     let mut local = Repository::new("site-kernels");
     local.insert(
-        Package::builder("kernel", "2.4.9-31.1sdsc")
-            .arch(Arch::I686)
-            .size(11 << 20)
-            .build(),
+        Package::builder("kernel", "2.4.9-31.1sdsc").arch(Arch::I686).size(11 << 20).build(),
     );
     assert!(local.get("kernel", Arch::I686).unwrap().evr > stock_kernel);
 
@@ -186,7 +175,7 @@ fn section_7_frontend_web_form() {
         public_hostname: "meteor.sdsc.edu".into(),
         ..Default::default()
     };
-    let ks = form.generate(&cluster.generator).unwrap();
+    let ks = form.generate(cluster.generator()).unwrap();
     let text = ks.render();
     assert!(text.contains("CLUSTER_NAME=meteor"));
     assert!(text.contains("--hostname meteor.sdsc.edu"));

@@ -33,7 +33,9 @@ fn year_of_updates_flows_to_node_images() {
         // If the distribution resolves this slot to the updated EVR and
         // the package is part of the compute set, the image must carry it.
         if let Some(resolved) = cluster.distribution.repo().get(&pkg.name, pkg.arch) {
-            if resolved.evr == pkg.evr && image.packages.iter().any(|p| p.starts_with(&format!("{}-", pkg.name))) {
+            if resolved.evr == pkg.evr
+                && image.packages.iter().any(|p| p.starts_with(&format!("{}-", pkg.name)))
+            {
                 assert!(
                     image.packages.contains(&resolved.ident()),
                     "node missing {}",
@@ -60,21 +62,12 @@ fn upgrade_is_idempotent() {
 #[test]
 fn stale_update_never_downgrades() {
     let mut cluster = cluster(2);
-    let current = cluster
-        .distribution
-        .repo()
-        .get("glibc", Arch::I686)
-        .unwrap()
-        .evr
-        .clone();
+    let current = cluster.distribution.repo().get("glibc", Arch::I686).unwrap().evr.clone();
     let mut stale = Repository::new("stale");
     stale.insert(Package::builder("glibc", "2.1.0-1").arch(Arch::I686).build());
     let report = upgrade_cluster(&mut cluster, &stale, &[]).unwrap();
     assert_eq!(report.packages_updated, 0);
-    assert_eq!(
-        cluster.distribution.repo().get("glibc", Arch::I686).unwrap().evr,
-        current
-    );
+    assert_eq!(cluster.distribution.repo().get("glibc", Arch::I686).unwrap().evr, current);
 }
 
 #[test]
@@ -104,10 +97,7 @@ fn hierarchy_rebuild_reaches_department_clusters() {
     )
     .unwrap();
     let dept = &chain[2].0;
-    assert_eq!(
-        dept.repo().get("openssh-server", Arch::I386).unwrap().evr.to_string(),
-        "2.9p2-99"
-    );
+    assert_eq!(dept.repo().get("openssh-server", Arch::I386).unwrap().evr.to_string(), "2.9p2-99");
 }
 
 #[test]

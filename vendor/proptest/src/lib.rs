@@ -1,0 +1,666 @@
+//! Vendored stand-in for `proptest`.
+//!
+//! The build environment has no registry access, so this crate
+//! reimplements the slice of proptest the workspace's property tests
+//! use: the [`Strategy`] trait with `prop_map` / `prop_recursive` /
+//! `boxed`, strategies for integer and float ranges, tuples, `Just`,
+//! regex-like string patterns (`"[a-z]{1,8}"`), `collection::vec`,
+//! `bool::ANY`, the `prop_oneof!` union macro, and the `proptest!` test
+//! macro with optional `#![proptest_config(...)]`.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! * no shrinking — a failing case reports its case number and panics,
+//! * deterministic seeding per test name (failures reproduce exactly),
+//! * the regex subset covers literals, `.`, character classes, groups,
+//!   escapes, and `{m,n}` / `?` / `*` / `+` quantifiers.
+
+use std::ops::Range;
+use std::rc::Rc;
+
+pub mod test_runner {
+    //! The deterministic PRNG driving every strategy.
+
+    /// SplitMix64-seeded xoshiro256** — deterministic per test name.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Derive a generator from a test name (FNV-1a over the bytes).
+        pub fn deterministic(name: &str) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            Self::from_seed(h)
+        }
+
+        /// Expand a 64-bit seed into full state.
+        pub fn from_seed(seed: u64) -> TestRng {
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            TestRng { s: [next(), next(), next(), next()] }
+        }
+
+        /// Next raw 64 bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform draw in `[0, n)`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0);
+            self.next_u64() % n
+        }
+
+        /// Uniform f64 in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// Per-test configuration (subset: case count).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of random values (no shrinking).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy { inner: Rc::new(self) }
+    }
+
+    /// Build recursive structures: `recurse` receives a strategy for the
+    /// inner level and returns the next level out. `depth` bounds the
+    /// nesting; the remaining parameters are accepted for signature
+    /// compatibility and ignored (no size-based rebalancing here).
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+    {
+        let leaf = self.boxed();
+        Recursive { leaf, recurse: Rc::new(move |inner| recurse(inner).boxed()), depth }
+    }
+}
+
+/// A type-erased, cheaply cloneable strategy.
+pub struct BoxedStrategy<V> {
+    inner: Rc<dyn Strategy<Value = V>>,
+}
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy { inner: Rc::clone(&self.inner) }
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn gen_value(&self, rng: &mut TestRng) -> V {
+        self.inner.gen_value(rng)
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn gen_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+/// Uniform choice between boxed alternatives (`prop_oneof!`).
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Clone for Union<V> {
+    fn clone(&self) -> Self {
+        Union { options: self.options.clone() }
+    }
+}
+
+impl<V> Union<V> {
+    /// Build from already-boxed alternatives.
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn gen_value(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].gen_value(rng)
+    }
+}
+
+/// Result of [`Strategy::prop_recursive`].
+pub struct Recursive<V> {
+    leaf: BoxedStrategy<V>,
+    #[allow(clippy::type_complexity)]
+    recurse: Rc<dyn Fn(BoxedStrategy<V>) -> BoxedStrategy<V>>,
+    depth: u32,
+}
+
+impl<V: 'static> Strategy for Recursive<V> {
+    type Value = V;
+    fn gen_value(&self, rng: &mut TestRng) -> V {
+        // Stack levels outward from the leaf; each level sees a 50/50
+        // choice of recursing deeper or bottoming out, so generated
+        // structures vary in depth up to the bound.
+        let mut current = self.leaf.clone();
+        let levels = rng.below(self.depth as u64 + 1);
+        for _ in 0..levels {
+            let choice = Union::new(vec![self.leaf.clone(), current]).boxed();
+            current = (self.recurse)(choice);
+        }
+        current.gen_value(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128 % span) as i128;
+                (self.start as i128 + v) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+impl_float_range_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.gen_value(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, G);
+
+/// String patterns: `&str` is a strategy generating matching strings.
+impl Strategy for &'static str {
+    type Value = String;
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        pattern::generate(self, rng)
+    }
+}
+
+mod pattern {
+    //! A tiny regex-subset generator for string strategies.
+
+    use super::test_runner::TestRng;
+
+    #[derive(Debug, Clone)]
+    enum Atom {
+        Literal(char),
+        /// `.` — any printable char, with occasional awkward ones.
+        Any,
+        Class(Vec<(char, char)>),
+        Group(Vec<(Atom, (u32, u32))>),
+    }
+
+    /// Parse `pattern` and emit one matching string.
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let atoms = parse_sequence(&mut pattern.chars().collect::<Vec<_>>().as_slice());
+        let mut out = String::new();
+        emit(&atoms, rng, &mut out);
+        out
+    }
+
+    fn emit(atoms: &[(Atom, (u32, u32))], rng: &mut TestRng, out: &mut String) {
+        for (atom, (lo, hi)) in atoms {
+            let n = *lo as u64 + rng.below((*hi - *lo) as u64 + 1);
+            for _ in 0..n {
+                match atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Any => out.push(any_char(rng)),
+                    Atom::Class(ranges) => {
+                        let total: u32 =
+                            ranges.iter().map(|(a, b)| *b as u32 - *a as u32 + 1).sum();
+                        let mut pick = rng.below(total as u64) as u32;
+                        for (a, b) in ranges {
+                            let span = *b as u32 - *a as u32 + 1;
+                            if pick < span {
+                                out.push(char::from_u32(*a as u32 + pick).unwrap_or('?'));
+                                break;
+                            }
+                            pick -= span;
+                        }
+                    }
+                    Atom::Group(inner) => emit(inner, rng, out),
+                }
+            }
+        }
+    }
+
+    fn any_char(rng: &mut TestRng) -> char {
+        // Mostly printable ASCII; sprinkle in characters that stress
+        // parsers (the never-panic tests are the main consumer of `.`).
+        match rng.below(20) {
+            0 => ['<', '>', '&', '\'', '"', '\\', '\n', '\t', 'π', '∞', '\u{0}', ';']
+                [rng.below(12) as usize],
+            _ => char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap(),
+        }
+    }
+
+    fn parse_sequence(chars: &mut &[char]) -> Vec<(Atom, (u32, u32))> {
+        let mut out = Vec::new();
+        while let Some(&c) = chars.first() {
+            if c == ')' {
+                break;
+            }
+            *chars = &chars[1..];
+            let atom = match c {
+                '.' => Atom::Any,
+                '\\' => {
+                    let escaped = chars.first().copied().unwrap_or('\\');
+                    if !chars.is_empty() {
+                        *chars = &chars[1..];
+                    }
+                    Atom::Literal(escaped)
+                }
+                '[' => Atom::Class(parse_class(chars)),
+                '(' => {
+                    let inner = parse_sequence(chars);
+                    if chars.first() == Some(&')') {
+                        *chars = &chars[1..];
+                    }
+                    Atom::Group(inner)
+                }
+                other => Atom::Literal(other),
+            };
+            let count = parse_quantifier(chars);
+            out.push((atom, count));
+        }
+        out
+    }
+
+    fn parse_class(chars: &mut &[char]) -> Vec<(char, char)> {
+        let mut ranges = Vec::new();
+        while let Some(&c) = chars.first() {
+            *chars = &chars[1..];
+            match c {
+                ']' => break,
+                '\\' => {
+                    let escaped = chars.first().copied().unwrap_or('\\');
+                    if !chars.is_empty() {
+                        *chars = &chars[1..];
+                    }
+                    ranges.push((escaped, escaped));
+                }
+                lo => {
+                    // `a-z` range, unless `-` is the literal last char.
+                    if chars.first() == Some(&'-') && chars.get(1).is_some_and(|&c| c != ']') {
+                        let hi = chars[1];
+                        *chars = &chars[2..];
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+            }
+        }
+        if ranges.is_empty() {
+            ranges.push(('?', '?'));
+        }
+        ranges
+    }
+
+    fn parse_quantifier(chars: &mut &[char]) -> (u32, u32) {
+        match chars.first() {
+            Some('{') => {
+                *chars = &chars[1..];
+                let mut lo = String::new();
+                let mut hi = String::new();
+                let mut in_hi = false;
+                let mut saw_comma = false;
+                while let Some(&c) = chars.first() {
+                    *chars = &chars[1..];
+                    match c {
+                        '}' => break,
+                        ',' => {
+                            in_hi = true;
+                            saw_comma = true;
+                        }
+                        d => {
+                            if in_hi {
+                                hi.push(d)
+                            } else {
+                                lo.push(d)
+                            }
+                        }
+                    }
+                }
+                let lo: u32 = lo.parse().unwrap_or(0);
+                let hi: u32 = if saw_comma { hi.parse().unwrap_or(lo + 8) } else { lo };
+                (lo, hi.max(lo))
+            }
+            Some('?') => {
+                *chars = &chars[1..];
+                (0, 1)
+            }
+            Some('*') => {
+                *chars = &chars[1..];
+                (0, 8)
+            }
+            Some('+') => {
+                *chars = &chars[1..];
+                (1, 8)
+            }
+            _ => (1, 1),
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (subset: `vec`).
+
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Clone> Clone for VecStrategy<S> {
+        fn clone(&self) -> Self {
+            VecStrategy { element: self.element.clone(), size: self.size.clone() }
+        }
+    }
+
+    /// Generate vectors of `element` with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies (subset: `ANY`).
+
+    use super::{Strategy, TestRng};
+
+    /// The strategy type behind [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolAny;
+
+    /// Uniformly random booleans.
+    pub const ANY: BoolAny = BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+        fn gen_value(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod prelude {
+    //! The usual glob import, mirroring `proptest::prelude::*`.
+
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_oneof, proptest, BoxedStrategy, Just, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Union of alternatives, uniformly weighted.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($alt:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($alt)),+])
+    };
+}
+
+/// Assert inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+/// Define property tests: each `fn name(binding in strategy, ...) { .. }`
+/// becomes a `#[test]` running `config.cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`] — not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for __case in 0..config.cases {
+                $(let $pat = $crate::Strategy::gen_value(&($strat), &mut rng);)+
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                    || -> () { $body },
+                ));
+                if let Err(payload) = result {
+                    eprintln!(
+                        "proptest {}: case {}/{} failed",
+                        stringify!($name),
+                        __case + 1,
+                        config.cases
+                    );
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+    use crate::Strategy;
+
+    #[test]
+    fn regex_subset_shapes() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..200 {
+            let s = "[a-z]{1,8}".gen_value(&mut rng);
+            assert!((1..=8).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+
+            let v = "[0-9]{1,3}(\\.[0-9]{1,3}){0,2}".gen_value(&mut rng);
+            for part in v.split('.') {
+                assert!((1..=3).contains(&part.len()), "{v:?}");
+                assert!(part.chars().all(|c| c.is_ascii_digit()), "{v:?}");
+            }
+
+            let name = "[a-zA-Z_][a-zA-Z0-9_.-]{0,11}".gen_value(&mut rng);
+            assert!(!name.is_empty() && name.len() <= 12);
+
+            let any = ".{0,24}".gen_value(&mut rng);
+            assert!(any.chars().count() <= 24);
+        }
+    }
+
+    #[test]
+    fn unions_and_maps_compose() {
+        let strat = prop_oneof![Just("a".to_string()), "[0-9]{1,2}".prop_map(|s| format!("n{s}")),];
+        let mut rng = TestRng::from_seed(2);
+        let mut saw_a = false;
+        let mut saw_n = false;
+        for _ in 0..100 {
+            let v = strat.gen_value(&mut rng);
+            if v == "a" {
+                saw_a = true;
+            } else {
+                assert!(v.starts_with('n'));
+                saw_n = true;
+            }
+        }
+        assert!(saw_a && saw_n);
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug)]
+        enum Tree {
+            Leaf,
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf => 1,
+                Tree::Node(children) => 1 + children.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = (0u8..255).prop_map(|_| Tree::Leaf).prop_recursive(3, 24, 4, |inner| {
+            crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
+        });
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..100 {
+            assert!(depth(&strat.gen_value(&mut rng)) <= 8);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_multiple_inputs(a in 0i64..100, b in 0i64..100, s in "[a-z]{1,4}") {
+            prop_assert!(a < 100 && b < 100);
+            prop_assert_eq!(s.len(), s.chars().count());
+        }
+    }
+}
