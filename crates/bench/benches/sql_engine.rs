@@ -2,6 +2,7 @@
 //! multi-table join run against clusters of increasing size.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rocks_bench::{planner_database, planner_point_query, PLANNER_JOIN_QUERY};
 use rocks_db::insert_ethers::{register_frontend, DhcpRequest, InsertEthers};
 use rocks_db::{reports, ClusterDb};
 
@@ -57,5 +58,32 @@ fn bench_sql(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_sql);
+/// The PR-2 tentpole comparison: the planner's indexed point lookups and
+/// hash joins against the forced full-scan path, on a 10k-node database.
+/// `query_ref` is warmed first so the steady-state numbers reflect the
+/// cached-plan fast path the generation service and insert-ethers hit.
+fn bench_planner(c: &mut Criterion) {
+    let rows = 10_000usize;
+    let db = planner_database(rows);
+    let point = planner_point_query(rows);
+    db.query_ref(&point).unwrap();
+    db.query_ref(PLANNER_JOIN_QUERY).unwrap();
+
+    let mut group = c.benchmark_group("sql_planner");
+    group.bench_with_input(BenchmarkId::new("point_scan", rows), &rows, |b, _| {
+        b.iter(|| db.query_ref_scan(&point).unwrap())
+    });
+    group.bench_with_input(BenchmarkId::new("point_indexed", rows), &rows, |b, _| {
+        b.iter(|| db.query_ref(&point).unwrap())
+    });
+    group.bench_with_input(BenchmarkId::new("join_scan", rows), &rows, |b, _| {
+        b.iter(|| db.query_ref_scan(PLANNER_JOIN_QUERY).unwrap())
+    });
+    group.bench_with_input(BenchmarkId::new("join_indexed", rows), &rows, |b, _| {
+        b.iter(|| db.query_ref(PLANNER_JOIN_QUERY).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sql, bench_planner);
 criterion_main!(benches);

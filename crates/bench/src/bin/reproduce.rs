@@ -13,6 +13,7 @@
 //! reproduce replicas   # §6.3 replicated-server projection
 //! reproduce updates    # §6.2.1 update-tracking experiment
 //! reproduce ablation   # §1/§3 reinstall-vs-verify ablation
+//! reproduce sqlbench   # indexed planner vs scan (writes BENCH_sql_engine.json)
 //! ```
 
 use rocks_bench::*;
@@ -39,6 +40,7 @@ fn main() {
         ("replicas", replica_scaling),
         ("updates", update_tracking),
         ("ablation", ablation),
+        ("sqlbench", sql_engine_bench),
     ];
 
     match arg.as_str() {

@@ -537,6 +537,183 @@ pub fn assert_all_up(sim: &ClusterSim) {
     assert!(sim.nodes().iter().all(|n| n.state == rocks_netsim::NodeState::Up));
 }
 
+/// A synthetic cluster database shaped like the paper's schema, sized
+/// for planner benchmarking: `rows` nodes across four memberships (only
+/// `Compute` is flagged `compute = 'yes'`), unique MACs and IPs. Built
+/// through batched multi-row INSERTs so construction stays cheap even
+/// in debug builds.
+pub fn planner_database(rows: usize) -> rocks_sql::Database {
+    let mut db = rocks_sql::Database::new();
+    db.execute(
+        "create table nodes (id int, mac text, name text, membership int, \
+         rack int, rank int, ip text)",
+    )
+    .expect("nodes table");
+    db.execute("create table memberships (id int, name text, compute text)")
+        .expect("memberships table");
+    db.execute(
+        "insert into memberships values (1, 'Frontend', 'no'), (2, 'Compute', 'yes'), \
+         (3, 'External', 'no'), (4, 'Ethernet Switches', 'no')",
+    )
+    .expect("memberships rows");
+    let mut batch: Vec<String> = Vec::with_capacity(500);
+    for i in 0..rows {
+        batch.push(format!(
+            "({i}, '00:50:8b:{:02x}:{:02x}:{:02x}', 'node-{i}', {}, {}, {}, '10.{}.{}.{}')",
+            i >> 16,
+            (i >> 8) & 0xff,
+            i & 0xff,
+            (i % 4) + 1,
+            i / 64,
+            i % 64,
+            i >> 16,
+            (i >> 8) & 0xff,
+            i & 0xff,
+        ));
+        if batch.len() == 500 || i + 1 == rows {
+            db.execute(&format!("insert into nodes values {}", batch.join(", ")))
+                .expect("node rows");
+            batch.clear();
+        }
+    }
+    db
+}
+
+/// The point-lookup query [`measure_sql_engine`] times: resolves one
+/// node by IP, the §6.1 CGI lookup pattern.
+pub fn planner_point_query(rows: usize) -> String {
+    let i = rows / 2;
+    format!("select * from nodes where ip = '10.{}.{}.{}'", i >> 16, (i >> 8) & 0xff, i & 0xff)
+}
+
+/// The equi-join query [`measure_sql_engine`] times: the paper's §6.4
+/// compute-nodes join.
+pub const PLANNER_JOIN_QUERY: &str = "select nodes.name from nodes, memberships where \
+     nodes.membership = memberships.id and memberships.compute = 'yes'";
+
+/// Timings from one indexed-vs-scan comparison. All values are
+/// per-query nanoseconds (minimum over the measured repetitions).
+#[derive(Debug, Clone, Copy)]
+pub struct SqlEngineSnapshot {
+    /// Node-table cardinality the measurement ran against.
+    pub rows: usize,
+    /// Point query through the forced full-scan path.
+    pub point_scan_ns: f64,
+    /// Point query through the planner (hash-index probe, cached plan).
+    pub point_indexed_ns: f64,
+    /// Equi-join through the forced full-scan path (nested loops).
+    pub join_scan_ns: f64,
+    /// Equi-join through the planner (hash join, cached plan).
+    pub join_indexed_ns: f64,
+}
+
+impl SqlEngineSnapshot {
+    /// Scan-to-indexed ratio for the point query.
+    pub fn point_speedup(&self) -> f64 {
+        self.point_scan_ns / self.point_indexed_ns
+    }
+
+    /// Scan-to-indexed ratio for the equi-join.
+    pub fn join_speedup(&self) -> f64 {
+        self.join_scan_ns / self.join_indexed_ns
+    }
+
+    /// Render as a small JSON document (the `BENCH_sql_engine.json`
+    /// trajectory format).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"experiment\": \"sql_engine\",\n  \"rows\": {},\n  \"point_query\": {{\"scan_ns\": {:.0}, \"indexed_ns\": {:.0}, \"speedup\": {:.1}}},\n  \"equi_join\": {{\"scan_ns\": {:.0}, \"indexed_ns\": {:.0}, \"speedup\": {:.1}}}\n}}\n",
+            self.rows,
+            self.point_scan_ns,
+            self.point_indexed_ns,
+            self.point_speedup(),
+            self.join_scan_ns,
+            self.join_indexed_ns,
+            self.join_speedup(),
+        )
+    }
+}
+
+/// Minimum per-call nanoseconds of `f` over `reps` timed batches of
+/// `iters` calls each.
+fn min_ns_per_call(iters: usize, reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = std::time::Instant::now();
+        for _ in 0..iters.max(1) {
+            f();
+        }
+        best = best.min(start.elapsed().as_nanos() as f64 / iters.max(1) as f64);
+    }
+    best
+}
+
+/// The PR's tentpole measurement: the same two queries — a point lookup
+/// by IP and the §6.4 compute-nodes join — through the forced-scan path
+/// (`query_ref_scan`) and the planned path (`query_ref`: hash indexes,
+/// hash join, cached plan). Both paths are verified to return identical
+/// rows before timing anything.
+pub fn measure_sql_engine(rows: usize, reps: usize) -> SqlEngineSnapshot {
+    let db = planner_database(rows);
+    let point = planner_point_query(rows);
+    let join = PLANNER_JOIN_QUERY;
+
+    // Correctness first, and this also warms the indexes + plan cache.
+    assert_eq!(
+        db.query_ref(&point).expect("planned point"),
+        db.query_ref_scan(&point).expect("scanned point"),
+    );
+    assert_eq!(
+        db.query_ref(join).expect("planned join"),
+        db.query_ref_scan(join).expect("scanned join"),
+    );
+
+    // Scans are O(rows) per call; keep their batches small so the debug
+    // test stays quick. The indexed paths are cheap — batch harder so
+    // timer overhead vanishes.
+    SqlEngineSnapshot {
+        rows,
+        point_scan_ns: min_ns_per_call(5, reps, || {
+            db.query_ref_scan(&point).expect("scanned point");
+        }),
+        point_indexed_ns: min_ns_per_call(200, reps, || {
+            db.query_ref(&point).expect("planned point");
+        }),
+        join_scan_ns: min_ns_per_call(2, reps, || {
+            db.query_ref_scan(join).expect("scanned join");
+        }),
+        join_indexed_ns: min_ns_per_call(20, reps, || {
+            db.query_ref(join).expect("planned join");
+        }),
+    }
+}
+
+/// Indexed-planner experiment for `reproduce`: measures at 10 000 rows,
+/// writes the `BENCH_sql_engine.json` snapshot next to the working
+/// directory, and reports the table.
+pub fn sql_engine_bench() -> String {
+    let snap = measure_sql_engine(10_000, 3);
+    let json = snap.to_json();
+    let written = match std::fs::write("BENCH_sql_engine.json", &json) {
+        Ok(()) => "snapshot written to BENCH_sql_engine.json".to_string(),
+        Err(e) => format!("snapshot NOT written: {e}"),
+    };
+    format!(
+        "SQL engine: indexed planner vs full scan ({} rows)\n\
+         query       | scan (ns/call) | indexed (ns/call) | speedup\n\
+         point by ip | {:>14.0} | {:>17.0} | {:>6.1}x\n\
+         compute join| {:>14.0} | {:>17.0} | {:>6.1}x\n\
+         {written}\n",
+        snap.rows,
+        snap.point_scan_ns,
+        snap.point_indexed_ns,
+        snap.point_speedup(),
+        snap.join_scan_ns,
+        snap.join_indexed_ns,
+        snap.join_speedup(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -672,6 +849,40 @@ mod tests {
         assert!(text.contains("rocks-dist auto-track"));
         assert!(text.contains("manual quarterly"));
         assert!(text.contains("124"));
+    }
+
+    #[test]
+    fn sql_planner_beats_scan_at_10k_rows() {
+        let snap = measure_sql_engine(10_000, 2);
+        assert!(
+            snap.point_speedup() >= 10.0,
+            "point query only {:.1}x faster ({}ns -> {}ns)",
+            snap.point_speedup(),
+            snap.point_scan_ns,
+            snap.point_indexed_ns,
+        );
+        assert!(
+            snap.join_speedup() >= 5.0,
+            "equi-join only {:.1}x faster ({}ns -> {}ns)",
+            snap.join_speedup(),
+            snap.join_scan_ns,
+            snap.join_indexed_ns,
+        );
+    }
+
+    #[test]
+    fn sql_snapshot_json_is_well_formed() {
+        let snap = SqlEngineSnapshot {
+            rows: 10,
+            point_scan_ns: 1000.0,
+            point_indexed_ns: 50.0,
+            join_scan_ns: 2000.0,
+            join_indexed_ns: 200.0,
+        };
+        let json = snap.to_json();
+        assert!(json.contains("\"rows\": 10"));
+        assert!(json.contains("\"speedup\": 20.0"));
+        assert!(json.contains("\"speedup\": 10.0"));
     }
 
     #[test]

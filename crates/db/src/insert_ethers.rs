@@ -52,15 +52,9 @@ impl<'a> InsertEthers<'a> {
     /// A request from an already-known MAC is *not* an error — booting an
     /// installed node re-DHCPs — it is simply ignored (returns `Ok(None)`).
     pub fn observe(&mut self, request: &DhcpRequest) -> Result<Option<NodeRecord>> {
-        let known = self
-            .db
-            .sql()
-            .query(&format!(
-                "select id from nodes where mac = '{}'",
-                crate::sql_escape(&request.mac)
-            ))
-            .map(|r| !r.rows.is_empty())?;
-        if known {
+        // Indexed read-only probe: a re-DHCPing installed node must not
+        // bump the revision (and so must not invalidate profile caches).
+        if self.db.node_by_mac(&request.mac)?.is_some() {
             return Ok(None);
         }
 
@@ -109,12 +103,7 @@ impl<'a> InsertEthers<'a> {
 /// stable and the next boot reinstalls the same appliance.
 pub fn replace_node(db: &mut ClusterDb, name: &str, new_mac: &str) -> Result<NodeRecord> {
     let _ = db.node_by_name(name)?; // must exist
-    let clash = db
-        .sql()
-        .query(&format!("select name from nodes where mac = '{}'", crate::sql_escape(new_mac)))?
-        .rows
-        .first()
-        .map(|r| r[0].render());
+    let clash = db.node_by_mac(new_mac)?.map(|n| n.name);
     if let Some(owner) = clash {
         if owner != name {
             return Err(DbError::DuplicateMac(new_mac.to_string()));
@@ -181,8 +170,14 @@ mod tests {
         let mut session = InsertEthers::start(&mut db, "Compute", 0).unwrap();
         let req = DhcpRequest { mac: mac(1) };
         assert!(session.observe(&req).unwrap().is_some());
+        let revision = session.db.revision();
         assert!(session.observe(&req).unwrap().is_none());
         assert_eq!(session.db.nodes().unwrap().len(), 1);
+        assert_eq!(
+            session.db.revision(),
+            revision,
+            "ignoring a known MAC is a pure read and must not invalidate caches"
+        );
     }
 
     #[test]

@@ -148,9 +148,10 @@ impl ClusterDb {
         Ok(())
     }
 
-    /// Look up a membership by id. Read-only.
+    /// Look up a membership by id. Read-only: an indexed point lookup
+    /// through [`rocks_sql::Database::lookup_eq`], no SQL text involved.
     pub fn membership(&self, id: i64) -> Result<Membership> {
-        let result = self.db.query_ref(&format!("select * from memberships where id = {id}"))?;
+        let result = self.db.lookup_eq("memberships", "id", &Value::Int(id))?;
         let row = result.rows.first().ok_or(DbError::NoSuchMembership(id.to_string()))?;
         Ok(Membership::from_row(row))
     }
@@ -175,10 +176,7 @@ impl ClusterDb {
     /// Insert a node row exactly as given (used by insert-ethers and by
     /// the Table II reproduction). Rejects duplicate MACs.
     pub fn add_node(&mut self, node: &NodeRecord) -> Result<()> {
-        let existing = self
-            .db
-            .query_ref(&format!("select id from nodes where mac = '{}'", sql_escape(&node.mac)))?;
-        if !existing.rows.is_empty() {
+        if self.node_by_mac(&node.mac)?.is_some() {
             return Err(DbError::DuplicateMac(node.mac.clone()));
         }
         let comment = match &node.comment {
@@ -206,33 +204,40 @@ impl ClusterDb {
         Ok(result.rows.iter().map(|r| NodeRecord::from_row(r)).collect())
     }
 
-    /// A node by name. Read-only.
+    /// A node by name. Read-only indexed lookup.
     pub fn node_by_name(&self, name: &str) -> Result<NodeRecord> {
-        let result = self
-            .db
-            .query_ref(&format!("select * from nodes where name = '{}'", sql_escape(name)))?;
+        let result = self.db.lookup_eq("nodes", "name", &Value::Text(name.to_string()))?;
         let row = result.rows.first().ok_or_else(|| DbError::NoSuchNode(name.to_string()))?;
         Ok(NodeRecord::from_row(row))
     }
 
     /// A node by its cluster-internal IP address — the lookup that keys
     /// the §6.1 CGI flow ("uses the requesting node's IP address").
-    /// Read-only: generation workers resolve requesters concurrently.
+    /// Read-only: generation workers resolve requesters concurrently, and
+    /// the hash index on `nodes.ip` makes each probe O(1) instead of a
+    /// table scan per request.
     pub fn node_by_ip(&self, ip: &str) -> Result<NodeRecord> {
-        let result =
-            self.db.query_ref(&format!("select * from nodes where ip = '{}'", sql_escape(ip)))?;
+        let result = self.db.lookup_eq("nodes", "ip", &Value::Text(ip.to_string()))?;
         let row = result.rows.first().ok_or_else(|| DbError::NoSuchNode(ip.to_string()))?;
         Ok(NodeRecord::from_row(row))
+    }
+
+    /// A node by MAC address, or `None` when the MAC is unknown.
+    /// Read-only — this is the insert-ethers "have we seen this host?"
+    /// probe, which must not bump the revision (a rebooting installed
+    /// node would otherwise invalidate every cached profile).
+    pub fn node_by_mac(&self, mac: &str) -> Result<Option<NodeRecord>> {
+        let result = self.db.lookup_eq("nodes", "mac", &Value::Text(mac.to_string()))?;
+        Ok(result.rows.first().map(|r| NodeRecord::from_row(r)))
     }
 
     /// The graph root (appliance name) that kickstarts `appliance`, or
     /// `None` when the appliance is tracked but not kickstartable
     /// (switches, PDUs). Read-only.
     pub fn appliance_root(&self, appliance: i64) -> Result<Option<String>> {
-        let result = self
-            .db
-            .query_ref(&format!("select graph_node from appliances where id = {appliance}"))?;
-        Ok(result.rows.first().map(|r| r[0].render()).filter(|r| !r.is_empty()))
+        let result = self.db.lookup_eq("appliances", "id", &Value::Int(appliance))?;
+        // Column 2 is `graph_node`; empty means "tracked, not kickstartable".
+        Ok(result.rows.first().map(|r| r[2].render()).filter(|r| !r.is_empty()))
     }
 
     /// Nodes whose membership is flagged `compute = 'yes'` — the join the
@@ -278,13 +283,11 @@ impl ClusterDb {
         Ok(())
     }
 
-    /// Read a site-global key. Read-only.
+    /// Read a site-global key. Read-only indexed lookup.
     pub fn global(&self, key: &str) -> Result<Option<String>> {
-        let result = self.db.query_ref(&format!(
-            "select value from app_globals where name = '{}'",
-            sql_escape(key)
-        ))?;
-        Ok(result.rows.first().map(|r| r[0].render()))
+        let result = self.db.lookup_eq("app_globals", "name", &Value::Text(key.to_string()))?;
+        // Column 1 is `value`.
+        Ok(result.rows.first().map(|r| r[1].render()))
     }
 
     /// All IPs currently assigned. Read-only.
@@ -292,6 +295,49 @@ impl ClusterDb {
         let result = self.db.query_ref("select ip from nodes")?;
         Ok(result.rows.iter().filter_map(|r| r[0].as_text().and_then(Ipv4::parse)).collect())
     }
+
+    /// Every kickstartable node, fully resolved for mass generation and
+    /// sorted by name: the bulk form of the three per-node queries the
+    /// §6.1 CGI path would issue. Nodes whose appliance has no graph root
+    /// (switches, PDUs) are skipped — they never request a kickstart.
+    /// Read-only.
+    pub fn kickstart_targets(&self) -> Result<Vec<KickstartTarget>> {
+        let mut roots: std::collections::HashMap<i64, (String, Option<String>)> =
+            std::collections::HashMap::new();
+        for membership in self.memberships()? {
+            let root = self.appliance_root(membership.appliance)?;
+            roots.insert(membership.id, (membership.name, root));
+        }
+        let mut targets = Vec::new();
+        for node in self.nodes()? {
+            let Some((membership, Some(root))) = roots.get(&node.membership) else {
+                continue;
+            };
+            targets.push(KickstartTarget {
+                name: node.name,
+                ip: node.ip.to_string(),
+                root: root.clone(),
+                membership: membership.clone(),
+            });
+        }
+        targets.sort();
+        Ok(targets)
+    }
+}
+
+/// One kickstartable node as resolved by
+/// [`ClusterDb::kickstart_targets`]: everything the generation service
+/// needs to produce its profile without touching SQL again.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct KickstartTarget {
+    /// Node hostname (`compute-0-0`, ...).
+    pub name: String,
+    /// The node's private address, rendered.
+    pub ip: String,
+    /// Graph root (appliance name) whose traversal builds the skeleton.
+    pub root: String,
+    /// Membership name, for per-node localization.
+    pub membership: String,
 }
 
 /// Escape a string for inclusion in a single-quoted SQL literal.
@@ -449,6 +495,71 @@ mod tests {
         assert!(matches!(db.node_by_ip("10.9.9.9"), Err(DbError::NoSuchNode(_))));
         assert_eq!(db.appliance_root(2).unwrap().as_deref(), Some("compute"));
         assert_eq!(db.appliance_root(4).unwrap(), None);
+    }
+
+    #[test]
+    fn node_by_mac_is_a_read() {
+        let mut db = ClusterDb::new();
+        db.add_node(&NodeRecord::new(
+            1,
+            "aa:00:00:00:00:01",
+            "compute-0-0",
+            2,
+            0,
+            0,
+            Ipv4::new(10, 255, 255, 254),
+        ))
+        .unwrap();
+        let r = db.revision();
+        assert_eq!(db.node_by_mac("aa:00:00:00:00:01").unwrap().unwrap().name, "compute-0-0");
+        assert_eq!(db.node_by_mac("aa:00:00:00:00:99").unwrap(), None);
+        assert_eq!(db.revision(), r, "MAC probes must not invalidate caches");
+    }
+
+    #[test]
+    fn kickstart_targets_resolve_and_skip_non_kickstartable() {
+        let mut db = ClusterDb::new();
+        db.add_node(&NodeRecord::new(
+            1,
+            "aa:00:00:00:00:01",
+            "frontend-0",
+            1,
+            0,
+            0,
+            Ipv4::new(10, 1, 1, 1),
+        ))
+        .unwrap();
+        db.add_node(&NodeRecord::new(
+            2,
+            "aa:00:00:00:00:02",
+            "compute-0-0",
+            2,
+            0,
+            0,
+            Ipv4::new(10, 255, 255, 254),
+        ))
+        .unwrap();
+        // Membership 4 (Ethernet Switches) has no graph root.
+        db.add_node(&NodeRecord::new(
+            3,
+            "aa:00:00:00:00:03",
+            "network-0-0",
+            4,
+            0,
+            0,
+            Ipv4::new(10, 255, 1, 1),
+        ))
+        .unwrap();
+        let targets = db.kickstart_targets().unwrap();
+        let summary: Vec<(&str, &str, &str)> = targets
+            .iter()
+            .map(|t| (t.name.as_str(), t.root.as_str(), t.membership.as_str()))
+            .collect();
+        assert_eq!(
+            summary,
+            vec![("compute-0-0", "compute", "Compute"), ("frontend-0", "frontend", "Frontend"),]
+        );
+        assert_eq!(targets[0].ip, "10.255.255.254");
     }
 
     #[test]

@@ -34,7 +34,7 @@
 use crate::generator::KickstartGenerator;
 use crate::kickstart::KickstartFile;
 use crate::Result;
-use rocks_db::ClusterDb;
+use rocks_db::{ClusterDb, KickstartTarget};
 use rocks_rpm::Arch;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -308,59 +308,39 @@ impl GenerationService {
         arch: Arch,
         threads: usize,
     ) -> Result<Vec<GeneratedProfile>> {
-        // Bulk SQL resolution: three whole-table reads replace the three
-        // per-node queries of the CGI path. Everything a worker needs per
-        // node is resolved up front, so the fan-out loop touches no SQL.
+        // Bulk SQL resolution through the database's indexed lookup path:
+        // `kickstart_targets` resolves every node's graph root and
+        // membership name up front (point lookups against the lazily
+        // built hash indexes), so the fan-out loop touches no SQL.
         let t = Instant::now();
-        let nodes = db.nodes()?;
-        let mut appliances: HashMap<i64, (String, Option<String>)> = HashMap::new();
-        for membership in db.memberships()? {
-            let root = db.appliance_root(membership.appliance)?;
-            appliances.insert(membership.id, (membership.name, root));
-        }
+        let targets = db.kickstart_targets()?;
         let public = db.global("Kickstart_PublicHostname")?;
-
-        // (name, ip, graph root, membership name) per kickstartable node.
-        let mut targets: Vec<(String, String, String, String)> = Vec::new();
-        for node in &nodes {
-            let Some((membership_name, Some(root))) = appliances.get(&node.membership) else {
-                continue; // switches, PDUs: no kickstart request ever comes
-            };
-            targets.push((
-                node.name.clone(),
-                node.ip.to_string(),
-                root.clone(),
-                membership_name.clone(),
-            ));
-        }
-        targets.sort();
         Stats::add_ns(&self.stats.lookup_ns, t);
 
         // Resolve each distinct appliance skeleton once through the
         // shared cache, then hand the Arcs straight to the workers: the
         // per-node loop touches no lock at all.
         let mut skeletons: HashMap<&str, Arc<KickstartFile>> = HashMap::new();
-        for (_, _, root, _) in &targets {
-            if !skeletons.contains_key(root.as_str()) {
-                skeletons.insert(root, self.skeleton(db, root, arch)?);
+        for target in &targets {
+            if !skeletons.contains_key(target.root.as_str()) {
+                skeletons.insert(&target.root, self.skeleton(db, &target.root, arch)?);
             }
         }
 
-        let generate_one = |(name, ip, root, membership_name): &(
-            String,
-            String,
-            String,
-            String,
-        )|
-         -> Result<GeneratedProfile> {
+        let generate_one = |target: &KickstartTarget| -> Result<GeneratedProfile> {
             // Present by construction; logically a cache hit per node.
-            let skeleton = &skeletons[root.as_str()];
+            let skeleton = &skeletons[target.root.as_str()];
             self.stats.hits.fetch_add(1, Ordering::Relaxed);
             let t = Instant::now();
             let mut ks = (**skeleton).clone();
-            self.generator.localize_resolved(&mut ks, name, membership_name, public.as_deref());
+            self.generator.localize_resolved(
+                &mut ks,
+                &target.name,
+                &target.membership,
+                public.as_deref(),
+            );
             Stats::add_ns(&self.stats.localize_ns, t);
-            Ok(GeneratedProfile { node: name.clone(), ip: ip.clone(), kickstart: ks })
+            Ok(GeneratedProfile { node: target.name.clone(), ip: target.ip.clone(), kickstart: ks })
         };
 
         let threads = threads.max(1).min(targets.len().max(1));

@@ -99,6 +99,57 @@ pub enum Expr {
     },
 }
 
+impl std::fmt::Display for BinOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BinOp::Eq => "=",
+            BinOp::NotEq => "!=",
+            BinOp::Lt => "<",
+            BinOp::LtEq => "<=",
+            BinOp::Gt => ">",
+            BinOp::GtEq => ">=",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+        })
+    }
+}
+
+/// Render a literal the way it would be written in SQL (single quotes
+/// doubled inside text). Used by `Display for Expr`, i.e. EXPLAIN output.
+fn sql_literal(v: &Value) -> String {
+    match v {
+        Value::Null => "NULL".to_string(),
+        Value::Int(n) => n.to_string(),
+        Value::Text(s) => format!("'{}'", s.replace('\'', "''")),
+    }
+}
+
+impl std::fmt::Display for Expr {
+    /// SQL-ish rendering for EXPLAIN output. Binary/NOT nodes are always
+    /// parenthesized, so precedence never needs reconstructing.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Expr::Literal(v) => f.write_str(&sql_literal(v)),
+            Expr::Column(c) => write!(f, "{c}"),
+            Expr::Binary { op, lhs, rhs } => write!(f, "({lhs} {op} {rhs})"),
+            Expr::Not(inner) => write!(f, "(not {inner})"),
+            Expr::Like { expr, pattern, negated } => {
+                let not = if *negated { " not" } else { "" };
+                write!(f, "({expr}{not} like '{}')", pattern.replace('\'', "''"))
+            }
+            Expr::IsNull { expr, negated } => {
+                let not = if *negated { " not" } else { "" };
+                write!(f, "({expr} is{not} null)")
+            }
+            Expr::InList { expr, list, negated } => {
+                let not = if *negated { " not" } else { "" };
+                let items: Vec<String> = list.iter().map(sql_literal).collect();
+                write!(f, "({expr}{not} in ({}))", items.join(", "))
+            }
+        }
+    }
+}
+
 /// One item in a SELECT projection.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SelectItem {
@@ -191,4 +242,8 @@ pub enum Statement {
         /// Table name.
         name: String,
     },
+    /// `EXPLAIN <statement>` — render the chosen query plan instead of
+    /// executing. Only SELECT can be explained; the planner does not
+    /// apply to writes.
+    Explain(Box<Statement>),
 }

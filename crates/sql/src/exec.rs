@@ -1,6 +1,7 @@
 //! Statement execution against a [`Database`].
 
 use crate::ast::*;
+use crate::plan::{self, SelectPlan};
 use crate::table::Table;
 use crate::value::Value;
 use crate::{Database, Result, SqlError};
@@ -17,12 +18,15 @@ pub struct QueryResult {
 
 impl QueryResult {
     /// Render an ASCII table in the style of the `mysql` client — used by
-    /// the `reproduce` binary to print Tables II and III.
+    /// the `reproduce` binary to print Tables II and III. Column widths
+    /// are measured in characters, not bytes, so multi-byte UTF-8 values
+    /// (hostnames with accents, localized comments) stay aligned —
+    /// `format!`'s padding counts characters too.
     pub fn render_ascii(&self) -> String {
-        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.chars().count()).collect();
         for row in &self.rows {
             for (i, v) in row.iter().enumerate() {
-                widths[i] = widths[i].max(v.render().len());
+                widths[i] = widths[i].max(v.render().chars().count());
             }
         }
         let sep = {
@@ -95,14 +99,22 @@ pub fn execute(db: &mut Database, stmt: Statement) -> Result<ExecOutcome> {
             }
             Ok(ExecOutcome::Written { affected })
         }
-        Statement::Select { items, from, where_clause, group_by, order_by, limit } => {
-            select(db, &items, &from, where_clause.as_ref(), &group_by, &order_by, limit)
-                .map(ExecOutcome::Rows)
-        }
+        Statement::Select { items, from, where_clause, group_by, order_by, limit } => select(
+            db,
+            &items,
+            &from,
+            where_clause.as_ref(),
+            &group_by,
+            &order_by,
+            limit,
+            PlanChoice::Auto,
+        )
+        .map(ExecOutcome::Rows),
         Statement::Update { table, sets, where_clause } => {
             update(db, &table, &sets, where_clause.as_ref())
         }
         Statement::Delete { table, where_clause } => delete(db, &table, where_clause.as_ref()),
+        Statement::Explain(inner) => explain(db, *inner).map(ExecOutcome::Rows),
     }
 }
 
@@ -112,24 +124,79 @@ pub fn execute(db: &mut Database, stmt: Statement) -> Result<ExecOutcome> {
 /// Kickstart-generation read path, where many worker threads query one
 /// database snapshot without locking each other out.
 pub fn execute_readonly(db: &Database, stmt: Statement) -> Result<QueryResult> {
+    execute_readonly_with(db, &stmt, PlanChoice::Auto)
+}
+
+/// Read-only execution with an explicit planning mode. `Prepared` carries
+/// a plan built at prepare time (`Database::query_ref`'s statement
+/// cache); `ForceScan` is the differential baseline used by
+/// `Database::query_ref_scan`, benchmarks, and the proptest suite.
+pub(crate) fn execute_readonly_with(
+    db: &Database,
+    stmt: &Statement,
+    mode: PlanChoice<'_>,
+) -> Result<QueryResult> {
     match stmt {
         Statement::Select { items, from, where_clause, group_by, order_by, limit } => {
-            select(db, &items, &from, where_clause.as_ref(), &group_by, &order_by, limit)
+            select(db, items, from, where_clause.as_ref(), group_by, order_by, *limit, mode)
         }
+        Statement::Explain(inner) => explain(db, (**inner).clone()),
         _ => Err(SqlError::Unsupported(
             "only SELECT may run on a read-only database reference".into(),
         )),
     }
 }
 
+/// How `select` obtains its filtered row set.
+#[derive(Clone, Copy)]
+pub(crate) enum PlanChoice<'a> {
+    /// Plan now; fall back to the scan path when planning declines.
+    Auto,
+    /// Never plan — the naive scan baseline.
+    ForceScan,
+    /// A plan (or a recorded planning refusal) from the statement cache.
+    Prepared(Option<&'a SelectPlan>),
+}
+
+/// `EXPLAIN <stmt>`: render the plan the SELECT would run with. Writes
+/// cannot be explained — the planner only applies to SELECT.
+fn explain(db: &Database, stmt: Statement) -> Result<QueryResult> {
+    let Statement::Select { from, where_clause, order_by, limit, items, group_by } = stmt else {
+        return Err(SqlError::Unsupported("EXPLAIN supports only SELECT".into()));
+    };
+    let tables = resolve_from(db, &from)?;
+    let planned = where_clause.as_ref().and_then(|w| plan::plan_select(&tables, w));
+    let mut lines = plan::render_plan(&tables, planned.as_ref(), where_clause.as_ref());
+    if !order_by.is_empty() {
+        let keys: Vec<String> = order_by
+            .iter()
+            .map(|k| format!("{}{}", k.column, if k.desc { " desc" } else { "" }))
+            .collect();
+        let has_aggregate = items.iter().any(SelectItem::is_aggregate);
+        let top_k = match limit {
+            Some(k) if !has_aggregate && group_by.is_empty() => format!(" (top-{k} selection)"),
+            _ => " (sort)".to_string(),
+        };
+        lines.push(format!("  order by: {}{top_k}", keys.join(", ")));
+    }
+    if let Some(k) = limit {
+        lines.push(format!("  limit: {k}"));
+    }
+    Ok(QueryResult {
+        columns: vec!["plan".to_string()],
+        rows: lines.into_iter().map(|l| vec![Value::Text(l)]).collect(),
+    })
+}
+
 /// Binding environment for expression evaluation over a (possibly joined)
 /// row: for each FROM table, its name, column names, and the slice of the
-/// joined row holding its values.
-struct RowEnv<'a> {
-    tables: &'a [(&'a str, &'a Table)],
+/// joined row holding its values. Shared with the planner (`plan.rs`),
+/// which evaluates pushed-down filters against single-table environments.
+pub(crate) struct RowEnv<'a> {
+    pub(crate) tables: &'a [(&'a str, &'a Table)],
     /// Offsets of each table's columns within the joined row.
-    offsets: &'a [usize],
-    row: &'a [Value],
+    pub(crate) offsets: &'a [usize],
+    pub(crate) row: &'a [Value],
 }
 
 impl<'a> RowEnv<'a> {
@@ -152,7 +219,7 @@ impl<'a> RowEnv<'a> {
     }
 }
 
-fn eval(expr: &Expr, env: &RowEnv<'_>) -> Result<Value> {
+pub(crate) fn eval(expr: &Expr, env: &RowEnv<'_>) -> Result<Value> {
     match expr {
         Expr::Literal(v) => Ok(v.clone()),
         Expr::Column(c) => env.resolve(c).cloned(),
@@ -214,43 +281,36 @@ fn eval(expr: &Expr, env: &RowEnv<'_>) -> Result<Value> {
     }
 }
 
-fn select(
-    db: &Database,
-    items: &[SelectItem],
-    from: &[String],
-    where_clause: Option<&Expr>,
-    group_by: &[ColumnRef],
-    order_by: &[OrderKey],
-    limit: Option<usize>,
-) -> Result<QueryResult> {
-    // Resolve FROM tables.
-    let tables: Vec<(&str, &Table)> = from
-        .iter()
+/// Resolve FROM table names against the database, in FROM order.
+fn resolve_from<'d>(db: &'d Database, from: &[String]) -> Result<Vec<(&'d str, &'d Table)>> {
+    from.iter()
         .map(|name| {
             db.table(name).map(|t| (t.name(), t)).ok_or_else(|| SqlError::NoSuchTable(name.clone()))
         })
-        .collect::<Result<_>>()?;
+        .collect()
+}
 
-    let mut offsets = Vec::with_capacity(tables.len());
-    let mut total_width = 0usize;
-    for (_, t) in &tables {
-        offsets.push(total_width);
-        total_width += t.columns().len();
-    }
-
-    // Cross product of all FROM tables, filtered by WHERE. Join sizes in
-    // Rocks are tiny (nodes × memberships), so nested loops are fine.
+/// The naive path: enumerate the cross product of all FROM tables with an
+/// odometer and evaluate the whole WHERE per assembled row. This is the
+/// semantic reference the planner must match byte-for-byte, and the
+/// fallback whenever planning declines.
+fn scan_rows(
+    tables: &[(&str, &Table)],
+    offsets: &[usize],
+    total_width: usize,
+    where_clause: Option<&Expr>,
+) -> Result<Vec<Vec<Value>>> {
     let mut joined: Vec<Vec<Value>> = Vec::new();
     let mut indices = vec![0usize; tables.len()];
     if tables.iter().all(|(_, t)| !t.is_empty()) {
         'outer: loop {
             let mut row = Vec::with_capacity(total_width);
-            for ((_, t), &idx) in tables.iter().zip(&indices) {
+            for ((_, t), &idx) in tables.iter().zip(indices.iter()) {
                 row.extend_from_slice(&t.rows()[idx]);
             }
             let keep = match where_clause {
                 Some(expr) => {
-                    let env = RowEnv { tables: &tables, offsets: &offsets, row: &row };
+                    let env = RowEnv { tables, offsets, row: &row };
                     eval(expr, &env)?.is_truthy()
                 }
                 None => true,
@@ -269,6 +329,43 @@ fn select(
             break;
         }
     }
+    Ok(joined)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn select(
+    db: &Database,
+    items: &[SelectItem],
+    from: &[String],
+    where_clause: Option<&Expr>,
+    group_by: &[ColumnRef],
+    order_by: &[OrderKey],
+    limit: Option<usize>,
+    mode: PlanChoice<'_>,
+) -> Result<QueryResult> {
+    let tables = resolve_from(db, from)?;
+
+    let mut offsets = Vec::with_capacity(tables.len());
+    let mut total_width = 0usize;
+    for (_, t) in &tables {
+        offsets.push(total_width);
+        total_width += t.columns().len();
+    }
+
+    // Produce the filtered, joined row set — through the planner when a
+    // WHERE clause planned successfully, through the scan path otherwise.
+    let mut joined: Vec<Vec<Value>> = match (where_clause, mode) {
+        (Some(expr), PlanChoice::Auto) => match plan::plan_select(&tables, expr) {
+            Some(p) => plan::execute_plan(&p, &tables, &offsets, total_width)?,
+            None => scan_rows(&tables, &offsets, total_width, where_clause)?,
+        },
+        (Some(_), PlanChoice::Prepared(Some(p))) => {
+            plan::execute_plan(p, &tables, &offsets, total_width)?
+        }
+        _ => scan_rows(&tables, &offsets, total_width, where_clause)?,
+    };
+
+    let has_aggregate = items.iter().any(SelectItem::is_aggregate);
 
     // ORDER BY before projection so sort keys need not be projected.
     if !order_by.is_empty() {
@@ -277,20 +374,30 @@ fn select(
             .iter()
             .map(|key| resolve_position(&tables, &offsets, &key.column).map(|idx| (idx, key.desc)))
             .collect::<Result<_>>()?;
-        joined.sort_by(|a, b| {
-            for &(idx, desc) in &key_indices {
-                let ord = a[idx].sql_cmp(&b[idx]).unwrap_or(Ordering::Equal);
-                let ord = if desc { ord.reverse() } else { ord };
-                if ord != Ordering::Equal {
-                    return ord;
+        // Top-k fast path: when a LIMIT smaller than the row count
+        // follows the sort (and rows flow straight to projection, not
+        // into grouping), keep a bounded heap instead of sorting
+        // everything — O(n log k) versus O(n log n).
+        let top_k = match limit {
+            Some(k) if !has_aggregate && group_by.is_empty() && k < joined.len() => Some(k),
+            _ => None,
+        };
+        match top_k {
+            Some(k) => joined = top_k_rows(joined, k, &key_indices),
+            None => joined.sort_by(|a, b| {
+                for &(idx, desc) in &key_indices {
+                    let ord = a[idx].sql_cmp(&b[idx]).unwrap_or(Ordering::Equal);
+                    let ord = if desc { ord.reverse() } else { ord };
+                    if ord != Ordering::Equal {
+                        return ord;
+                    }
                 }
-            }
-            Ordering::Equal
-        });
+                Ordering::Equal
+            }),
+        }
     }
 
     // Grouped / aggregate path.
-    let has_aggregate = items.iter().any(SelectItem::is_aggregate);
     if has_aggregate || !group_by.is_empty() {
         return grouped_select(items, group_by, &tables, &offsets, joined, limit);
     }
@@ -349,6 +456,69 @@ fn resolve_position(
         }
     }
     found.ok_or_else(|| SqlError::NoSuchColumn(col.to_string()))
+}
+
+/// Partial selection for `ORDER BY ... LIMIT k`: return the k first rows
+/// of the stable sort without sorting everything. Stability is preserved
+/// by totalizing the comparison with each row's original position — under
+/// that total order, "k smallest, ascending" is exactly "stable sort,
+/// then truncate(k)". Implemented as a bounded binary max-heap (the root
+/// is the worst row kept; a better row replaces it).
+fn top_k_rows(rows: Vec<Vec<Value>>, k: usize, keys: &[(usize, bool)]) -> Vec<Vec<Value>> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let cmp = |a: &(Vec<Value>, usize), b: &(Vec<Value>, usize)| -> Ordering {
+        for &(idx, desc) in keys {
+            let ord = a.0[idx].sql_cmp(&b.0[idx]).unwrap_or(Ordering::Equal);
+            let ord = if desc { ord.reverse() } else { ord };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        a.1.cmp(&b.1)
+    };
+    // std's BinaryHeap orders by Ord, not a closure, so keep a small
+    // hand-rolled sift-up/sift-down heap instead.
+    let mut heap: Vec<(Vec<Value>, usize)> = Vec::with_capacity(k);
+    for (pos, row) in rows.into_iter().enumerate() {
+        let item = (row, pos);
+        if heap.len() < k {
+            heap.push(item);
+            // Sift up.
+            let mut i = heap.len() - 1;
+            while i > 0 {
+                let parent = (i - 1) / 2;
+                if cmp(&heap[i], &heap[parent]) == Ordering::Greater {
+                    heap.swap(i, parent);
+                    i = parent;
+                } else {
+                    break;
+                }
+            }
+        } else if cmp(&item, &heap[0]) == Ordering::Less {
+            heap[0] = item;
+            // Sift down.
+            let mut i = 0;
+            loop {
+                let (l, r) = (2 * i + 1, 2 * i + 2);
+                let mut largest = i;
+                if l < heap.len() && cmp(&heap[l], &heap[largest]) == Ordering::Greater {
+                    largest = l;
+                }
+                if r < heap.len() && cmp(&heap[r], &heap[largest]) == Ordering::Greater {
+                    largest = r;
+                }
+                if largest == i {
+                    break;
+                }
+                heap.swap(i, largest);
+                i = largest;
+            }
+        }
+    }
+    heap.sort_by(&cmp);
+    heap.into_iter().map(|(row, _)| row).collect()
 }
 
 /// Evaluate the grouped/aggregate SELECT path. With an empty `group_by`
@@ -822,5 +992,190 @@ mod tests {
         let mut db = sample_db();
         assert!(matches!(db.query("select x from ghost"), Err(SqlError::NoSuchTable(_))));
         assert!(matches!(db.query("select ghost from nodes"), Err(SqlError::NoSuchColumn(_))));
+    }
+
+    #[test]
+    fn planned_queries_match_scan_exactly() {
+        let db = sample_db();
+        for sql in [
+            "select * from nodes where ip = '10.1.1.1'",
+            "select name from nodes where membership = 2 and rank > 0",
+            "select nodes.name from nodes, memberships where \
+             nodes.membership = memberships.id and memberships.compute = 'yes'",
+            "select * from nodes, memberships where nodes.membership = memberships.id",
+            "select nodes.name, memberships.name from nodes, memberships where \
+             nodes.membership = memberships.id and nodes.rack = 0 order by nodes.id",
+            "select name from nodes where id = 4 or id = 5",
+            "select name from nodes where comment = 'Compute node' and rank < 2",
+            "select count(*) from nodes where membership = 2",
+            "select rack, count(*) from nodes where membership = 2 group by rack",
+            "select name from nodes where id in (1, 8) and rack = 0",
+            "select name from nodes where name like 'compute-%' and membership = 2",
+            "select name from nodes where ip = '99.99.99.99'",
+            "select name from nodes where comment is null",
+            "select nodes.name from nodes, memberships where \
+             memberships.id = nodes.membership and nodes.rank = memberships.appliance",
+        ] {
+            assert_eq!(
+                db.query_ref(sql).unwrap(),
+                db.query_ref_scan(sql).unwrap(),
+                "planned result diverged for {sql}"
+            );
+        }
+    }
+
+    #[test]
+    fn planned_error_behavior_matches_scan() {
+        let db = sample_db();
+        for sql in [
+            "select name from nodes, memberships where name = 'x'", // ambiguous
+            "select name from nodes where ghost = 1",               // no such column
+            "select name from ghost where x = 1",                   // no such table
+        ] {
+            assert_eq!(
+                db.query_ref(sql).unwrap_err(),
+                db.query_ref_scan(sql).unwrap_err(),
+                "planned error diverged for {sql}"
+            );
+        }
+    }
+
+    #[test]
+    fn point_lookup_touches_only_candidates_via_index() {
+        let db = sample_db();
+        let r = db.query_ref("select name from nodes where ip = '10.1.1.1'").unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Text("frontend-0".into())]]);
+        // The probe built an index on nodes.ip.
+        assert!(db.table("nodes").unwrap().indexed_columns() >= 1);
+    }
+
+    #[test]
+    fn explain_point_query_shows_index() {
+        let mut db = sample_db();
+        let r = db.query("explain select name from nodes where ip = '10.1.1.1'").unwrap();
+        assert_eq!(r.columns, vec!["plan"]);
+        let text: Vec<String> = r.rows.iter().map(|row| row[0].render()).collect();
+        assert!(text.iter().any(|l| l.contains("index(ip = '10.1.1.1')")), "plan was {text:?}");
+    }
+
+    #[test]
+    fn explain_join_shows_hash_join_and_pushdown() {
+        let mut db = sample_db();
+        let r = db
+            .query(
+                "explain select nodes.name from nodes, memberships where \
+                 nodes.membership = memberships.id and memberships.compute = 'yes' \
+                 order by nodes.name limit 2",
+            )
+            .unwrap();
+        let text: Vec<String> = r.rows.iter().map(|row| row[0].render()).collect();
+        assert!(
+            text.iter().any(|l| l.contains("hash join(nodes.membership = memberships.id)")),
+            "plan was {text:?}"
+        );
+        assert!(text.iter().any(|l| l.contains("filter((memberships.compute = 'yes'))")));
+        assert!(text.iter().any(|l| l.contains("top-2 selection")));
+        assert!(text.iter().any(|l| l.contains("limit: 2")));
+    }
+
+    #[test]
+    fn explain_fallback_mentions_cross_product() {
+        let mut db = sample_db();
+        // `name` is ambiguous across the two tables: planning declines.
+        let r =
+            db.query("explain select nodes.name from nodes, memberships where name = 'x'").unwrap();
+        let text: Vec<String> = r.rows.iter().map(|row| row[0].render()).collect();
+        assert!(text.iter().any(|l| l.contains("cross product")), "plan was {text:?}");
+    }
+
+    #[test]
+    fn explain_rejects_writes() {
+        let mut db = sample_db();
+        let err = db.execute("explain delete from nodes").unwrap_err();
+        assert!(matches!(err, SqlError::Unsupported(_)));
+    }
+
+    #[test]
+    fn explain_runs_readonly() {
+        let db = sample_db();
+        let r = db.query_ref("explain select * from nodes where id = 1").unwrap();
+        assert!(!r.rows.is_empty());
+    }
+
+    #[test]
+    fn top_k_matches_full_sort_including_ties() {
+        let mut db = Database::new();
+        db.execute("create table t (a int, b text)").unwrap();
+        // Lots of duplicate keys so stability matters.
+        for i in 0..40 {
+            db.execute(&format!("insert into t values ({}, 'row-{i}')", i % 5)).unwrap();
+        }
+        for k in [0, 1, 3, 7, 39, 40, 100] {
+            let fast = db.query(&format!("select a, b from t order by a limit {k}")).unwrap();
+            // Reference: full sort (no limit), truncated by hand.
+            let mut full = db.query("select a, b from t order by a").unwrap();
+            full.rows.truncate(k);
+            assert_eq!(fast.rows, full.rows, "top-k diverged for k={k}");
+        }
+        // Descending with a secondary key.
+        let fast = db.query("select a, b from t order by a desc, b limit 5").unwrap();
+        let mut full = db.query("select a, b from t order by a desc, b").unwrap();
+        full.rows.truncate(5);
+        assert_eq!(fast.rows, full.rows);
+    }
+
+    #[test]
+    fn render_ascii_aligns_multibyte_utf8() {
+        let mut db = Database::new();
+        db.execute("create table t (name text, comment text)").unwrap();
+        db.execute("insert into t values ('köln-0', 'ascii row')").unwrap();
+        db.execute("insert into t values ('plain', 'Grüße aus München ☀')").unwrap();
+        let text = db.query("select name, comment from t").unwrap().render_ascii();
+        let widths: Vec<usize> = text.lines().map(|l| l.chars().count()).collect();
+        assert!(
+            widths.windows(2).all(|w| w[0] == w[1]),
+            "misaligned table (char widths {widths:?}):\n{text}"
+        );
+    }
+
+    #[test]
+    fn index_stays_correct_across_writes() {
+        let mut db = sample_db();
+        // Build the index via a read...
+        let _ = db.query_ref("select name from nodes where membership = 2").unwrap();
+        // ...then mutate through every write path and re-compare.
+        db.execute("insert into nodes values (9, 'compute-1-0', 2, 1, 0, '10.9.9.9', NULL)")
+            .unwrap();
+        let sql = "select name from nodes where membership = 2 order by id";
+        assert_eq!(db.query_ref(sql).unwrap(), db.query_ref_scan(sql).unwrap());
+        db.execute("update nodes set membership = 8 where name = 'compute-0-1'").unwrap();
+        assert_eq!(db.query_ref(sql).unwrap(), db.query_ref_scan(sql).unwrap());
+        db.execute("delete from nodes where membership = 8").unwrap();
+        assert_eq!(db.query_ref(sql).unwrap(), db.query_ref_scan(sql).unwrap());
+    }
+
+    #[test]
+    fn coercion_pitfalls_match_scan() {
+        let mut db = Database::new();
+        db.execute("create table t (id int, tag text)").unwrap();
+        for (id, tag) in [(1, "'5'"), (2, "'05'"), (3, "' 5'"), (4, "'x'"), (5, "NULL"), (6, "'6'")]
+        {
+            db.execute(&format!("insert into t values ({id}, {tag})")).unwrap();
+        }
+        for sql in [
+            "select id from t where tag = '5'",
+            "select id from t where tag = '05'",
+            "select id from t where tag = ' 5'",
+            "select id from t where tag = 5",
+            "select id from t where id = '05'",
+            "select id from t where tag = 'x'",
+            "select id from t where tag = NULL",
+        ] {
+            assert_eq!(
+                db.query_ref(sql).unwrap(),
+                db.query_ref_scan(sql).unwrap(),
+                "coercion diverged for {sql}"
+            );
+        }
     }
 }

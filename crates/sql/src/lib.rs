@@ -40,17 +40,23 @@
 
 pub mod ast;
 pub mod exec;
+pub mod index;
 pub mod lexer;
 pub mod parser;
+pub mod plan;
 pub mod table;
 pub mod value;
 
 pub use ast::Statement;
 pub use exec::{ExecOutcome, QueryResult};
+pub use index::HashIndex;
+pub use plan::SelectPlan;
 pub use table::{Column, ColumnType, Table};
 pub use value::Value;
 
-use std::collections::BTreeMap;
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
 
 /// Errors from any stage of statement processing.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -93,10 +99,53 @@ impl std::error::Error for SqlError {}
 /// Result alias for SQL operations.
 pub type Result<T> = std::result::Result<T, SqlError>;
 
+/// A parsed-and-planned statement held by the cache behind
+/// [`Database::query_ref`]: parse once, plan once, execute many.
+#[derive(Debug)]
+struct Prepared {
+    stmt: Statement,
+    /// The plan for a SELECT with a WHERE clause; `None` records that
+    /// planning declined (the executor then uses the scan path), which
+    /// stays correct until the schema changes — and schema changes flush
+    /// the whole cache via the generation check.
+    plan: Option<SelectPlan>,
+}
+
+/// Statements cached beyond this point flush the whole cache; mass
+/// generation uses a handful of distinct statements, so in practice the
+/// cap only guards against unbounded `format!`-built SQL.
+const PLAN_CACHE_CAP: usize = 512;
+
+/// Interior-mutable statement cache. Lives behind a `Mutex` so the
+/// read-only [`Database::query_ref`] path can fill it concurrently; the
+/// lock is held only for lookup/insert, never during parse or execution.
+#[derive(Debug, Default)]
+struct PlanCache {
+    /// Schema generation the entries were prepared under.
+    schema_gen: u64,
+    entries: HashMap<String, Arc<Prepared>>,
+}
+
 /// An in-memory database: a set of named tables.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default)]
 pub struct Database {
     tables: BTreeMap<String, Table>,
+    /// Bumped on CREATE/DROP TABLE; prepared statements from an older
+    /// generation are discarded (their resolved column indices and plans
+    /// may no longer match the schema).
+    schema_gen: u64,
+    cache: Mutex<PlanCache>,
+}
+
+impl Clone for Database {
+    fn clone(&self) -> Self {
+        // The cache is pure acceleration state; a clone starts cold.
+        Database {
+            tables: self.tables.clone(),
+            schema_gen: self.schema_gen,
+            cache: Mutex::new(PlanCache::default()),
+        }
+    }
 }
 
 impl Database {
@@ -134,9 +183,94 @@ impl Database {
     /// mutated, any number of threads may call this concurrently on one
     /// database — the read path of the parallel Kickstart generation
     /// service. Write statements are rejected.
+    ///
+    /// Statements are parsed and planned once, then cached by SQL text:
+    /// repeated queries (the per-node lookups of a mass reinstall) skip
+    /// straight to execution against hash indexes. The cache is flushed
+    /// whenever the schema generation changes and is capped at
+    /// [`PLAN_CACHE_CAP`] entries.
     pub fn query_ref(&self, sql: &str) -> Result<QueryResult> {
+        let prepared = self.prepare(sql)?;
+        exec::execute_readonly_with(
+            self,
+            &prepared.stmt,
+            exec::PlanChoice::Prepared(prepared.plan.as_ref()),
+        )
+    }
+
+    /// [`query_ref`](Self::query_ref) with the planner disabled: parse
+    /// and run the naive scan path. This is the differential baseline the
+    /// planner is verified against (see `tests/proptest_plan.rs`) and the
+    /// "before" side of the benchmark suite.
+    pub fn query_ref_scan(&self, sql: &str) -> Result<QueryResult> {
         let stmt = parser::parse(sql)?;
-        exec::execute_readonly(self, stmt)
+        exec::execute_readonly_with(self, &stmt, exec::PlanChoice::ForceScan)
+    }
+
+    /// Fetch (or create) the cached parse+plan for `sql`.
+    fn prepare(&self, sql: &str) -> Result<Arc<Prepared>> {
+        {
+            let mut cache = self.cache.lock().expect("plan cache lock");
+            if cache.schema_gen != self.schema_gen {
+                cache.entries.clear();
+                cache.schema_gen = self.schema_gen;
+            }
+            if let Some(hit) = cache.entries.get(sql) {
+                return Ok(Arc::clone(hit));
+            }
+        }
+        // Parse and plan outside the lock; a racing thread preparing the
+        // same text produces an identical entry.
+        let stmt = parser::parse(sql)?;
+        let plan = match &stmt {
+            Statement::Select { from, where_clause: Some(w), .. } => {
+                // Planning needs every FROM table present; if one is
+                // missing, record "no plan" — execution will raise the
+                // same NoSuchTable the scan path would.
+                let tables: Option<Vec<(&str, &Table)>> =
+                    from.iter().map(|name| self.table(name).map(|t| (t.name(), t))).collect();
+                tables.and_then(|tables| plan::plan_select(&tables, w))
+            }
+            _ => None,
+        };
+        let prepared = Arc::new(Prepared { stmt, plan });
+        let mut cache = self.cache.lock().expect("plan cache lock");
+        if cache.schema_gen == self.schema_gen {
+            if cache.entries.len() >= PLAN_CACHE_CAP {
+                cache.entries.clear();
+            }
+            cache.entries.insert(sql.to_string(), Arc::clone(&prepared));
+        }
+        Ok(prepared)
+    }
+
+    /// Number of statements currently prepared (introspection for tests).
+    pub fn prepared_statements(&self) -> usize {
+        self.cache.lock().expect("plan cache lock").entries.len()
+    }
+
+    /// Prepared point lookup: all rows of `table` whose `column` equals
+    /// `value` under SQL semantics, as a [`QueryResult`] shaped exactly
+    /// like `SELECT * FROM table WHERE column = <value>`. Bypasses SQL
+    /// text entirely — no parse, no plan, no per-call `format!` — so the
+    /// hot rocks-db accessors (`node_by_ip`, `membership`, ...) resolve
+    /// in one index probe.
+    pub fn lookup_eq(&self, table: &str, column: &str, value: &Value) -> Result<QueryResult> {
+        let t = self.table(table).ok_or_else(|| SqlError::NoSuchTable(table.to_string()))?;
+        let col = t
+            .column_index(column)
+            .ok_or_else(|| SqlError::NoSuchColumn(format!("{}.{column}", t.name())))?;
+        let index = t.eq_index(col);
+        let mut scratch = Vec::new();
+        let rows = index
+            .probe(value, &mut scratch)
+            .iter()
+            .map(|&r| &t.rows()[r as usize])
+            // Candidates are a superset; keep only true equality.
+            .filter(|row| row[col].sql_cmp(value) == Some(Ordering::Equal))
+            .cloned()
+            .collect();
+        Ok(QueryResult { columns: t.columns().iter().map(|c| c.name.clone()).collect(), rows })
     }
 
     /// [`query_ref`](Self::query_ref) returning the first column rendered
@@ -163,12 +297,17 @@ impl Database {
             return Err(SqlError::TableExists(table.name().to_string()));
         }
         self.tables.insert(key, table);
+        self.schema_gen += 1;
         Ok(())
     }
 
     /// Remove a table (no-op if absent). Returns whether it existed.
     pub fn remove_table(&mut self, name: &str) -> bool {
-        self.tables.remove(&name.to_ascii_lowercase()).is_some()
+        let removed = self.tables.remove(&name.to_ascii_lowercase()).is_some();
+        if removed {
+            self.schema_gen += 1;
+        }
+        removed
     }
 
     /// Names of all tables, sorted.
@@ -213,5 +352,91 @@ mod tests {
         let mut db = Database::new();
         db.execute("create table t (x int)").unwrap();
         assert!(db.query("insert into t values (1)").is_err());
+    }
+
+    fn two_table_db() -> Database {
+        let mut db = Database::new();
+        db.execute("create table nodes (id int, name text, membership int, ip text)").unwrap();
+        db.execute("create table memberships (id int, name text)").unwrap();
+        db.execute(
+            "insert into nodes values (1, 'frontend-0', 1, '10.1.1.1'), \
+             (2, 'compute-0-0', 2, '10.1.1.2'), (3, 'compute-0-1', 2, '10.1.1.3')",
+        )
+        .unwrap();
+        db.execute("insert into memberships values (1, 'Frontend'), (2, 'Compute')").unwrap();
+        db
+    }
+
+    #[test]
+    fn query_ref_caches_statements() {
+        let db = two_table_db();
+        assert_eq!(db.prepared_statements(), 0);
+        let sql = "select name from nodes where ip = '10.1.1.2'";
+        let first = db.query_ref(sql).unwrap();
+        assert_eq!(db.prepared_statements(), 1);
+        let second = db.query_ref(sql).unwrap();
+        assert_eq!(db.prepared_statements(), 1, "second run must hit the cache");
+        assert_eq!(first, second);
+        // A different statement adds an entry.
+        db.query_ref("select id from memberships where name = 'Compute'").unwrap();
+        assert_eq!(db.prepared_statements(), 2);
+    }
+
+    #[test]
+    fn schema_change_flushes_plan_cache() {
+        let mut db = two_table_db();
+        db.query_ref("select name from nodes where id = 1").unwrap();
+        assert_eq!(db.prepared_statements(), 1);
+        db.execute("create table extra (x int)").unwrap();
+        // The stale entry is discarded on next use, and the query still
+        // answers correctly against the new schema generation.
+        let r = db.query_ref("select name from nodes where id = 1").unwrap();
+        assert_eq!(r.rows[0][0].as_text(), Some("frontend-0"));
+        assert_eq!(db.prepared_statements(), 1);
+    }
+
+    #[test]
+    fn cached_plan_survives_row_changes() {
+        let mut db = two_table_db();
+        let sql = "select name from nodes where membership = 2";
+        assert_eq!(db.query_ref(sql).unwrap().rows.len(), 2);
+        db.execute("insert into nodes values (4, 'compute-0-2', 2, '10.1.1.4')").unwrap();
+        assert_eq!(db.query_ref(sql).unwrap().rows.len(), 3, "cached plan must see new rows");
+        db.execute("delete from nodes where membership = 2").unwrap();
+        assert_eq!(db.query_ref(sql).unwrap().rows.len(), 0);
+    }
+
+    #[test]
+    fn clone_starts_with_cold_cache() {
+        let db = two_table_db();
+        db.query_ref("select name from nodes where id = 1").unwrap();
+        let copy = db.clone();
+        assert_eq!(copy.prepared_statements(), 0);
+        // And the clone still answers (and re-caches) independently.
+        assert_eq!(copy.query_ref("select name from nodes where id = 1").unwrap().rows.len(), 1);
+    }
+
+    #[test]
+    fn lookup_eq_matches_sql() {
+        let db = two_table_db();
+        let direct = db.lookup_eq("nodes", "ip", &Value::Text("10.1.1.2".into())).unwrap();
+        let via_sql = db.query_ref("select * from nodes where ip = '10.1.1.2'").unwrap();
+        assert_eq!(direct, via_sql);
+        // Int keys, multiple hits, preserving row order.
+        let direct = db.lookup_eq("nodes", "membership", &Value::Int(2)).unwrap();
+        let via_sql = db.query_ref("select * from nodes where membership = 2").unwrap();
+        assert_eq!(direct, via_sql);
+        // Misses and NULL probes return empty, not errors.
+        assert!(db.lookup_eq("nodes", "ip", &Value::Text("none".into())).unwrap().rows.is_empty());
+        assert!(db.lookup_eq("nodes", "ip", &Value::Null).unwrap().rows.is_empty());
+        // Errors mirror SQL's.
+        assert!(matches!(
+            db.lookup_eq("ghost", "x", &Value::Int(1)),
+            Err(SqlError::NoSuchTable(_))
+        ));
+        assert!(matches!(
+            db.lookup_eq("nodes", "ghost", &Value::Int(1)),
+            Err(SqlError::NoSuchColumn(_))
+        ));
     }
 }

@@ -101,6 +101,8 @@ impl Parser {
             self.expect_kw("table")?;
             let name = self.identifier("table name")?;
             Ok(Statement::DropTable { name })
+        } else if self.eat_kw("explain") {
+            Ok(Statement::Explain(Box::new(self.statement()?)))
         } else {
             Err(SqlError::Parse(format!("expected a statement, found {:?}", self.peek())))
         }

@@ -1,0 +1,487 @@
+//! Query planning: index point lookups, predicate pushdown, hash joins.
+//!
+//! The planner lowers a `SELECT ... WHERE ...` into a left-deep pipeline
+//! of per-table steps, in FROM order:
+//!
+//! * the WHERE clause is split into top-level `AND` conjuncts;
+//! * a conjunct touching one table is **pushed down** to that table's
+//!   step and evaluated against single-table rows (never against the
+//!   cross product);
+//! * a `col = literal` conjunct additionally makes the step an **index
+//!   point lookup** via the table's lazily built [`HashIndex`];
+//! * a `t1.c1 = t2.c2` conjunct joining a step to an earlier table makes
+//!   the step a **hash join** (probe the index on `c2` with the earlier
+//!   row's `c1` value) instead of a nested-loop cross product;
+//! * everything else becomes a **residual** evaluated on the accumulated
+//!   row as soon as every table it references has been joined.
+//!
+//! Byte-identical-to-scan guarantees (checked by the differential
+//! proptest in `tests/proptest_plan.rs`):
+//!
+//! * **candidates are supersets** — index probes may return rows that are
+//!   not equal under [`Value::sql_cmp`]'s Int↔Text coercion, so the
+//!   equality conjunct always stays in the step's filter and hash-join
+//!   probes re-verify with `sql_cmp` before emitting;
+//! * **order is preserved** — the scan path enumerates the cross product
+//!   lexicographically in FROM order; step 0 candidates are ascending,
+//!   hash joins extend tuples in accumulator order with ascending-bucket
+//!   matches, and filters only remove tuples, so the planned pipeline
+//!   yields exactly the same sequence;
+//! * **errors are preserved** — the planner refuses (returns `None`, the
+//!   executor falls back to the scan path) unless every column reference
+//!   in the WHERE clause resolves uniquely, so the planned pipeline can
+//!   never mask a `NoSuchColumn`/`AmbiguousColumn` error the scan would
+//!   raise, nor raise one the scan would not.
+//!
+//! Tuples are carried as row *indices* per table and materialized into
+//! value rows only at the end, so a selective join never clones rows the
+//! filter would discard.
+
+use crate::ast::{BinOp, ColumnRef, Expr};
+use crate::exec::{eval, RowEnv};
+use crate::table::Table;
+use crate::value::Value;
+use crate::Result;
+use std::cmp::Ordering;
+
+/// How one FROM table's rows are enumerated.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Access {
+    /// Enumerate every row.
+    Scan,
+    /// Probe the table's hash index with a literal. Candidates are a
+    /// superset; the originating conjunct stays in the step filter.
+    IndexEq {
+        /// Column index within the table.
+        column: usize,
+        /// The literal probed for.
+        literal: Value,
+    },
+}
+
+/// Hash-join linkage: equality between a column of an earlier FROM table
+/// and a column of this step's table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinKey {
+    /// FROM position of the earlier table supplying probe values.
+    pub left_table: usize,
+    /// Column index within that earlier table.
+    pub left_col: usize,
+    /// Column index within this step's table (the probed index).
+    pub right_col: usize,
+}
+
+/// One per-table step of the pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    /// Row enumeration strategy.
+    pub access: Access,
+    /// Hash-join key against the accumulated prefix (`None` for step 0
+    /// and for genuine cross joins).
+    pub join: Option<JoinKey>,
+    /// Pushed-down single-table conjuncts; a row must satisfy all.
+    pub filter: Vec<Expr>,
+}
+
+/// A planned SELECT pipeline. Plans reference tables by FROM position
+/// and columns by index, so a plan stays valid as rows change and is
+/// cached per statement (invalidated when the schema generation bumps —
+/// see `Database::query_ref`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectPlan {
+    /// One step per FROM table, in FROM order.
+    pub steps: Vec<Step>,
+    /// Conjuncts not consumed above: `(ready_after, expr)` — evaluated on
+    /// the accumulated row right after step `ready_after` completes.
+    pub residual: Vec<(usize, Expr)>,
+}
+
+/// Split an expression into its top-level AND conjuncts.
+fn split_and(expr: &Expr, out: &mut Vec<Expr>) {
+    match expr {
+        Expr::Binary { op: BinOp::And, lhs, rhs } => {
+            split_and(lhs, out);
+            split_and(rhs, out);
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+/// Visit every column reference in an expression.
+fn walk_columns<'e>(expr: &'e Expr, f: &mut impl FnMut(&'e ColumnRef)) {
+    match expr {
+        Expr::Literal(_) => {}
+        Expr::Column(c) => f(c),
+        Expr::Binary { lhs, rhs, .. } => {
+            walk_columns(lhs, f);
+            walk_columns(rhs, f);
+        }
+        Expr::Not(inner) => walk_columns(inner, f),
+        Expr::Like { expr, .. } | Expr::IsNull { expr, .. } | Expr::InList { expr, .. } => {
+            walk_columns(expr, f)
+        }
+    }
+}
+
+/// Resolve a column reference to `(from_position, column_index)`,
+/// requiring a unique match (mirrors the scan path's resolution rules).
+fn resolve_ref(tables: &[(&str, &Table)], col: &ColumnRef) -> Option<(usize, usize)> {
+    let mut found = None;
+    for (pos, (name, table)) in tables.iter().enumerate() {
+        if let Some(t) = &col.table {
+            if !t.eq_ignore_ascii_case(name) {
+                continue;
+            }
+        }
+        if let Some(idx) = table.column_index(&col.column) {
+            if found.is_some() {
+                return None; // ambiguous
+            }
+            found = Some((pos, idx));
+        }
+    }
+    found
+}
+
+/// Recognize `col = literal` (either side), resolved against `tables`.
+fn literal_eq(expr: &Expr, tables: &[(&str, &Table)]) -> Option<(usize, usize, Value)> {
+    let Expr::Binary { op: BinOp::Eq, lhs, rhs } = expr else {
+        return None;
+    };
+    let (col, lit) = match (lhs.as_ref(), rhs.as_ref()) {
+        (Expr::Column(c), Expr::Literal(v)) | (Expr::Literal(v), Expr::Column(c)) => (c, v),
+        _ => return None,
+    };
+    let (pos, idx) = resolve_ref(tables, col)?;
+    Some((pos, idx, lit.clone()))
+}
+
+/// Recognize `t1.c1 = t2.c2` across two distinct tables.
+fn column_eq(expr: &Expr, tables: &[(&str, &Table)]) -> Option<((usize, usize), (usize, usize))> {
+    let Expr::Binary { op: BinOp::Eq, lhs, rhs } = expr else {
+        return None;
+    };
+    let (Expr::Column(a), Expr::Column(b)) = (lhs.as_ref(), rhs.as_ref()) else {
+        return None;
+    };
+    let ra = resolve_ref(tables, a)?;
+    let rb = resolve_ref(tables, b)?;
+    if ra.0 == rb.0 {
+        return None;
+    }
+    Some((ra, rb))
+}
+
+/// Build a plan for a WHERE clause over the given FROM tables, or `None`
+/// when any column reference fails unique resolution (the caller then
+/// falls back to the scan path, preserving error behavior exactly).
+pub fn plan_select(tables: &[(&str, &Table)], where_clause: &Expr) -> Option<SelectPlan> {
+    // Every referenced column must resolve uniquely, or planning is off.
+    let mut all_resolve = true;
+    walk_columns(where_clause, &mut |c| {
+        if resolve_ref(tables, c).is_none() {
+            all_resolve = false;
+        }
+    });
+    if !all_resolve {
+        return None;
+    }
+
+    let mut conjuncts = Vec::new();
+    split_and(where_clause, &mut conjuncts);
+
+    let n = tables.len();
+    let mut steps: Vec<Step> =
+        (0..n).map(|_| Step { access: Access::Scan, join: None, filter: Vec::new() }).collect();
+    let mut residual: Vec<(usize, Expr)> = Vec::new();
+    // Unconsumed cross-table equality conjuncts: ((lo, lo_col), (hi, hi_col), expr).
+    type EquiConjunct = ((usize, usize), (usize, usize), Expr);
+    let mut equi: Vec<EquiConjunct> = Vec::new();
+
+    for conj in conjuncts {
+        let mut touched: Vec<usize> = Vec::new();
+        walk_columns(&conj, &mut |c| {
+            let (pos, _) = resolve_ref(tables, c).expect("validated above");
+            if !touched.contains(&pos) {
+                touched.push(pos);
+            }
+        });
+        match touched.len() {
+            0 => residual.push((0, conj)), // constant predicate
+            1 => {
+                let t = touched[0];
+                if steps[t].access == Access::Scan {
+                    if let Some((pos, idx, lit)) = literal_eq(&conj, tables) {
+                        debug_assert_eq!(pos, t);
+                        steps[t].access = Access::IndexEq { column: idx, literal: lit };
+                    }
+                }
+                // The conjunct itself always remains a filter: index
+                // candidates are supersets and must be re-checked.
+                steps[t].filter.push(conj);
+            }
+            2 => match column_eq(&conj, tables) {
+                Some((ra, rb)) => {
+                    let (lo, hi) = if ra.0 < rb.0 { (ra, rb) } else { (rb, ra) };
+                    equi.push((lo, hi, conj));
+                }
+                None => {
+                    residual.push((*touched.iter().max().unwrap(), conj));
+                }
+            },
+            _ => residual.push((*touched.iter().max().unwrap(), conj)),
+        }
+    }
+
+    // Consume at most one equi conjunct per step as its hash-join key;
+    // leftovers are verified as residuals.
+    let mut used = vec![false; equi.len()];
+    for (k, step) in steps.iter_mut().enumerate().skip(1) {
+        for (i, (lo, hi, _)) in equi.iter().enumerate() {
+            if !used[i] && hi.0 == k {
+                step.join = Some(JoinKey { left_table: lo.0, left_col: lo.1, right_col: hi.1 });
+                used[i] = true;
+                break;
+            }
+        }
+    }
+    for (i, (_, hi, expr)) in equi.into_iter().enumerate() {
+        if !used[i] {
+            residual.push((hi.0, expr));
+        }
+    }
+
+    Some(SelectPlan { steps, residual })
+}
+
+/// Assemble the value row for a tuple of per-table row indices.
+fn assemble(tables: &[(&str, &Table)], tuple: &[u32], out: &mut Vec<Value>) {
+    out.clear();
+    for (pos, &row) in tuple.iter().enumerate() {
+        out.extend_from_slice(&tables[pos].1.rows()[row as usize]);
+    }
+}
+
+/// Evaluate a step's pushed-down filters against one row of its table,
+/// memoizing per row index (0 = unknown, 1 = pass, 2 = fail) so hash
+/// joins never re-evaluate a filter for a repeatedly probed row.
+fn step_filter(
+    filters: &[Expr],
+    single: &[(&str, &Table)],
+    row: u32,
+    memo: &mut [u8],
+) -> Result<bool> {
+    if filters.is_empty() {
+        return Ok(true);
+    }
+    match memo[row as usize] {
+        1 => Ok(true),
+        2 => Ok(false),
+        _ => {
+            let env =
+                RowEnv { tables: single, offsets: &[0], row: &single[0].1.rows()[row as usize] };
+            let mut pass = true;
+            for f in filters {
+                if !eval(f, &env)?.is_truthy() {
+                    pass = false;
+                    break;
+                }
+            }
+            memo[row as usize] = if pass { 1 } else { 2 };
+            Ok(pass)
+        }
+    }
+}
+
+/// Execute a plan, returning joined rows identical (values and order) to
+/// the scan path's filtered cross product.
+pub fn execute_plan(
+    plan: &SelectPlan,
+    tables: &[(&str, &Table)],
+    offsets: &[usize],
+    total_width: usize,
+) -> Result<Vec<Vec<Value>>> {
+    let n = tables.len();
+    debug_assert_eq!(plan.steps.len(), n);
+
+    // Tuples of per-table row indices joined so far.
+    let mut acc: Vec<Vec<u32>> = Vec::new();
+    let mut scratch_row: Vec<Value> = Vec::new();
+    let mut probe_scratch: Vec<u32> = Vec::new();
+
+    for (k, step) in plan.steps.iter().enumerate() {
+        let t = tables[k].1;
+        let single = [(tables[k].0, t)];
+        let mut memo = vec![0u8; t.len()];
+
+        match (&step.join, k) {
+            // Step 0 or an explicit cross join: enumerate this table's
+            // (filtered) rows once, then extend every tuple.
+            (None, _) => {
+                let mut right: Vec<u32> = Vec::new();
+                match &step.access {
+                    Access::Scan => {
+                        for row in 0..t.len() as u32 {
+                            if step_filter(&step.filter, &single, row, &mut memo)? {
+                                right.push(row);
+                            }
+                        }
+                    }
+                    Access::IndexEq { column, literal } => {
+                        let index = t.eq_index(*column);
+                        for &row in index.probe(literal, &mut probe_scratch) {
+                            if step_filter(&step.filter, &single, row, &mut memo)? {
+                                right.push(row);
+                            }
+                        }
+                    }
+                }
+                if k == 0 {
+                    acc = right.into_iter().map(|r| vec![r]).collect();
+                } else {
+                    let mut next = Vec::with_capacity(acc.len() * right.len());
+                    for tuple in &acc {
+                        for &r in &right {
+                            let mut extended = Vec::with_capacity(k + 1);
+                            extended.extend_from_slice(tuple);
+                            extended.push(r);
+                            next.push(extended);
+                        }
+                    }
+                    acc = next;
+                }
+            }
+            // Hash join: probe this table's index with each accumulated
+            // tuple's key value. Ascending buckets + accumulator order
+            // reproduce the cross product's lexicographic order.
+            (Some(key), _) => {
+                let index = t.eq_index(key.right_col);
+                let left_rows = tables[key.left_table].1.rows();
+                let mut next = Vec::new();
+                for tuple in &acc {
+                    let lval = &left_rows[tuple[key.left_table] as usize][key.left_col];
+                    if lval.is_null() {
+                        continue; // NULL joins nothing
+                    }
+                    for &r in index.probe(lval, &mut probe_scratch) {
+                        let rval = &t.rows()[r as usize][key.right_col];
+                        if lval.sql_cmp(rval) != Some(Ordering::Equal) {
+                            continue; // candidate false positive
+                        }
+                        if !step_filter(&step.filter, &single, r, &mut memo)? {
+                            continue;
+                        }
+                        let mut extended = Vec::with_capacity(k + 1);
+                        extended.extend_from_slice(tuple);
+                        extended.push(r);
+                        next.push(extended);
+                    }
+                }
+                acc = next;
+            }
+        }
+
+        // Residuals that became evaluable once table k joined.
+        if plan.residual.iter().any(|(ready, _)| *ready == k) {
+            let prefix_tables = &tables[..=k];
+            let prefix_offsets = &offsets[..=k];
+            let mut kept = Vec::with_capacity(acc.len());
+            for tuple in acc {
+                assemble(prefix_tables, &tuple, &mut scratch_row);
+                let env =
+                    RowEnv { tables: prefix_tables, offsets: prefix_offsets, row: &scratch_row };
+                let mut pass = true;
+                for (ready, expr) in &plan.residual {
+                    if *ready == k && !eval(expr, &env)?.is_truthy() {
+                        pass = false;
+                        break;
+                    }
+                }
+                if pass {
+                    kept.push(tuple);
+                }
+            }
+            acc = kept;
+        }
+
+        if acc.is_empty() {
+            return Ok(Vec::new());
+        }
+    }
+
+    // Materialize value rows only for surviving tuples.
+    let mut joined = Vec::with_capacity(acc.len());
+    for tuple in acc {
+        let mut row = Vec::with_capacity(total_width);
+        for (pos, &r) in tuple.iter().enumerate() {
+            row.extend_from_slice(&tables[pos].1.rows()[r as usize]);
+        }
+        joined.push(row);
+    }
+    Ok(joined)
+}
+
+/// Render a plan (or the scan fallback) as EXPLAIN output lines.
+pub fn render_plan(
+    tables: &[(&str, &Table)],
+    plan: Option<&SelectPlan>,
+    where_clause: Option<&Expr>,
+) -> Vec<String> {
+    let names: Vec<&str> = tables.iter().map(|(name, _)| *name).collect();
+    let mut lines = vec![format!("select from {}", names.join(", "))];
+    match plan {
+        Some(plan) => {
+            for (k, step) in plan.steps.iter().enumerate() {
+                let t = tables[k].1;
+                let mut line = format!("  {}: ", names[k]);
+                match &step.join {
+                    Some(key) => {
+                        line.push_str(&format!(
+                            "hash join({}.{} = {}.{})",
+                            names[key.left_table],
+                            tables[key.left_table].1.columns()[key.left_col].name,
+                            names[k],
+                            t.columns()[key.right_col].name,
+                        ));
+                    }
+                    None if k == 0 => {}
+                    None => line.push_str("nested loop, "),
+                }
+                if step.join.is_some() {
+                    line.push_str(", ");
+                }
+                match &step.access {
+                    Access::Scan => line.push_str("scan"),
+                    Access::IndexEq { column, literal } => {
+                        line.push_str(&format!(
+                            "index({} = {})",
+                            t.columns()[*column].name,
+                            Expr::Literal(literal.clone()),
+                        ));
+                    }
+                }
+                if !step.filter.is_empty() {
+                    let fs: Vec<String> = step.filter.iter().map(|f| f.to_string()).collect();
+                    line.push_str(&format!(" filter({})", fs.join(" and ")));
+                }
+                lines.push(line);
+            }
+            for (ready, expr) in &plan.residual {
+                lines.push(format!("  residual after {}: {expr}", names[*ready]));
+            }
+        }
+        None => {
+            for (k, name) in names.iter().enumerate() {
+                if k == 0 {
+                    lines.push(format!("  {name}: scan"));
+                } else {
+                    lines.push(format!("  {name}: nested loop, scan"));
+                }
+            }
+            if let Some(expr) = where_clause {
+                lines.push(format!("  where: {expr} (evaluated on the cross product)"));
+            }
+        }
+    }
+    lines
+}

@@ -1,7 +1,17 @@
-//! Table storage: a schema plus rows.
+//! Table storage: a schema plus rows, with transparent hash indexes.
+//!
+//! Indexes are built lazily the first time a column is probed for
+//! equality (see [`Table::eq_index`]), kept current incrementally as rows
+//! are appended, and dropped wholesale whenever rows are mutated in place
+//! (UPDATE/DELETE go through [`Table::rows_mut`]) — the next probe
+//! rebuilds. They are pure acceleration state: `Clone` shares them
+//! copy-on-write via `Arc`, and `PartialEq`/`Debug` ignore them.
 
+use crate::index::HashIndex;
 use crate::value::Value;
 use crate::{Result, SqlError};
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
 
 /// Declared column types. Storage is dynamically typed (every cell is a
 /// [`Value`]), but INSERT/UPDATE coerce or reject against the declaration.
@@ -23,11 +33,47 @@ pub struct Column {
 }
 
 /// An in-memory table.
-#[derive(Debug, Clone, PartialEq)]
 pub struct Table {
     name: String,
     columns: Vec<Column>,
     rows: Vec<Vec<Value>>,
+    /// Lazily built per-column hash indexes. Interior mutability lets the
+    /// read-only query path build an index on first use; `RwLock` (not
+    /// `RefCell`) keeps the table `Sync` for the concurrent Kickstart
+    /// generation workers. `Arc` makes probes lock-free after a cheap
+    /// handle clone and makes `Table::clone` copy-on-write.
+    indexes: RwLock<HashMap<usize, Arc<HashIndex>>>,
+}
+
+impl Clone for Table {
+    fn clone(&self) -> Self {
+        Table {
+            name: self.name.clone(),
+            columns: self.columns.clone(),
+            rows: self.rows.clone(),
+            // Share built indexes; a later insert_row on either copy
+            // updates via Arc::make_mut (copy-on-write).
+            indexes: RwLock::new(self.indexes.read().expect("index lock").clone()),
+        }
+    }
+}
+
+impl PartialEq for Table {
+    fn eq(&self, other: &Self) -> bool {
+        // Indexes are derived state — equality is schema + rows.
+        self.name == other.name && self.columns == other.columns && self.rows == other.rows
+    }
+}
+
+impl std::fmt::Debug for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Table")
+            .field("name", &self.name)
+            .field("columns", &self.columns)
+            .field("rows", &self.rows)
+            .field("indexed_columns", &self.indexes.read().expect("index lock").len())
+            .finish()
+    }
 }
 
 impl Table {
@@ -42,6 +88,7 @@ impl Table {
                 .map(|(name, ty)| Column { name: name.to_ascii_lowercase(), ty })
                 .collect(),
             rows: Vec::new(),
+            indexes: RwLock::new(HashMap::new()),
         }
     }
 
@@ -65,9 +112,42 @@ impl Table {
         &self.rows
     }
 
-    /// Mutable rows (used by UPDATE/DELETE execution).
+    /// Mutable rows (used by UPDATE/DELETE execution). In-place mutation
+    /// invalidates every index; the next equality probe rebuilds lazily.
     pub(crate) fn rows_mut(&mut self) -> &mut Vec<Vec<Value>> {
+        self.indexes.get_mut().expect("index lock").clear();
         &mut self.rows
+    }
+
+    /// Hash index for `column`, building it on first use. Returns a cheap
+    /// `Arc` handle so callers probe without holding the table's lock.
+    /// Panics if `column` is out of range (callers resolve columns first).
+    pub fn eq_index(&self, column: usize) -> Arc<HashIndex> {
+        assert!(column < self.columns.len(), "eq_index: column out of range");
+        if let Some(ix) = self.indexes.read().expect("index lock").get(&column) {
+            return Arc::clone(ix);
+        }
+        let built = Arc::new(HashIndex::build(self.rows.iter().map(|r| &r[column])));
+        let mut map = self.indexes.write().expect("index lock");
+        // Two threads may race to build the same index from the same
+        // rows; both products are identical, keep whichever landed first.
+        Arc::clone(map.entry(column).or_insert(built))
+    }
+
+    /// Number of columns currently carrying a built index (introspection
+    /// for tests and EXPLAIN).
+    pub fn indexed_columns(&self) -> usize {
+        self.indexes.read().expect("index lock").len()
+    }
+
+    /// Fold a freshly appended row (already in `self.rows`) into every
+    /// built index.
+    fn index_appended_row(&mut self) {
+        let row = self.rows.len() - 1;
+        let map = self.indexes.get_mut().expect("index lock");
+        for (&column, index) in map.iter_mut() {
+            Arc::make_mut(index).add(&self.rows[row][column], row as u32);
+        }
     }
 
     /// Number of rows.
@@ -117,6 +197,7 @@ impl Table {
             .map(|(col, v)| Self::coerce(col, v))
             .collect::<Result<Vec<Value>>>()?;
         self.rows.push(row);
+        self.index_appended_row();
         Ok(())
     }
 
@@ -138,6 +219,7 @@ impl Table {
             row[idx] = Self::coerce(&self.columns[idx], value)?;
         }
         self.rows.push(row);
+        self.index_appended_row();
         Ok(())
     }
 }
@@ -192,5 +274,51 @@ mod tests {
         let mut table = t();
         let err = table.insert_named(&["bogus".into()], vec![Value::Int(1)]).unwrap_err();
         assert!(matches!(err, SqlError::NoSuchColumn(_)));
+    }
+
+    fn probe_all(table: &Table, col: usize, v: &Value) -> Vec<u32> {
+        let ix = table.eq_index(col);
+        let mut scratch = Vec::new();
+        ix.probe(v, &mut scratch).to_vec()
+    }
+
+    #[test]
+    fn index_builds_lazily_and_tracks_inserts() {
+        let mut table = t();
+        table.insert_row(vec![Value::Int(1), Value::Text("a".into())]).unwrap();
+        table.insert_row(vec![Value::Int(2), Value::Text("b".into())]).unwrap();
+        assert_eq!(table.indexed_columns(), 0);
+        assert_eq!(probe_all(&table, 0, &Value::Int(2)), vec![1]);
+        assert_eq!(table.indexed_columns(), 1);
+        // An append after the index exists must be reflected.
+        table.insert_row(vec![Value::Int(2), Value::Text("c".into())]).unwrap();
+        assert_eq!(probe_all(&table, 0, &Value::Int(2)), vec![1, 2]);
+    }
+
+    #[test]
+    fn rows_mut_invalidates_indexes() {
+        let mut table = t();
+        table.insert_row(vec![Value::Int(1), Value::Text("a".into())]).unwrap();
+        let _ = table.eq_index(0);
+        assert_eq!(table.indexed_columns(), 1);
+        table.rows_mut()[0][0] = Value::Int(9);
+        assert_eq!(table.indexed_columns(), 0);
+        // Rebuild sees the mutated value.
+        assert_eq!(probe_all(&table, 0, &Value::Int(9)), vec![0]);
+        assert!(probe_all(&table, 0, &Value::Int(1)).is_empty());
+    }
+
+    #[test]
+    fn clone_shares_then_diverges() {
+        let mut table = t();
+        table.insert_row(vec![Value::Int(1), Value::Text("a".into())]).unwrap();
+        let _ = table.eq_index(0);
+        let mut copy = table.clone();
+        assert_eq!(copy.indexed_columns(), 1);
+        copy.insert_row(vec![Value::Int(1), Value::Text("b".into())]).unwrap();
+        // The copy sees both rows; the original is untouched.
+        assert_eq!(probe_all(&copy, 0, &Value::Int(1)), vec![0, 1]);
+        assert_eq!(probe_all(&table, 0, &Value::Int(1)), vec![0]);
+        assert_eq!(table, table.clone(), "equality ignores index state");
     }
 }
