@@ -2,6 +2,12 @@
 //! discrete-event simulation for one concurrency level and reports the
 //! virtual result through Criterion's measurement of the simulation
 //! itself (the virtual minutes are printed once per level).
+//!
+//! Two groups, mirroring the kickstart_gen layout: the paper-scale
+//! Table I sweep (1..32 nodes, default sampling) and the large-n scale
+//! sweep (512..8192 nodes on the heap + class-aggregated scheduler),
+//! where each iteration is expensive enough that the sample count drops
+//! to Criterion's minimum.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rocks_netsim::{ClusterSim, SimConfig};
@@ -31,5 +37,24 @@ fn bench_reinstall(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_reinstall);
+fn bench_reinstall_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reinstall_scale");
+    // A single 8192-node reinstall simulates hours of virtual time;
+    // shrink the sample count instead of letting Criterion run its
+    // default 100 iterations per level.
+    group.sample_size(10);
+    for &n in &[512usize, 2048, 8192] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sim = ClusterSim::new(SimConfig::paper_testbed(1).bundled(12), n);
+                let result = sim.run_reinstall();
+                assert_eq!(result.completed(), n);
+                result.total_minutes()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reinstall, bench_reinstall_scale);
 criterion_main!(benches);

@@ -14,12 +14,14 @@
 //! reproduce updates    # §6.2.1 update-tracking experiment
 //! reproduce ablation   # §1/§3 reinstall-vs-verify ablation
 //! reproduce sqlbench   # indexed planner vs scan (writes BENCH_sql_engine.json)
+//! reproduce netsim-scale [--quick]  # engine scaling sweep (writes BENCH_netsim.json)
 //! ```
 
 use rocks_bench::*;
 
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let quick = std::env::args().any(|a| a == "--quick");
     type Experiment = (&'static str, fn() -> String);
     let experiments: Vec<Experiment> = vec![
         ("table1", table1),
@@ -41,7 +43,15 @@ fn main() {
         ("updates", update_tracking),
         ("ablation", ablation),
         ("sqlbench", sql_engine_bench),
+        ("netsim-scale", netsim_scale_full),
     ];
+
+    // `netsim-scale --quick` shrinks the sweep so the CI debug build
+    // finishes in seconds.
+    if arg == "netsim-scale" && quick {
+        println!("{}", netsim_scale(true));
+        return;
+    }
 
     match arg.as_str() {
         "all" => {

@@ -134,7 +134,7 @@ impl Cluster {
         if !names.is_empty() {
             let cfg = self.sim_config();
             let mut sim = ClusterSim::new(cfg, names.len());
-            let outcome = sim.run_reinstall_staggered(20.0);
+            let outcome = sim.try_run_reinstall_staggered(20.0)?;
             self.apply_install_outcome(&names, &outcome)?;
         }
         Ok(records)
@@ -230,7 +230,7 @@ impl Cluster {
         }
         let cfg = self.sim_config();
         let mut sim = ClusterSim::new(cfg, names.len());
-        let outcome = sim.run_reinstall();
+        let outcome = sim.try_run_reinstall()?;
         self.apply_install_outcome(names, &outcome)
     }
 
@@ -295,7 +295,7 @@ impl Cluster {
         }
         let cfg = self.sim_config();
         let mut sim = ClusterSim::new(cfg, names.len());
-        let outcome = sim.run_reinstall();
+        let outcome = sim.try_run_reinstall()?;
 
         let mut feeds = Vec::new();
         for (i, name) in names.iter().enumerate() {

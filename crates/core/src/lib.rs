@@ -48,6 +48,9 @@ pub enum RocksError {
     NoSuchNode(String),
     /// Upgrade validation failed on the test node.
     ValidationFailed(String),
+    /// The reinstall simulation could not finish (e.g. it stalled with
+    /// flows active and no bandwidth).
+    Simulation(String),
 }
 
 impl std::fmt::Display for RocksError {
@@ -60,11 +63,18 @@ impl std::fmt::Display for RocksError {
             RocksError::Pbs(e) => write!(f, "batch system: {e}"),
             RocksError::NoSuchNode(n) => write!(f, "no such node: {n}"),
             RocksError::ValidationFailed(m) => write!(f, "upgrade validation failed: {m}"),
+            RocksError::Simulation(m) => write!(f, "simulation: {m}"),
         }
     }
 }
 
 impl std::error::Error for RocksError {}
+
+impl From<rocks_netsim::SimError> for RocksError {
+    fn from(e: rocks_netsim::SimError) -> Self {
+        RocksError::Simulation(e.to_string())
+    }
+}
 
 impl From<rocks_db::DbError> for RocksError {
     fn from(e: rocks_db::DbError) -> Self {

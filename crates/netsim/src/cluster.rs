@@ -6,7 +6,7 @@
 //! failure scenarios).
 
 use crate::config::SimConfig;
-use crate::engine::{micros, seconds, Engine, SimTime, Wakeup};
+use crate::engine::{micros, seconds, Engine, EngineMode, SimError, SimTime, Wakeup};
 use crate::node::SimNode;
 
 /// Control events injected into a run at absolute virtual times.
@@ -87,7 +87,14 @@ impl ClusterSim {
     /// across the configured servers. With a cabinet topology, node `i`
     /// sits in cabinet `i / cabinet_size` behind that cabinet's uplink.
     pub fn new(cfg: SimConfig, n_nodes: usize) -> ClusterSim {
-        let mut engine = Engine::new(vec![cfg.server_capacity_bps; cfg.n_servers]);
+        ClusterSim::new_with_mode(cfg, n_nodes, EngineMode::Fast)
+    }
+
+    /// Build a cluster running a specific engine scheduler — the
+    /// differential tests and the fast-vs-reference benchmark drive the
+    /// same cluster through both paths.
+    pub fn new_with_mode(cfg: SimConfig, n_nodes: usize, mode: EngineMode) -> ClusterSim {
+        let mut engine = Engine::new_with_mode(vec![cfg.server_capacity_bps; cfg.n_servers], mode);
         let mut cabinet_links = Vec::new();
         if let Some(k) = cfg.cabinet_size {
             let n_cabinets = n_nodes.div_ceil(k);
@@ -133,12 +140,24 @@ impl ClusterSim {
 
     /// Power on every node simultaneously and run until the cluster
     /// settles (all nodes `Up` or `Hung` with no pending events).
+    ///
+    /// Panics if the simulation stalls (flows active but starved of
+    /// bandwidth forever); use [`try_run_reinstall`](Self::try_run_reinstall)
+    /// to handle that case.
     pub fn run_reinstall(&mut self) -> ReinstallResult {
+        self.try_run_reinstall().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`run_reinstall`](Self::run_reinstall): surfaces
+    /// [`SimError::Stalled`] when the cluster can never finish (e.g. a
+    /// server died and nothing is scheduled to revive it) instead of
+    /// leaving the caller to spin on `Wakeup::Idle`.
+    pub fn try_run_reinstall(&mut self) -> Result<ReinstallResult, SimError> {
         for i in 0..self.nodes.len() {
             self.nodes[i].power_on(&mut self.engine, &self.cfg);
         }
-        self.run_to_quiescence();
-        self.collect_result()
+        self.run_to_quiescence()?;
+        Ok(self.collect_result())
     }
 
     /// Power on every node with a fixed gap between machines — the
@@ -146,6 +165,14 @@ impl ClusterSim {
     /// in order for insert-ethers to bind hostnames to physical
     /// locations". Node `i` powers on at `i × gap_seconds`.
     pub fn run_reinstall_staggered(&mut self, gap_seconds: f64) -> ReinstallResult {
+        self.try_run_reinstall_staggered(gap_seconds).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`run_reinstall_staggered`](Self::run_reinstall_staggered).
+    pub fn try_run_reinstall_staggered(
+        &mut self,
+        gap_seconds: f64,
+    ) -> Result<ReinstallResult, SimError> {
         // Reuse the fault timer mechanism for delayed power-ons.
         for i in 0..self.nodes.len() {
             if i == 0 {
@@ -156,23 +183,39 @@ impl ClusterSim {
                 self.engine.start_timer(CONTROL_TAG_BASE + idx, micros(gap_seconds * i as f64));
             }
         }
-        self.run_to_quiescence();
-        self.collect_result()
+        self.run_to_quiescence()?;
+        Ok(self.collect_result())
     }
 
     /// Power on a subset of nodes (rolling upgrades reinstall in waves).
     pub fn reinstall_subset(&mut self, ids: &[usize]) -> ReinstallResult {
+        self.try_reinstall_subset(ids).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`reinstall_subset`](Self::reinstall_subset).
+    pub fn try_reinstall_subset(&mut self, ids: &[usize]) -> Result<ReinstallResult, SimError> {
         for &id in ids {
             self.nodes[id].power_on(&mut self.engine, &self.cfg);
         }
-        self.run_to_quiescence();
-        self.collect_result()
+        self.run_to_quiescence()?;
+        Ok(self.collect_result())
     }
 
-    fn run_to_quiescence(&mut self) {
+    fn run_to_quiescence(&mut self) -> Result<(), SimError> {
         loop {
             match self.engine.step() {
-                Wakeup::Idle => break,
+                Wakeup::Idle => {
+                    // Idle with flows still active means every remaining
+                    // flow is starved (rate 0) and no timer will ever
+                    // change that — the simulated cluster is wedged, not
+                    // finished. Surface it instead of letting drivers
+                    // spin on Idle forever.
+                    let active = self.engine.active_flows();
+                    if active > 0 {
+                        return Err(SimError::Stalled { active_flows: active });
+                    }
+                    return Ok(());
+                }
                 Wakeup::FlowDone { tag } | Wakeup::TimerFired { tag } => {
                     if tag >= CONTROL_TAG_BASE {
                         self.apply_fault(tag - CONTROL_TAG_BASE);
@@ -520,5 +563,62 @@ mod tests {
         let a = ClusterSim::new(small_cfg(3), 8).run_reinstall().total_seconds;
         let b = ClusterSim::new(small_cfg(3), 8).run_reinstall().total_seconds;
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn permanent_server_failure_surfaces_stall_error() {
+        // The server dies mid-reinstall and never comes back: nodes hold
+        // flows that can never move. The driver must report the stall
+        // instead of returning a bogus "finished" result.
+        let mut sim = ClusterSim::new(small_cfg(1), 4);
+        sim.inject_fault_at(120.0, Fault::ServerDown(0));
+        match sim.try_run_reinstall() {
+            Err(SimError::Stalled { active_flows }) => assert!(active_flows > 0),
+            other => panic!("expected a stall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "simulation stalled")]
+    fn infallible_run_panics_on_stall() {
+        let mut sim = ClusterSim::new(small_cfg(1), 2);
+        sim.inject_fault_at(120.0, Fault::ServerDown(0));
+        sim.run_reinstall();
+    }
+
+    #[test]
+    fn fast_and_reference_clusters_agree() {
+        // Whole-cluster differential check, with a server outage and a
+        // power-cycled node thrown in: both schedulers must produce the
+        // same completion profile, byte totals, and per-node logs.
+        let run = |mode: EngineMode| {
+            let mut cfg = small_cfg(5);
+            cfg.n_servers = 2;
+            let mut sim = ClusterSim::new_with_mode(cfg, 12, mode);
+            sim.inject_fault_at(100.0, Fault::ServerDown(1));
+            sim.inject_fault_at(260.0, Fault::ServerUp(1));
+            sim.inject_fault_at(150.0, Fault::PowerCycle(3));
+            let result = sim.try_run_reinstall().expect("completes");
+            let logs: Vec<(SimTime, String)> = sim
+                .nodes()
+                .iter()
+                .flat_map(|n| n.log.iter().map(|l| (l.at, l.text.clone())))
+                .collect();
+            (result, logs)
+        };
+        let (fast, fast_logs) = run(EngineMode::Fast);
+        let (reference, ref_logs) = run(EngineMode::Reference);
+        assert_eq!(fast.completed(), reference.completed());
+        // Event timestamps are quantized to microseconds; allow the last
+        // quantum to differ from floating-point accumulation order.
+        assert!((fast.total_seconds - reference.total_seconds).abs() < 1e-3);
+        for (f, r) in fast.server_bytes.iter().zip(&reference.server_bytes) {
+            assert!((f - r).abs() < 16.0, "fast {f} vs ref {r}");
+        }
+        assert_eq!(fast_logs.len(), ref_logs.len());
+        for ((fat, ftext), (rat, rtext)) in fast_logs.iter().zip(&ref_logs) {
+            assert_eq!(ftext, rtext);
+            assert!(fat.abs_diff(*rat) <= 1, "{fat} vs {rat} for {ftext}");
+        }
     }
 }

@@ -26,14 +26,16 @@
 //! Virtual time is `u64` microseconds; experiments over 32 nodes and ~160
 //! packages each run in well under a millisecond of real time.
 
+mod classes;
 pub mod cluster;
 pub mod config;
 pub mod engine;
 pub mod node;
+mod queue;
 pub mod reinstall;
 
 pub use cluster::{ClusterSim, ReinstallOutcome, ReinstallResult};
 pub use config::{PackageWork, SimConfig};
-pub use engine::{micros, seconds, SimTime};
+pub use engine::{micros, seconds, EngineMode, SimError, SimTime};
 pub use node::{NodeLogLine, NodeState};
-pub use reinstall::{mass_reinstall, provision_cluster, MassReinstallReport};
+pub use reinstall::{mass_reinstall, provision_cluster, MassReinstallReport, ReinstallError};

@@ -1,0 +1,150 @@
+//! Timer scheduling with lazy invalidation.
+//!
+//! Timers are armed far more often than they are cancelled, and
+//! cancellation (a node power-cycle dropping its pending wakeup) used to
+//! `retain` over every armed timer — O(T) per cancel, O(T²) across a
+//! mass reinstall. This queue keeps every armed timer in a binary heap
+//! keyed on (fire time, arm sequence) and *marks* cancellations instead
+//! of removing them: a cancelled or fired entry simply disappears from
+//! the `live` table, and the heap discards stale entries lazily when
+//! they surface at the top.
+//!
+//! Both engine paths share this queue so their timer semantics are
+//! identical by construction: the earliest live timer wins, and timers
+//! armed earlier fire first on equal timestamps (FIFO by arm sequence).
+
+use crate::engine::SimTime;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// A live timer's payload.
+#[derive(Debug, Clone, Copy)]
+struct TimerRec {
+    at: SimTime,
+    tag: usize,
+}
+
+/// The timer queue: heap for the fast path, live table for cancellation
+/// and for the reference path's linear scan.
+#[derive(Debug, Default)]
+pub(crate) struct TimerQueue {
+    /// Every timer that is armed and not yet fired or cancelled,
+    /// keyed by arm sequence.
+    live: HashMap<u64, TimerRec>,
+    /// Arm sequences per tag, for O(k) tagged cancellation.
+    by_tag: HashMap<usize, Vec<u64>>,
+    /// All entries ever armed, including stale ones awaiting lazy
+    /// removal. Ordered by (fire time, arm sequence).
+    heap: BinaryHeap<Reverse<(SimTime, u64)>>,
+    next_seq: u64,
+}
+
+impl TimerQueue {
+    /// Arm a timer firing at absolute time `at`.
+    pub fn arm(&mut self, tag: usize, at: SimTime) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.live.insert(seq, TimerRec { at, tag });
+        self.by_tag.entry(tag).or_default().push(seq);
+        self.heap.push(Reverse((at, seq)));
+    }
+
+    /// Cancel every live timer with `tag`. The heap entries stay behind
+    /// as stale markers and are discarded when they reach the top.
+    pub fn cancel_tag(&mut self, tag: usize) {
+        if let Some(seqs) = self.by_tag.remove(&tag) {
+            for seq in seqs {
+                self.live.remove(&seq);
+            }
+        }
+    }
+
+    /// Retire a fired timer.
+    pub fn fire(&mut self, seq: u64) {
+        if let Some(rec) = self.live.remove(&seq) {
+            if let Some(seqs) = self.by_tag.get_mut(&rec.tag) {
+                if let Some(pos) = seqs.iter().position(|&s| s == seq) {
+                    seqs.swap_remove(pos);
+                }
+                if seqs.is_empty() {
+                    self.by_tag.remove(&rec.tag);
+                }
+            }
+        }
+    }
+
+    /// Fast path: the earliest live timer via the heap, popping stale
+    /// (cancelled or already-fired) entries encountered on the way up.
+    pub fn peek_earliest(&mut self) -> Option<(SimTime, u64, usize)> {
+        while let Some(&Reverse((at, seq))) = self.heap.peek() {
+            match self.live.get(&seq) {
+                Some(rec) => return Some((at, seq, rec.tag)),
+                None => {
+                    self.heap.pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// Reference path: the earliest live timer by linear scan. Same
+    /// (fire time, arm sequence) order as the heap, so both paths agree
+    /// on ties.
+    pub fn earliest_scan(&self) -> Option<(SimTime, u64, usize)> {
+        self.live
+            .iter()
+            .map(|(&seq, rec)| (rec.at, seq, rec.tag))
+            .min_by_key(|&(at, seq, _)| (at, seq))
+    }
+
+    /// Number of live (armed, unfired, uncancelled) timers.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_on_equal_timestamps() {
+        let mut q = TimerQueue::default();
+        q.arm(1, 100);
+        q.arm(2, 100);
+        let (at, seq, tag) = q.peek_earliest().unwrap();
+        assert_eq!((at, tag), (100, 1));
+        assert_eq!(q.earliest_scan().unwrap(), (at, seq, tag));
+        q.fire(seq);
+        let (_, seq2, tag2) = q.peek_earliest().unwrap();
+        assert_eq!(tag2, 2);
+        q.fire(seq2);
+        assert!(q.peek_earliest().is_none());
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn cancelled_entries_are_skipped_lazily() {
+        let mut q = TimerQueue::default();
+        q.arm(7, 50);
+        q.arm(8, 60);
+        q.cancel_tag(7);
+        assert_eq!(q.len(), 1);
+        // The stale tag-7 entry is still physically in the heap; the peek
+        // discards it and surfaces tag 8.
+        let (at, _, tag) = q.peek_earliest().unwrap();
+        assert_eq!((at, tag), (60, 8));
+    }
+
+    #[test]
+    fn rearmed_tag_gets_fresh_entry() {
+        let mut q = TimerQueue::default();
+        q.arm(3, 500);
+        q.cancel_tag(3);
+        q.arm(3, 200);
+        let (at, seq, tag) = q.peek_earliest().unwrap();
+        assert_eq!((at, tag), (200, 3));
+        q.fire(seq);
+        assert!(q.peek_earliest().is_none());
+    }
+}

@@ -13,11 +13,46 @@
 
 use crate::cluster::{ClusterSim, ReinstallResult};
 use crate::config::SimConfig;
+use crate::engine::SimError;
 use rocks_db::insert_ethers::{register_frontend, DhcpRequest, InsertEthers};
 use rocks_db::ClusterDb;
 use rocks_kickstart::{GeneratedProfile, GenerationService};
 use rocks_rpm::Arch;
+use std::fmt;
 use std::time::Instant;
+
+/// Why a mass reinstall could not produce a report: either profile
+/// generation failed, or the simulated cluster wedged mid-install.
+#[derive(Debug)]
+pub enum ReinstallError {
+    /// Kickstart generation failed for some node.
+    Generation(rocks_kickstart::KsError),
+    /// The network simulation stalled (see [`SimError::Stalled`]).
+    Sim(SimError),
+}
+
+impl fmt::Display for ReinstallError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReinstallError::Generation(e) => write!(f, "kickstart generation failed: {e}"),
+            ReinstallError::Sim(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReinstallError {}
+
+impl From<rocks_kickstart::KsError> for ReinstallError {
+    fn from(e: rocks_kickstart::KsError) -> Self {
+        ReinstallError::Generation(e)
+    }
+}
+
+impl From<SimError> for ReinstallError {
+    fn from(e: SimError) -> Self {
+        ReinstallError::Sim(e)
+    }
+}
 
 /// Everything one mass reinstall produced: the per-node profiles, the
 /// simulated network outcome, and how long (real time) generation took.
@@ -58,7 +93,7 @@ pub fn mass_reinstall(
     service: &GenerationService,
     arch: Arch,
     threads: usize,
-) -> rocks_kickstart::Result<MassReinstallReport> {
+) -> Result<MassReinstallReport, ReinstallError> {
     let started = Instant::now();
     let profiles = service.generate_all(db, arch, threads)?;
     let generation_seconds = started.elapsed().as_secs_f64();
@@ -79,7 +114,7 @@ pub fn mass_reinstall(
     }
 
     let mut sim = ClusterSim::new(cfg, compute_profiles.len());
-    let result = sim.run_reinstall();
+    let result = sim.try_run_reinstall()?;
     Ok(MassReinstallReport { profiles, result, generation_seconds })
 }
 

@@ -16,7 +16,7 @@ fn main() {
     // Simulate one node's reinstall and capture its installer output.
     let cfg = SimConfig::paper_testbed(7);
     let mut sim = ClusterSim::new(cfg.clone(), 1);
-    sim.run_reinstall();
+    sim.try_run_reinstall().expect("single healthy node cannot stall");
     let transcript: Vec<String> = sim
         .node(0)
         .log

@@ -14,7 +14,15 @@ fn main() {
     println!("nodes | paper | simulated | server MB/s over the run");
     for &(n, paper) in PAPER {
         let mut sim = ClusterSim::new(SimConfig::paper_testbed(1), n);
-        let result = sim.run_reinstall();
+        // A stalled simulation (flows active, no bandwidth, no timers)
+        // would previously spin on Idle forever; surface it instead.
+        let result = match sim.try_run_reinstall() {
+            Ok(result) => result,
+            Err(e) => {
+                eprintln!("reinstall sweep aborted: {e}");
+                std::process::exit(1);
+            }
+        };
         println!(
             "{n:>5} | {paper:>5.1} | {:>9.1} | {:>6.1}",
             result.total_minutes(),
