@@ -15,6 +15,7 @@
 //! reproduce ablation   # §1/§3 reinstall-vs-verify ablation
 //! reproduce sqlbench   # indexed planner vs scan (writes BENCH_sql_engine.json)
 //! reproduce netsim-scale [--quick]  # engine scaling sweep (writes BENCH_netsim.json)
+//! reproduce chaos [--quick]         # seeded chaos sweep (writes BENCH_chaos.json)
 //! ```
 
 use rocks_bench::*;
@@ -44,12 +45,18 @@ fn main() {
         ("ablation", ablation),
         ("sqlbench", sql_engine_bench),
         ("netsim-scale", netsim_scale_full),
+        ("chaos", chaos_full),
     ];
 
     // `netsim-scale --quick` shrinks the sweep so the CI debug build
     // finishes in seconds.
     if arg == "netsim-scale" && quick {
         println!("{}", netsim_scale(true));
+        return;
+    }
+    // `chaos --quick` runs 200 seeded scenarios instead of 1000.
+    if arg == "chaos" && quick {
+        println!("{}", chaos(true));
         return;
     }
 

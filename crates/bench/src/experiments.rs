@@ -909,6 +909,129 @@ pub fn netsim_scale_full() -> String {
     netsim_scale(false)
 }
 
+// ---------------------------------------------------------------------
+// Chaos harness sweep (`reproduce chaos`, BENCH_chaos.json)
+// ---------------------------------------------------------------------
+
+/// Everything one chaos sweep measured, renderable as `BENCH_chaos.json`.
+#[derive(Debug, Clone)]
+pub struct ChaosSnapshot {
+    /// First seed of the contiguous sweep.
+    pub first_seed: u64,
+    /// Seeded scenarios executed.
+    pub seeds_run: usize,
+    /// Invariant violations across the whole sweep (must be 0).
+    pub invariant_violations: usize,
+    /// Faults scheduled across all plans.
+    pub total_faults: usize,
+    /// Nodes that completed their reinstall.
+    pub completed_nodes: usize,
+    /// Nodes left hung by schedules that never power-cycle them.
+    pub unrecoverable_nodes: usize,
+    /// Fetch attempts across all runs (baseline + protocol retries).
+    pub total_attempts: u64,
+    /// Install-server failovers across all runs.
+    pub total_failovers: u64,
+    /// Plans replayed on the reference engine for the agreement check.
+    pub diff_checked: usize,
+    /// Wall-clock milliseconds for the whole sweep.
+    pub wall_ms: f64,
+}
+
+impl ChaosSnapshot {
+    /// Scenarios per wall-clock second.
+    pub fn scenarios_per_sec(&self) -> f64 {
+        self.seeds_run as f64 / (self.wall_ms / 1e3).max(1e-9)
+    }
+
+    /// Render as the `BENCH_chaos.json` document.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"experiment\": \"chaos\",\n  \"first_seed\": {},\n  \"seeds_run\": {},\n  \"invariant_violations\": {},\n  \"total_faults\": {},\n  \"completed_nodes\": {},\n  \"unrecoverable_nodes\": {},\n  \"total_attempts\": {},\n  \"total_failovers\": {},\n  \"diff_checked\": {},\n  \"wall_ms\": {:.1},\n  \"scenarios_per_sec\": {:.1}\n}}\n",
+            self.first_seed,
+            self.seeds_run,
+            self.invariant_violations,
+            self.total_faults,
+            self.completed_nodes,
+            self.unrecoverable_nodes,
+            self.total_attempts,
+            self.total_failovers,
+            self.diff_checked,
+            self.wall_ms,
+            self.scenarios_per_sec(),
+        )
+    }
+}
+
+/// Run the seeded chaos sweep: `count` scenarios starting at
+/// `first_seed`, each a randomized topology under a randomized fault
+/// schedule, checked against the standard invariant set (byte
+/// conservation, eventual completion, monotone phases) with every
+/// seventh small plan replayed on the reference engine.
+pub fn measure_chaos(first_seed: u64, count: usize) -> ChaosSnapshot {
+    let start = std::time::Instant::now();
+    let report = rocks_netsim::chaos::run_chaos(first_seed, count);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    ChaosSnapshot {
+        first_seed,
+        seeds_run: report.seeds_run,
+        invariant_violations: report.violations.len(),
+        total_faults: report.total_faults,
+        completed_nodes: report.completed_nodes,
+        unrecoverable_nodes: report.unrecoverable_nodes,
+        total_attempts: report.total_attempts,
+        total_failovers: report.total_failovers,
+        diff_checked: report.diff_checked,
+        wall_ms,
+    }
+}
+
+/// Chaos experiment for `reproduce`: sweeps 200 seeds under `--quick`
+/// (1000 otherwise), writes `BENCH_chaos.json`, and reports the tally.
+/// A non-zero violation count is rendered loudly — it means some seed
+/// broke a global correctness property and can be replayed exactly.
+pub fn chaos(quick: bool) -> String {
+    let count = if quick { 200 } else { 1000 };
+    let snap = measure_chaos(0, count);
+    let json = snap.to_json();
+    let written = match std::fs::write("BENCH_chaos.json", &json) {
+        Ok(()) => "snapshot written to BENCH_chaos.json".to_string(),
+        Err(e) => format!("snapshot NOT written: {e}"),
+    };
+    let verdict = if snap.invariant_violations == 0 {
+        "all invariants held".to_string()
+    } else {
+        format!("*** {} INVARIANT VIOLATION(S) ***", snap.invariant_violations)
+    };
+    format!(
+        "chaos harness: seeded fault schedules vs the retrying install protocol\n\
+         scenarios: {} (seeds {}..{}), {} faults scheduled — {}\n\
+         nodes: {} completed, {} unrecoverable by schedule (hung, never cycled)\n\
+         protocol: {} fetch attempts, {} failovers across the sweep\n\
+         engines: {} plans replayed on the reference scheduler, all agreeing\n\
+         wall: {:.0} ms ({:.0} scenarios/s)\n\
+         {}\n",
+        snap.seeds_run,
+        snap.first_seed,
+        snap.first_seed + snap.seeds_run as u64,
+        snap.total_faults,
+        verdict,
+        snap.completed_nodes,
+        snap.unrecoverable_nodes,
+        snap.total_attempts,
+        snap.total_failovers,
+        snap.diff_checked,
+        snap.wall_ms,
+        snap.scenarios_per_sec(),
+        written,
+    )
+}
+
+/// `reproduce chaos` without `--quick`: the full 1000-seed sweep.
+pub fn chaos_full() -> String {
+    chaos(false)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1162,5 +1285,31 @@ mod tests {
         };
         assert!(minutes("gige", 512) < minutes("fast-ethernet", 512));
         assert!(minutes("replica-4", 512) < minutes("fast-ethernet", 512));
+    }
+
+    #[test]
+    fn chaos_snapshot_json_has_the_contract_keys() {
+        let snap = measure_chaos(0, 12);
+        assert_eq!(snap.seeds_run, 12);
+        assert_eq!(snap.invariant_violations, 0, "seeds 0..12 must be clean");
+        assert!(snap.completed_nodes > 0);
+        assert!(snap.total_attempts > 0);
+        let json = snap.to_json();
+        for key in [
+            "\"experiment\": \"chaos\"",
+            "\"first_seed\": 0",
+            "\"seeds_run\": 12",
+            "\"invariant_violations\": 0",
+            "\"total_faults\"",
+            "\"completed_nodes\"",
+            "\"unrecoverable_nodes\"",
+            "\"total_attempts\"",
+            "\"total_failovers\"",
+            "\"diff_checked\"",
+            "\"wall_ms\"",
+            "\"scenarios_per_sec\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in\n{json}");
+        }
     }
 }

@@ -76,6 +76,15 @@ impl From<rocks_netsim::SimError> for RocksError {
     }
 }
 
+impl From<rocks_netsim::ReinstallError> for RocksError {
+    fn from(e: rocks_netsim::ReinstallError) -> Self {
+        match e {
+            rocks_netsim::ReinstallError::Generation(k) => RocksError::Kickstart(k),
+            other => RocksError::Simulation(other.to_string()),
+        }
+    }
+}
+
 impl From<rocks_db::DbError> for RocksError {
     fn from(e: rocks_db::DbError) -> Self {
         RocksError::Db(e)

@@ -7,20 +7,34 @@
 
 use crate::config::SimConfig;
 use crate::engine::{micros, seconds, Engine, EngineMode, SimError, SimTime, Wakeup};
-use crate::node::SimNode;
+use crate::node::{NodeEvent, NodeState, SimNode};
+use crate::reinstall::ReinstallError;
 
 /// Control events injected into a run at absolute virtual times.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Fault {
-    /// The HTTP server `id` dies (capacity → 0).
+    /// The HTTP server `id` dies (capacity → 0). A no-op for an id that
+    /// is not a server or a server already down.
     ServerDown(usize),
-    /// The HTTP server `id` comes back.
+    /// The HTTP server `id` comes back at its nominal (possibly
+    /// degraded) capacity. A no-op for a server that was never taken
+    /// down — reviving a healthy server must not touch its capacity.
     ServerUp(usize),
     /// Node `id` hangs hard (requires a power cycle).
     NodeHang(usize),
     /// The PDU hard-power-cycles node `id` (forces a fresh reinstall,
     /// per the paper's footnote in §4).
     PowerCycle(usize),
+    /// Link `link` (server uplink or cabinet uplink) runs at `factor` ×
+    /// its base capacity — a flaky switch port or duplex mismatch.
+    /// `factor` is clamped to `[0, 1]`; 1.0 restores the link. Composes
+    /// with server down/up: the factor applies once the server is back.
+    LinkDegrade {
+        /// Engine link index.
+        link: usize,
+        /// Fraction of base capacity the link now sustains.
+        factor: f64,
+    },
 }
 
 /// Engine tags at or above this value address control events, not nodes.
@@ -36,6 +50,15 @@ pub struct ReinstallResult {
     pub total_seconds: f64,
     /// Bytes each server delivered.
     pub server_bytes: Vec<f64>,
+    /// Fetch attempts each node issued (kickstart + packages, including
+    /// retries, across power-cycle lives). Without the retrying install
+    /// protocol this is exactly the number of fetches started.
+    pub per_node_attempts: Vec<u32>,
+    /// Times each node failed over to a different install server.
+    pub per_node_failovers: Vec<u32>,
+    /// Seconds each node spent waiting out retry backoffs (downtime the
+    /// retrying protocol added on top of the transfers themselves).
+    pub per_node_backoff_seconds: Vec<f64>,
 }
 
 impl ReinstallResult {
@@ -65,6 +88,21 @@ impl ReinstallResult {
         }
         self.server_bytes.iter().sum::<f64>() / self.total_seconds
     }
+
+    /// Total fetch attempts across the cluster.
+    pub fn total_attempts(&self) -> u64 {
+        self.per_node_attempts.iter().map(|&a| u64::from(a)).sum()
+    }
+
+    /// Total install-server failovers across the cluster.
+    pub fn total_failovers(&self) -> u64 {
+        self.per_node_failovers.iter().map(|&a| u64::from(a)).sum()
+    }
+
+    /// Total seconds of retry-backoff downtime across the cluster.
+    pub fn total_backoff_seconds(&self) -> f64 {
+        self.per_node_backoff_seconds.iter().sum()
+    }
 }
 
 /// Alias kept for API clarity at call sites that only care about success.
@@ -80,6 +118,13 @@ pub struct ClusterSim {
     /// (virtual seconds, cumulative server bytes) sampled at every event,
     /// for utilization timelines.
     samples: Vec<(f64, f64)>,
+    /// Base (healthy, undegraded) capacity per engine link.
+    link_base: Vec<f64>,
+    /// Degradation factor per link (1.0 = healthy).
+    link_factor: Vec<f64>,
+    /// Whether each link's server is currently down. Only ever set for
+    /// server links; cabinet links are degraded, not downed.
+    link_down: Vec<bool>,
 }
 
 impl ClusterSim {
@@ -95,24 +140,47 @@ impl ClusterSim {
     /// same cluster through both paths.
     pub fn new_with_mode(cfg: SimConfig, n_nodes: usize, mode: EngineMode) -> ClusterSim {
         let mut engine = Engine::new_with_mode(vec![cfg.server_capacity_bps; cfg.n_servers], mode);
+        let mut link_base = vec![cfg.server_capacity_bps; cfg.n_servers];
         let mut cabinet_links = Vec::new();
         if let Some(k) = cfg.cabinet_size {
             let n_cabinets = n_nodes.div_ceil(k);
             for _ in 0..n_cabinets {
                 cabinet_links.push(engine.add_link(cfg.cabinet_uplink_bps));
+                link_base.push(cfg.cabinet_uplink_bps);
             }
         }
         let nodes = (0..n_nodes)
             .map(|i| {
-                let mut route = vec![i % cfg.n_servers];
+                // Home server first, then the remaining replicas in ring
+                // order — the failover rotation the retrying install
+                // protocol walks.
+                let servers: Vec<usize> =
+                    (0..cfg.n_servers).map(|s| (i + s) % cfg.n_servers).collect();
+                let mut extra = Vec::new();
                 if let Some(k) = cfg.cabinet_size {
-                    route.push(cabinet_links[i / k]);
+                    extra.push(cabinet_links[i / k]);
                 }
                 let cabinet = cfg.cabinet_size.map_or(0, |k| i / k);
-                SimNode::new(i, &format!("compute-{cabinet}-{i}"), route, cfg.seed)
+                SimNode::with_failover(
+                    i,
+                    &format!("compute-{cabinet}-{i}"),
+                    servers,
+                    extra,
+                    cfg.seed,
+                )
             })
             .collect();
-        ClusterSim { cfg, engine, nodes, faults: Vec::new(), samples: Vec::new() }
+        let n_links = link_base.len();
+        ClusterSim {
+            cfg,
+            engine,
+            nodes,
+            faults: Vec::new(),
+            samples: Vec::new(),
+            link_base,
+            link_factor: vec![1.0; n_links],
+            link_down: vec![false; n_links],
+        }
     }
 
     /// Schedule a fault at an absolute virtual time (seconds). Must be
@@ -142,22 +210,22 @@ impl ClusterSim {
     /// settles (all nodes `Up` or `Hung` with no pending events).
     ///
     /// Panics if the simulation stalls (flows active but starved of
-    /// bandwidth forever); use [`try_run_reinstall`](Self::try_run_reinstall)
-    /// to handle that case.
+    /// bandwidth forever) or a node exhausts every install server; use
+    /// [`try_run_reinstall`](Self::try_run_reinstall) to handle those.
     pub fn run_reinstall(&mut self) -> ReinstallResult {
         self.try_run_reinstall().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Fallible [`run_reinstall`](Self::run_reinstall): surfaces
-    /// [`SimError::Stalled`] when the cluster can never finish (e.g. a
-    /// server died and nothing is scheduled to revive it) instead of
-    /// leaving the caller to spin on `Wakeup::Idle`.
-    pub fn try_run_reinstall(&mut self) -> Result<ReinstallResult, SimError> {
-        for i in 0..self.nodes.len() {
-            self.nodes[i].power_on(&mut self.engine, &self.cfg);
-        }
+    /// [`SimError::Stalled`] (via [`ReinstallError::Sim`]) when the
+    /// cluster can never finish (e.g. a server died, retries are off, and
+    /// nothing is scheduled to revive it), and
+    /// [`ReinstallError::AllServersDown`] when the retrying install
+    /// protocol gave up on a node.
+    pub fn try_run_reinstall(&mut self) -> Result<ReinstallResult, ReinstallError> {
+        self.begin_reinstall();
         self.run_to_quiescence()?;
-        Ok(self.collect_result())
+        self.finish()
     }
 
     /// Power on every node with a fixed gap between machines — the
@@ -172,7 +240,7 @@ impl ClusterSim {
     pub fn try_run_reinstall_staggered(
         &mut self,
         gap_seconds: f64,
-    ) -> Result<ReinstallResult, SimError> {
+    ) -> Result<ReinstallResult, ReinstallError> {
         // Reuse the fault timer mechanism for delayed power-ons.
         for i in 0..self.nodes.len() {
             if i == 0 {
@@ -184,7 +252,7 @@ impl ClusterSim {
             }
         }
         self.run_to_quiescence()?;
-        Ok(self.collect_result())
+        self.finish()
     }
 
     /// Power on a subset of nodes (rolling upgrades reinstall in waves).
@@ -193,40 +261,72 @@ impl ClusterSim {
     }
 
     /// Fallible [`reinstall_subset`](Self::reinstall_subset).
-    pub fn try_reinstall_subset(&mut self, ids: &[usize]) -> Result<ReinstallResult, SimError> {
+    pub fn try_reinstall_subset(
+        &mut self,
+        ids: &[usize],
+    ) -> Result<ReinstallResult, ReinstallError> {
         for &id in ids {
             self.nodes[id].power_on(&mut self.engine, &self.cfg);
         }
         self.run_to_quiescence()?;
-        Ok(self.collect_result())
+        self.finish()
+    }
+
+    /// Power on every node simultaneously without running the simulation
+    /// — callers that want to observe the run event by event (the chaos
+    /// harness) follow with [`step_once`](Self::step_once).
+    pub fn begin_reinstall(&mut self) {
+        for i in 0..self.nodes.len() {
+            self.nodes[i].power_on(&mut self.engine, &self.cfg);
+        }
+    }
+
+    /// Process exactly one simulation event. Returns `Ok(true)` if an
+    /// event was handled (faults dispatched, node FSMs advanced), `Ok(false)`
+    /// once the simulation is quiescent, and [`SimError::Stalled`] if the
+    /// engine is idle while flows are still active — wedged, not done.
+    pub fn step_once(&mut self) -> Result<bool, SimError> {
+        let (tag, event) = match self.engine.step() {
+            Wakeup::Idle => {
+                // Idle with flows still active means every remaining
+                // flow is starved (rate 0) and no timer will ever
+                // change that — the simulated cluster is wedged, not
+                // finished. Surface it instead of letting drivers
+                // spin on Idle forever.
+                let active = self.engine.active_flows();
+                if active > 0 {
+                    return Err(SimError::Stalled { active_flows: active });
+                }
+                return Ok(false);
+            }
+            Wakeup::FlowDone { tag } => (tag, NodeEvent::FlowDone),
+            Wakeup::TimerFired { tag } => (tag, NodeEvent::TimerFired),
+        };
+        if tag >= CONTROL_TAG_BASE {
+            self.apply_fault(tag - CONTROL_TAG_BASE);
+        } else {
+            self.nodes[tag].on_wakeup(&mut self.engine, &self.cfg, event);
+        }
+        let delivered: f64 = self.engine.link_bytes()[..self.cfg.n_servers].iter().sum();
+        self.samples.push((seconds(self.engine.now()), delivered));
+        Ok(true)
     }
 
     fn run_to_quiescence(&mut self) -> Result<(), SimError> {
-        loop {
-            match self.engine.step() {
-                Wakeup::Idle => {
-                    // Idle with flows still active means every remaining
-                    // flow is starved (rate 0) and no timer will ever
-                    // change that — the simulated cluster is wedged, not
-                    // finished. Surface it instead of letting drivers
-                    // spin on Idle forever.
-                    let active = self.engine.active_flows();
-                    if active > 0 {
-                        return Err(SimError::Stalled { active_flows: active });
-                    }
-                    return Ok(());
-                }
-                Wakeup::FlowDone { tag } | Wakeup::TimerFired { tag } => {
-                    if tag >= CONTROL_TAG_BASE {
-                        self.apply_fault(tag - CONTROL_TAG_BASE);
-                    } else {
-                        self.nodes[tag].on_wakeup(&mut self.engine, &self.cfg);
-                    }
-                }
-            }
-            let delivered: f64 = self.engine.link_bytes()[..self.cfg.n_servers].iter().sum();
-            self.samples.push((seconds(self.engine.now()), delivered));
+        while self.step_once()? {}
+        Ok(())
+    }
+
+    /// Post-quiescence check: a node the retrying install protocol gave
+    /// up on is a typed error, not a silent `None` in `per_node_seconds`.
+    fn finish(&self) -> Result<ReinstallResult, ReinstallError> {
+        if let Some(node) = self.nodes.iter().find(|n| n.state == NodeState::Failed) {
+            return Err(ReinstallError::AllServersDown {
+                node: node.name.clone(),
+                attempts: node.target_attempts,
+            });
         }
+        Ok(self.collect_result())
     }
 
     /// Aggregate server utilization per time bucket: fraction of total
@@ -253,23 +353,76 @@ impl ClusterSim {
         per_bucket.into_iter().map(|bytes| (bytes / (bucket_s * capacity)).min(1.0)).collect()
     }
 
+    /// Push `link`'s effective capacity (base × degradation, zero while
+    /// its server is down) into the engine.
+    fn refresh_link(&mut self, link: usize) {
+        let bps =
+            if self.link_down[link] { 0.0 } else { self.link_base[link] * self.link_factor[link] };
+        self.engine.set_link_capacity(link, bps);
+    }
+
     fn apply_fault(&mut self, idx: usize) {
         match self.faults[idx].clone() {
-            Fault::ServerDown(id) => self.engine.set_link_capacity(id, 0.0),
-            Fault::ServerUp(id) => self.engine.set_link_capacity(id, self.cfg.server_capacity_bps),
+            Fault::ServerDown(id) => {
+                // Only a known, currently-up server can go down; anything
+                // else (a cabinet link, a repeated down) is a no-op.
+                if id < self.cfg.n_servers && !self.link_down[id] {
+                    self.link_down[id] = true;
+                    self.refresh_link(id);
+                }
+            }
+            Fault::ServerUp(id) => {
+                // Reviving a server that was never taken down is a no-op
+                // — it must not clobber the link's (possibly degraded)
+                // capacity, and ids beyond the server range must not
+                // touch cabinet uplinks.
+                if id < self.cfg.n_servers && self.link_down[id] {
+                    self.link_down[id] = false;
+                    self.refresh_link(id);
+                }
+            }
             Fault::NodeHang(id) => self.nodes[id].hang(&mut self.engine),
             Fault::PowerCycle(id) => self.nodes[id].power_on(&mut self.engine, &self.cfg),
+            Fault::LinkDegrade { link, factor } => {
+                if link < self.link_base.len() {
+                    self.link_factor[link] = factor.clamp(0.0, 1.0);
+                    self.refresh_link(link);
+                }
+            }
         }
     }
 
-    fn collect_result(&self) -> ReinstallResult {
+    /// Snapshot the per-node outcome of the run so far. The chaos
+    /// harness uses this directly (it wants accounting even when a node
+    /// failed); [`try_run_reinstall`](Self::try_run_reinstall) wraps it
+    /// behind the typed-error check.
+    pub fn collect_result(&self) -> ReinstallResult {
         let per_node_seconds: Vec<Option<f64>> =
             self.nodes.iter().map(|n| n.last_install_seconds()).collect();
         ReinstallResult {
             per_node_seconds,
             total_seconds: seconds(self.engine.now()),
             server_bytes: self.engine.link_bytes()[..self.cfg.n_servers].to_vec(),
+            per_node_attempts: self.nodes.iter().map(|n| n.fetch_attempts).collect(),
+            per_node_failovers: self.nodes.iter().map(|n| n.failovers).collect(),
+            per_node_backoff_seconds: self.nodes.iter().map(|n| n.backoff_seconds).collect(),
         }
+    }
+
+    /// The configuration this cluster was built with.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Bytes delivered so far per engine link (servers first, then
+    /// cabinet uplinks).
+    pub fn link_bytes(&self) -> &[f64] {
+        self.engine.link_bytes()
+    }
+
+    /// Base (healthy) capacity per engine link.
+    pub fn link_base_capacities(&self) -> &[f64] {
+        &self.link_base
     }
 }
 
@@ -573,8 +726,104 @@ mod tests {
         let mut sim = ClusterSim::new(small_cfg(1), 4);
         sim.inject_fault_at(120.0, Fault::ServerDown(0));
         match sim.try_run_reinstall() {
-            Err(SimError::Stalled { active_flows }) => assert!(active_flows > 0),
+            Err(ReinstallError::Sim(SimError::Stalled { active_flows })) => {
+                assert!(active_flows > 0)
+            }
             other => panic!("expected a stall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn server_up_without_down_is_a_noop() {
+        // Regression: `ServerUp` used to blindly write the server
+        // capacity into whatever link id it was given — corrupting a
+        // cabinet uplink's capacity, or overwriting a degraded server's.
+        let base = small_cfg(1).with_cabinets(4, 6.0e6);
+        let clean = ClusterSim::new(base.clone(), 8).run_reinstall();
+
+        let mut sim = ClusterSim::new(base.clone(), 8);
+        // Link 1 is the first cabinet uplink (one server). Reviving it as
+        // if it were a server must change nothing.
+        sim.inject_fault_at(50.0, Fault::ServerUp(1));
+        // Reviving the healthy server itself must also change nothing.
+        sim.inject_fault_at(60.0, Fault::ServerUp(0));
+        let result = sim.run_reinstall();
+        assert_eq!(result.total_seconds, clean.total_seconds);
+        assert_eq!(result.server_bytes, clean.server_bytes);
+    }
+
+    #[test]
+    fn server_up_preserves_degraded_capacity() {
+        // Down → degrade → up: the revived server must come back at the
+        // degraded capacity, not full speed.
+        let mut sim = ClusterSim::new(small_cfg(1), 4);
+        sim.inject_fault_at(100.0, Fault::ServerDown(0));
+        sim.inject_fault_at(150.0, Fault::LinkDegrade { link: 0, factor: 0.5 });
+        sim.inject_fault_at(200.0, Fault::ServerUp(0));
+        let result = sim.run_reinstall();
+        assert_eq!(result.completed(), 4);
+        let clean = ClusterSim::new(small_cfg(1), 4).run_reinstall();
+        // Slower than clean by more than just the 100 s outage window,
+        // because the post-outage capacity is halved.
+        assert!(result.total_seconds > clean.total_seconds + 100.0);
+    }
+
+    #[test]
+    fn link_degrade_slows_the_cluster() {
+        let clean = ClusterSim::new(small_cfg(1), 8).run_reinstall();
+        let mut sim = ClusterSim::new(small_cfg(1), 8);
+        sim.inject_fault_at(10.0, Fault::LinkDegrade { link: 0, factor: 0.3 });
+        let degraded = sim.run_reinstall();
+        assert_eq!(degraded.completed(), 8);
+        assert!(degraded.total_seconds > clean.total_seconds * 1.2);
+
+        // Restoring the factor mid-run lands between the two.
+        let mut sim = ClusterSim::new(small_cfg(1), 8);
+        sim.inject_fault_at(10.0, Fault::LinkDegrade { link: 0, factor: 0.3 });
+        sim.inject_fault_at(300.0, Fault::LinkDegrade { link: 0, factor: 1.0 });
+        let restored = sim.run_reinstall();
+        assert!(restored.total_seconds < degraded.total_seconds);
+        assert!(restored.total_seconds > clean.total_seconds);
+    }
+
+    #[test]
+    fn attempt_accounting_without_retries_counts_each_fetch_once() {
+        let cfg = small_cfg(1);
+        let fetches = 1 + cfg.packages.len() as u32; // kickstart + bundles
+        let result = ClusterSim::new(cfg, 4).run_reinstall();
+        assert_eq!(result.per_node_attempts, vec![fetches; 4]);
+        assert_eq!(result.total_failovers(), 0);
+        assert_eq!(result.total_backoff_seconds(), 0.0);
+    }
+
+    #[test]
+    fn retries_ride_out_a_permanent_outage_via_failover() {
+        // One server dies forever; with retries and a second replica the
+        // cluster still completes — the paper's stall becomes a bounded
+        // delay.
+        let mut cfg = small_cfg(1);
+        cfg.n_servers = 2;
+        cfg.retry = Some(crate::config::RetryPolicy::standard());
+        let mut sim = ClusterSim::new(cfg, 8);
+        sim.inject_fault_at(120.0, Fault::ServerDown(0));
+        let result = sim.try_run_reinstall().expect("failover must rescue the cluster");
+        assert_eq!(result.completed(), 8);
+        assert!(result.total_failovers() >= 1, "failover must be visible in accounting");
+        assert!(result.total_backoff_seconds() > 0.0);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_all_servers_down() {
+        let mut cfg = small_cfg(1);
+        cfg.retry = Some(crate::config::RetryPolicy::standard());
+        let mut sim = ClusterSim::new(cfg.clone(), 2);
+        sim.inject_fault_at(120.0, Fault::ServerDown(0));
+        match sim.try_run_reinstall() {
+            Err(ReinstallError::AllServersDown { node, attempts }) => {
+                assert!(node.starts_with("compute-"));
+                assert_eq!(attempts, cfg.retry.unwrap().max_attempts(1));
+            }
+            other => panic!("expected AllServersDown, got {other:?}"),
         }
     }
 

@@ -36,6 +36,70 @@ impl PackageWork {
     }
 }
 
+/// Retry/timeout/backoff policy for the install protocol's HTTP fetches
+/// (kickstart file and package downloads).
+///
+/// The paper's install path has no client-side recovery: a node whose
+/// server dies simply holds a zero-rate flow forever. With a policy set,
+/// every fetch is guarded by a watchdog deadline; on expiry the node
+/// cancels the transfer, rotates to the next candidate install server,
+/// waits out a capped exponential backoff (with deterministic jitter from
+/// the node's own RNG), and re-requests. A node that exhausts
+/// `attempts_per_server` rounds across every server gives up and is
+/// reported as [`ReinstallError::AllServersDown`].
+///
+/// [`ReinstallError::AllServersDown`]: crate::ReinstallError::AllServersDown
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Watchdog deadline per fetch attempt, seconds. Must comfortably
+    /// exceed the worst legitimate (congested/degraded) fetch time or
+    /// healthy-but-slow transfers will be killed and retried forever.
+    pub fetch_timeout_s: f64,
+    /// First backoff delay, seconds. Doubles per failed attempt.
+    pub backoff_base_s: f64,
+    /// Backoff ceiling, seconds (before jitter).
+    pub backoff_cap_s: f64,
+    /// Jitter fraction applied to each backoff delay (±).
+    pub backoff_jitter: f64,
+    /// Attempts per target per server before the node gives up; the total
+    /// budget per fetch target is `attempts_per_server × n_servers`.
+    pub attempts_per_server: u32,
+}
+
+impl RetryPolicy {
+    /// A sane default for the paper testbed: two-minute fetch deadline,
+    /// 5 s → 60 s backoff, four rounds per server.
+    pub fn standard() -> RetryPolicy {
+        RetryPolicy {
+            fetch_timeout_s: 120.0,
+            backoff_base_s: 5.0,
+            backoff_cap_s: 60.0,
+            backoff_jitter: 0.25,
+            attempts_per_server: 4,
+        }
+    }
+
+    /// Total attempt budget per fetch target given the server count.
+    pub fn max_attempts(&self, n_servers: usize) -> u32 {
+        self.attempts_per_server.saturating_mul(n_servers.max(1) as u32)
+    }
+
+    /// Backoff delay (seconds, before jitter) after `attempt` failed
+    /// attempts (1-based): capped exponential.
+    pub fn backoff_s(&self, attempt: u32) -> f64 {
+        let doublings = attempt.saturating_sub(1).min(16);
+        (self.backoff_base_s * f64::from(1u32 << doublings)).min(self.backoff_cap_s)
+    }
+
+    /// Upper bound on the wall time one fetch target can consume: every
+    /// attempt ends by completion or watchdog within `fetch_timeout_s`,
+    /// and every inter-attempt wait is at most the jittered cap.
+    pub fn worst_target_seconds(&self, n_servers: usize) -> f64 {
+        f64::from(self.max_attempts(n_servers))
+            * (self.fetch_timeout_s + self.backoff_cap_s * (1.0 + self.backoff_jitter))
+    }
+}
+
 /// All tunables for one simulation.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -78,6 +142,10 @@ pub struct SimConfig {
     pub cabinet_size: Option<usize>,
     /// Capacity of each cabinet-switch uplink, bytes/s.
     pub cabinet_uplink_bps: f64,
+    /// Install-protocol retry policy. `None` reproduces the paper's
+    /// behaviour exactly: a fetch with no bandwidth waits forever (and a
+    /// permanently dead server stalls the simulation).
+    pub retry: Option<RetryPolicy>,
     /// RNG seed for phase jitter.
     pub seed: u64,
 }
@@ -122,8 +190,15 @@ impl SimConfig {
             with_myrinet: true,
             cabinet_size: None,
             cabinet_uplink_bps: FAST_ETHERNET_SERVER_BPS,
+            retry: None,
             seed,
         }
+    }
+
+    /// Enable the retrying install protocol.
+    pub fn with_retries(mut self, policy: RetryPolicy) -> SimConfig {
+        self.retry = Some(policy);
+        self
     }
 
     /// Rack the cluster into cabinets of `k` nodes, each behind an
@@ -220,6 +295,20 @@ mod tests {
             + 223.0;
         let penalty = cfg.myrinet_s.0 / without;
         assert!((0.20..0.32).contains(&penalty), "penalty {penalty}");
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential() {
+        let p = RetryPolicy::standard();
+        assert_eq!(p.backoff_s(1), p.backoff_base_s);
+        assert_eq!(p.backoff_s(2), p.backoff_base_s * 2.0);
+        assert_eq!(p.backoff_s(3), p.backoff_base_s * 4.0);
+        assert_eq!(p.backoff_s(30), p.backoff_cap_s);
+        // Monotone non-decreasing.
+        for a in 1..20 {
+            assert!(p.backoff_s(a + 1) >= p.backoff_s(a));
+        }
+        assert_eq!(p.max_attempts(3), p.attempts_per_server * 3);
     }
 
     #[test]

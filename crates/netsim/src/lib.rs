@@ -21,11 +21,16 @@
 //!   HTTP throughput, 20–30 % Myrinet rebuild penalty),
 //! * [`cluster`] — the experiment driver: concurrent reinstallations,
 //!   serial-download micro-benchmark, server replication, Gigabit uplink,
-//!   power-distribution-unit control, and failure injection.
+//!   power-distribution-unit control, and failure injection,
+//! * [`chaos`] — the seeded chaos harness: randomized fault schedules
+//!   over randomized topologies, checked against pluggable invariants
+//!   (byte conservation, eventual completion, monotone phases,
+//!   fast/reference engine agreement).
 //!
 //! Virtual time is `u64` microseconds; experiments over 32 nodes and ~160
 //! packages each run in well under a millisecond of real time.
 
+pub mod chaos;
 mod classes;
 pub mod cluster;
 pub mod config;
@@ -34,8 +39,12 @@ pub mod node;
 mod queue;
 pub mod reinstall;
 
+pub use chaos::{
+    run_chaos, run_plan, standard_invariants, ChaosPlan, ChaosRecord, ChaosReport, Invariant,
+    Violation,
+};
 pub use cluster::{ClusterSim, ReinstallOutcome, ReinstallResult};
-pub use config::{PackageWork, SimConfig};
+pub use config::{PackageWork, RetryPolicy, SimConfig};
 pub use engine::{micros, seconds, EngineMode, SimError, SimTime};
-pub use node::{NodeLogLine, NodeState};
+pub use node::{NodeEvent, NodeLogLine, NodeState};
 pub use reinstall::{mass_reinstall, provision_cluster, MassReinstallReport, ReinstallError};

@@ -6,6 +6,12 @@
 //! run post-configuration (including the Myrinet GM source rebuild,
 //! §6.3), and reboot. Every visible step emits an eKV progress line —
 //! the text Figure 7 shows in the shoot-node xterm.
+//!
+//! With [`SimConfig::retry`] set, every HTTP fetch is additionally guarded
+//! by the retrying install protocol: a watchdog deadline per attempt,
+//! capped exponential backoff with deterministic jitter, and failover
+//! across the configured install servers (see
+//! [`RetryPolicy`](crate::config::RetryPolicy)).
 
 use crate::config::SimConfig;
 use crate::engine::{micros, Engine, SimTime};
@@ -24,10 +30,16 @@ pub enum NodeState {
     Dhcp,
     /// Fetching the generated Kickstart file from the frontend CGI.
     KickstartFetch,
+    /// Waiting out a retry backoff before re-requesting the kickstart
+    /// file (retrying install protocol only).
+    KickstartBackoff,
     /// Partitioning and formatting the root filesystem.
     Format,
     /// Downloading package `i`.
     Fetch(usize),
+    /// Waiting out a retry backoff before re-downloading package `i`
+    /// (retrying install protocol only).
+    FetchBackoff(usize),
     /// Installing (unpacking) package `i`.
     Install(usize),
     /// Running %post configuration scripts.
@@ -40,6 +52,51 @@ pub enum NodeState {
     Up,
     /// Hung (failure injection); only a power cycle recovers it (§4).
     Hung,
+    /// Gave up: every install server exhausted its retry budget. Only a
+    /// power cycle (which grants a fresh budget) recovers it.
+    Failed,
+}
+
+impl NodeState {
+    /// Monotone install-progress rank within one power-on life: the
+    /// chaos harness asserts this never decreases between events of the
+    /// same life. A fetch and its backoff share a rank (a retry is not
+    /// regress), and the terminal states rank above everything.
+    pub fn phase_rank(&self) -> u32 {
+        const TAIL: u32 = 1 << 24; // above any realistic package index
+        match self {
+            NodeState::Off => 0,
+            NodeState::Post => 1,
+            NodeState::Dhcp => 2,
+            NodeState::KickstartFetch | NodeState::KickstartBackoff => 3,
+            NodeState::Format => 4,
+            NodeState::Fetch(i) | NodeState::FetchBackoff(i) => 5 + 2 * (*i as u32),
+            NodeState::Install(i) => 6 + 2 * (*i as u32),
+            NodeState::PostConfig => TAIL,
+            NodeState::MyrinetBuild => TAIL + 1,
+            NodeState::Reboot => TAIL + 2,
+            NodeState::Up => TAIL + 3,
+            NodeState::Hung | NodeState::Failed => u32::MAX,
+        }
+    }
+}
+
+/// What woke the node: a completed transfer or a fired timer. The FSM
+/// needs the distinction once fetches carry watchdog timers — a timer in
+/// a fetch state is a timeout, not a download.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeEvent {
+    /// A flow tagged with this node's id completed.
+    FlowDone,
+    /// A timer tagged with this node's id fired.
+    TimerFired,
+}
+
+/// The fetch target a retry is waiting to re-request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FetchTarget {
+    Kickstart,
+    Package(usize),
 }
 
 /// One eKV progress line with its timestamp.
@@ -58,9 +115,17 @@ pub struct SimNode {
     pub id: usize,
     /// Hostname, e.g. `compute-0-5`.
     pub name: String,
-    /// Links this node's downloads traverse: its HTTP server's uplink,
-    /// then (in a cabinet topology) the cabinet-switch uplink.
+    /// Links this node's downloads currently traverse: the active HTTP
+    /// server's uplink, then (in a cabinet topology) the cabinet-switch
+    /// uplink. Failover rewrites the first hop.
     pub route: Vec<usize>,
+    /// Candidate install-server links in failover order; `route[0]` is
+    /// always `servers[server_cursor]`.
+    servers: Vec<usize>,
+    /// The non-server tail of the route (cabinet uplink, if any).
+    extra_route: Vec<usize>,
+    /// Which entry of `servers` the node is currently using.
+    server_cursor: usize,
     /// Current phase.
     pub state: NodeState,
     /// When the current install began.
@@ -73,23 +138,74 @@ pub struct SimNode {
     rng: StdRng,
     /// Count of completed installs (a reinstall increments this).
     pub installs_completed: usize,
+    /// Power-on count: each call to [`power_on`](Self::power_on) starts a
+    /// new life. The chaos harness keys its monotone-phase invariant on
+    /// this.
+    pub lives: u32,
+    /// Fetch attempts started over the node's whole lifetime (kickstart
+    /// and package requests, including retries, across lives).
+    pub fetch_attempts: u32,
+    /// Attempts spent on the current fetch target (resets on success and
+    /// on power-on).
+    pub target_attempts: u32,
+    /// Times the node rotated to a different install server.
+    pub failovers: u32,
+    /// Cumulative seconds spent waiting out retry backoffs.
+    pub backoff_seconds: f64,
+    /// Kickstart CGI requests issued (first attempt plus refetches) —
+    /// the frontend-side load the generation service would have seen.
+    pub kickstart_requests: u32,
 }
 
 impl SimNode {
     /// Create a node whose downloads traverse `route` (server uplink
-    /// first).
+    /// first). The single server in the route is the only failover
+    /// candidate.
     pub fn new(id: usize, name: &str, route: Vec<usize>, seed: u64) -> SimNode {
+        let servers = vec![route[0]];
+        let extra = route[1..].to_vec();
+        SimNode::with_failover(id, name, servers, extra, seed)
+    }
+
+    /// Create a node with an explicit failover list: `servers` are the
+    /// candidate first-hop links in rotation order (the node starts on
+    /// `servers[0]`), and `extra_route` is the shared tail of the path
+    /// (e.g. the cabinet uplink).
+    pub fn with_failover(
+        id: usize,
+        name: &str,
+        servers: Vec<usize>,
+        extra_route: Vec<usize>,
+        seed: u64,
+    ) -> SimNode {
+        assert!(!servers.is_empty(), "a node needs at least one install server");
+        let mut route = vec![servers[0]];
+        route.extend_from_slice(&extra_route);
         SimNode {
             id,
             name: name.to_string(),
             route,
+            servers,
+            extra_route,
+            server_cursor: 0,
             state: NodeState::Off,
             install_started: None,
             install_finished: None,
             log: Vec::new(),
             rng: StdRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
             installs_completed: 0,
+            lives: 0,
+            fetch_attempts: 0,
+            target_attempts: 0,
+            failovers: 0,
+            backoff_seconds: 0.0,
+            kickstart_requests: 0,
         }
+    }
+
+    /// The install-server link the node is currently fetching from.
+    pub fn current_server(&self) -> usize {
+        self.servers[self.server_cursor]
     }
 
     fn jittered(&mut self, (mean, jitter): (f64, f64)) -> SimTime {
@@ -111,6 +227,12 @@ impl SimNode {
         self.state = NodeState::Post;
         self.install_started = Some(engine.now());
         self.install_finished = None;
+        // A fresh life gets a fresh retry budget on its home server.
+        self.server_cursor = 0;
+        self.route = vec![self.servers[0]];
+        self.route.extend_from_slice(&self.extra_route);
+        self.target_attempts = 0;
+        self.lives += 1;
         let at = engine.now();
         self.log_line(at, format!("{}: power on, POST", self.name));
         let delay = self.jittered(cfg.post_s);
@@ -135,12 +257,14 @@ impl SimNode {
         }
     }
 
-    /// Advance the FSM after a wakeup (flow done or timer fired). The
-    /// caller guarantees the wakeup was tagged with this node's id.
-    pub fn on_wakeup(&mut self, engine: &mut Engine, cfg: &SimConfig) {
+    /// Advance the FSM after a wakeup. The caller guarantees the wakeup
+    /// was tagged with this node's id; `event` says whether it was a
+    /// completed transfer or a fired timer — with the retrying install
+    /// protocol a timer during a fetch is the watchdog expiring.
+    pub fn on_wakeup(&mut self, engine: &mut Engine, cfg: &SimConfig, event: NodeEvent) {
         let now = engine.now();
         match self.state {
-            NodeState::Off | NodeState::Up | NodeState::Hung => {
+            NodeState::Off | NodeState::Up | NodeState::Hung | NodeState::Failed => {
                 // Stale wakeup from a cancelled life; ignore.
             }
             NodeState::Post => {
@@ -150,48 +274,63 @@ impl SimNode {
                 engine.start_timer(self.id, delay);
             }
             NodeState::Dhcp => {
-                self.state = NodeState::KickstartFetch;
-                self.log_line(now, format!("{}: requesting kickstart via HTTP CGI", self.name));
-                engine.start_flow_routed(
-                    self.route.clone(),
-                    self.id,
-                    cfg.kickstart_bytes,
-                    cfg.per_stream_bps,
-                );
+                self.begin_fetch(engine, cfg, FetchTarget::Kickstart);
             }
-            NodeState::KickstartFetch => {
-                self.state = NodeState::Format;
-                self.log_line(
-                    now,
-                    format!("{}: formatting / (non-root partitions preserved)", self.name),
-                );
-                let delay = self.jittered(cfg.format_s);
-                engine.start_timer(self.id, delay);
+            NodeState::KickstartFetch => match event {
+                NodeEvent::TimerFired => {
+                    self.handle_fetch_timeout(engine, cfg, FetchTarget::Kickstart)
+                }
+                NodeEvent::FlowDone => {
+                    self.fetch_succeeded(engine, cfg);
+                    self.state = NodeState::Format;
+                    self.log_line(
+                        now,
+                        format!("{}: formatting / (non-root partitions preserved)", self.name),
+                    );
+                    let delay = self.jittered(cfg.format_s);
+                    engine.start_timer(self.id, delay);
+                }
+            },
+            NodeState::KickstartBackoff => {
+                if event == NodeEvent::TimerFired {
+                    self.begin_fetch(engine, cfg, FetchTarget::Kickstart);
+                }
             }
             NodeState::Format => {
-                self.start_fetch(engine, cfg, 0);
+                self.begin_fetch(engine, cfg, FetchTarget::Package(0));
             }
-            NodeState::Fetch(i) => {
-                // Package downloaded; unpack it.
-                let pkg = &cfg.packages[i];
-                self.state = NodeState::Install(i);
-                self.log_line(
-                    now,
-                    format!(
-                        "{}: installing {} ({}k) [{}/{}]",
-                        self.name,
-                        pkg.name,
-                        pkg.transfer_bytes / 1024,
-                        i + 1,
-                        cfg.packages.len()
-                    ),
-                );
-                let delay = micros(pkg.installed_bytes as f64 / cfg.install_bps);
-                engine.start_timer(self.id, delay);
+            NodeState::Fetch(i) => match event {
+                NodeEvent::TimerFired => {
+                    self.handle_fetch_timeout(engine, cfg, FetchTarget::Package(i))
+                }
+                NodeEvent::FlowDone => {
+                    // Package downloaded; unpack it.
+                    self.fetch_succeeded(engine, cfg);
+                    let pkg = &cfg.packages[i];
+                    self.state = NodeState::Install(i);
+                    self.log_line(
+                        now,
+                        format!(
+                            "{}: installing {} ({}k) [{}/{}]",
+                            self.name,
+                            pkg.name,
+                            pkg.transfer_bytes / 1024,
+                            i + 1,
+                            cfg.packages.len()
+                        ),
+                    );
+                    let delay = micros(pkg.installed_bytes as f64 / cfg.install_bps);
+                    engine.start_timer(self.id, delay);
+                }
+            },
+            NodeState::FetchBackoff(i) => {
+                if event == NodeEvent::TimerFired {
+                    self.begin_fetch(engine, cfg, FetchTarget::Package(i));
+                }
             }
             NodeState::Install(i) => {
                 if i + 1 < cfg.packages.len() {
-                    self.start_fetch(engine, cfg, i + 1);
+                    self.begin_fetch(engine, cfg, FetchTarget::Package(i + 1));
                 } else {
                     self.state = NodeState::PostConfig;
                     self.log_line(now, format!("{}: running %post configuration", self.name));
@@ -225,15 +364,106 @@ impl SimNode {
         }
     }
 
-    fn start_fetch(&mut self, engine: &mut Engine, cfg: &SimConfig, i: usize) {
-        self.state = NodeState::Fetch(i);
-        let pkg = &cfg.packages[i];
-        engine.start_flow_routed(
-            self.route.clone(),
-            self.id,
-            pkg.transfer_bytes,
-            cfg.per_stream_bps,
+    /// Start (or retry) an HTTP fetch, arming the watchdog deadline when
+    /// the retrying install protocol is configured.
+    fn begin_fetch(&mut self, engine: &mut Engine, cfg: &SimConfig, target: FetchTarget) {
+        let now = engine.now();
+        self.fetch_attempts += 1;
+        self.target_attempts += 1;
+        let bytes = match target {
+            FetchTarget::Kickstart => {
+                self.kickstart_requests += 1;
+                self.state = NodeState::KickstartFetch;
+                if self.target_attempts == 1 {
+                    self.log_line(now, format!("{}: requesting kickstart via HTTP CGI", self.name));
+                }
+                cfg.kickstart_bytes
+            }
+            FetchTarget::Package(i) => {
+                self.state = NodeState::Fetch(i);
+                cfg.packages[i].transfer_bytes
+            }
+        };
+        if self.target_attempts > 1 {
+            let what = match target {
+                FetchTarget::Kickstart => "kickstart".to_string(),
+                FetchTarget::Package(i) => cfg.packages[i].name.clone(),
+            };
+            self.log_line(
+                now,
+                format!(
+                    "{}: retrying {} (attempt {}) via server link {}",
+                    self.name,
+                    what,
+                    self.target_attempts,
+                    self.current_server()
+                ),
+            );
+        }
+        engine.start_flow_routed(self.route.clone(), self.id, bytes, cfg.per_stream_bps);
+        if let Some(policy) = cfg.retry {
+            engine.start_timer(self.id, micros(policy.fetch_timeout_s));
+        }
+    }
+
+    /// A guarded fetch completed: disarm the watchdog and reset the
+    /// per-target attempt counter.
+    fn fetch_succeeded(&mut self, engine: &mut Engine, cfg: &SimConfig) {
+        if cfg.retry.is_some() {
+            // The watchdog is the only timer this node can hold while a
+            // fetch is in flight.
+            engine.cancel_timers_tagged(self.id);
+        }
+        self.target_attempts = 0;
+    }
+
+    /// The watchdog expired mid-fetch: cancel the transfer, rotate to the
+    /// next install server, and back off — or give up once every server
+    /// has exhausted its attempt budget.
+    fn handle_fetch_timeout(&mut self, engine: &mut Engine, cfg: &SimConfig, target: FetchTarget) {
+        let Some(policy) = cfg.retry else {
+            // No watchdog was ever armed; a timer here is a stale event
+            // from a cancelled life.
+            return;
+        };
+        let now = engine.now();
+        engine.cancel_flows_tagged(self.id);
+        let max = policy.max_attempts(self.servers.len());
+        if self.target_attempts >= max {
+            self.state = NodeState::Failed;
+            self.log_line(
+                now,
+                format!(
+                    "{}: giving up after {} attempts (all install servers exhausted)",
+                    self.name, self.target_attempts
+                ),
+            );
+            return;
+        }
+        if self.servers.len() > 1 {
+            self.server_cursor = (self.server_cursor + 1) % self.servers.len();
+            self.route[0] = self.servers[self.server_cursor];
+            self.failovers += 1;
+        }
+        let jitter = 1.0 + self.rng.gen_range(-policy.backoff_jitter..=policy.backoff_jitter);
+        let delay_s = policy.backoff_s(self.target_attempts) * jitter;
+        self.backoff_seconds += delay_s;
+        self.state = match target {
+            FetchTarget::Kickstart => NodeState::KickstartBackoff,
+            FetchTarget::Package(i) => NodeState::FetchBackoff(i),
+        };
+        self.log_line(
+            now,
+            format!(
+                "{}: fetch timed out (attempt {}/{}); backing off {:.1}s, next server link {}",
+                self.name,
+                self.target_attempts,
+                max,
+                delay_s,
+                self.current_server()
+            ),
         );
+        engine.start_timer(self.id, micros(delay_s));
     }
 
     fn begin_reboot(&mut self, engine: &mut Engine, cfg: &SimConfig, now: SimTime) {
@@ -260,9 +490,13 @@ mod tests {
         loop {
             match engine.step() {
                 Wakeup::Idle => break,
-                Wakeup::FlowDone { tag } | Wakeup::TimerFired { tag } => {
+                Wakeup::FlowDone { tag } => {
                     assert_eq!(tag, node.id);
-                    node.on_wakeup(engine, cfg);
+                    node.on_wakeup(engine, cfg, NodeEvent::FlowDone);
+                }
+                Wakeup::TimerFired { tag } => {
+                    assert_eq!(tag, node.id);
+                    node.on_wakeup(engine, cfg, NodeEvent::TimerFired);
                 }
             }
             if node.state == NodeState::Up {
@@ -344,8 +578,9 @@ mod tests {
         // Step a few events, then hard power cycle mid-install.
         for _ in 0..4 {
             match engine.step() {
-                Wakeup::FlowDone { .. } | Wakeup::TimerFired { .. } => {
-                    node.on_wakeup(&mut engine, &cfg)
+                Wakeup::FlowDone { .. } => node.on_wakeup(&mut engine, &cfg, NodeEvent::FlowDone),
+                Wakeup::TimerFired { .. } => {
+                    node.on_wakeup(&mut engine, &cfg, NodeEvent::TimerFired)
                 }
                 Wakeup::Idle => break,
             }
@@ -354,6 +589,128 @@ mod tests {
         run_to_up(&mut node, &mut engine, &cfg);
         assert_eq!(node.state, NodeState::Up);
         assert_eq!(node.installs_completed, 1);
+    }
+
+    fn retry_cfg() -> SimConfig {
+        let mut cfg = tiny_config();
+        cfg.retry = Some(crate::config::RetryPolicy {
+            fetch_timeout_s: 30.0,
+            backoff_base_s: 5.0,
+            backoff_cap_s: 40.0,
+            backoff_jitter: 0.2,
+            attempts_per_server: 3,
+        });
+        cfg
+    }
+
+    /// Drive a single node until it is terminal (Up or Failed) or the
+    /// engine drains.
+    fn run_to_terminal(node: &mut SimNode, engine: &mut Engine, cfg: &SimConfig) {
+        node.power_on(engine, cfg);
+        loop {
+            match engine.step() {
+                Wakeup::Idle => break,
+                Wakeup::FlowDone { .. } => node.on_wakeup(engine, cfg, NodeEvent::FlowDone),
+                Wakeup::TimerFired { .. } => node.on_wakeup(engine, cfg, NodeEvent::TimerFired),
+            }
+            if matches!(node.state, NodeState::Up | NodeState::Failed) {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn healthy_node_never_retries() {
+        let cfg = retry_cfg();
+        let mut engine = Engine::new(vec![cfg.server_capacity_bps]);
+        let mut node = SimNode::new(0, "n", vec![0], 42);
+        run_to_terminal(&mut node, &mut engine, &cfg);
+        assert_eq!(node.state, NodeState::Up);
+        // One attempt per target, zero failovers, zero backoff.
+        assert_eq!(node.fetch_attempts as usize, 1 + cfg.packages.len());
+        assert_eq!(node.failovers, 0);
+        assert_eq!(node.backoff_seconds, 0.0);
+        assert_eq!(node.kickstart_requests, 1);
+    }
+
+    #[test]
+    fn dead_server_exhausts_budget_and_fails() {
+        let cfg = retry_cfg();
+        // A dead (zero-capacity) server: every fetch stalls until the
+        // watchdog kills it.
+        let mut engine = Engine::new(vec![0.0]);
+        let mut node = SimNode::new(0, "n", vec![0], 42);
+        run_to_terminal(&mut node, &mut engine, &cfg);
+        assert_eq!(node.state, NodeState::Failed);
+        let budget = cfg.retry.unwrap().max_attempts(1);
+        assert_eq!(node.target_attempts, budget);
+        assert!(node.backoff_seconds > 0.0);
+        // The budget was burnt on the kickstart fetch alone.
+        assert_eq!(node.kickstart_requests, budget);
+        assert!(node.log.iter().any(|l| l.text.contains("giving up")));
+    }
+
+    #[test]
+    fn failover_rotates_to_healthy_server() {
+        let cfg = retry_cfg();
+        // Server link 0 dead, server link 1 healthy.
+        let mut engine = Engine::new(vec![0.0, cfg.server_capacity_bps]);
+        let mut node = SimNode::with_failover(0, "n", vec![0, 1], vec![], 42);
+        run_to_terminal(&mut node, &mut engine, &cfg);
+        assert_eq!(node.state, NodeState::Up);
+        assert!(node.failovers >= 1);
+        assert_eq!(node.current_server(), 1);
+        // Each target costs at most one wasted attempt on the dead
+        // server before rotating: attempts stay bounded.
+        assert!(node.fetch_attempts as usize <= 2 * (1 + cfg.packages.len()));
+    }
+
+    #[test]
+    fn power_cycle_resets_retry_budget_and_home_server() {
+        let cfg = retry_cfg();
+        let mut engine = Engine::new(vec![0.0, cfg.server_capacity_bps]);
+        let mut node = SimNode::with_failover(0, "n", vec![0, 1], vec![], 42);
+        node.power_on(&mut engine, &cfg);
+        // Walk until the first timeout moved it off the home server.
+        while node.failovers == 0 {
+            match engine.step() {
+                Wakeup::Idle => panic!("expected a timeout"),
+                Wakeup::FlowDone { .. } => node.on_wakeup(&mut engine, &cfg, NodeEvent::FlowDone),
+                Wakeup::TimerFired { .. } => {
+                    node.on_wakeup(&mut engine, &cfg, NodeEvent::TimerFired)
+                }
+            }
+        }
+        assert_eq!(node.current_server(), 1);
+        node.power_on(&mut engine, &cfg);
+        assert_eq!(node.current_server(), 0, "a fresh life starts on the home server");
+        assert_eq!(node.target_attempts, 0);
+        assert_eq!(node.lives, 2);
+    }
+
+    #[test]
+    fn phase_rank_is_monotone_through_a_clean_install() {
+        let cfg = tiny_config();
+        let mut engine = Engine::new(vec![cfg.server_capacity_bps]);
+        let mut node = SimNode::new(0, "n", vec![0], 42);
+        node.power_on(&mut engine, &cfg);
+        let mut last = node.state.phase_rank();
+        loop {
+            match engine.step() {
+                Wakeup::Idle => break,
+                Wakeup::FlowDone { .. } => node.on_wakeup(&mut engine, &cfg, NodeEvent::FlowDone),
+                Wakeup::TimerFired { .. } => {
+                    node.on_wakeup(&mut engine, &cfg, NodeEvent::TimerFired)
+                }
+            }
+            let rank = node.state.phase_rank();
+            assert!(rank >= last, "rank regressed: {rank} < {last}");
+            last = rank;
+            if node.state == NodeState::Up {
+                break;
+            }
+        }
+        assert_eq!(node.state, NodeState::Up);
     }
 
     #[test]

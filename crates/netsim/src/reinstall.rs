@@ -29,6 +29,15 @@ pub enum ReinstallError {
     Generation(rocks_kickstart::KsError),
     /// The network simulation stalled (see [`SimError::Stalled`]).
     Sim(SimError),
+    /// A node burnt its whole retry budget across every configured
+    /// install server and gave up (retrying install protocol).
+    AllServersDown {
+        /// Hostname of the node that gave up.
+        node: String,
+        /// Fetch attempts it made on the target that exhausted the
+        /// budget (`attempts_per_server × n_servers`).
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for ReinstallError {
@@ -36,6 +45,10 @@ impl fmt::Display for ReinstallError {
         match self {
             ReinstallError::Generation(e) => write!(f, "kickstart generation failed: {e}"),
             ReinstallError::Sim(e) => write!(f, "{e}"),
+            ReinstallError::AllServersDown { node, attempts } => write!(
+                f,
+                "{node}: all install servers down — gave up after {attempts} fetch attempts"
+            ),
         }
     }
 }
@@ -65,6 +78,13 @@ pub struct MassReinstallReport {
     /// Real seconds spent generating profiles (the frontend-side cost the
     /// cache and worker pool exist to shrink).
     pub generation_seconds: f64,
+    /// Total fetch attempts the cluster issued (install-protocol retries
+    /// included).
+    pub install_attempts: u64,
+    /// Kickstart CGI requests beyond the first per node — the extra
+    /// frontend load the retrying protocol generated. Also recorded in
+    /// the generation service's [`Stats`](rocks_kickstart::Stats).
+    pub kickstart_refetches: u64,
 }
 
 /// Register a frontend plus `n_computes` compute nodes the way
@@ -115,7 +135,22 @@ pub fn mass_reinstall(
 
     let mut sim = ClusterSim::new(cfg, compute_profiles.len());
     let result = sim.try_run_reinstall()?;
-    Ok(MassReinstallReport { profiles, result, generation_seconds })
+
+    // Surface the install protocol's frontend-side cost: every kickstart
+    // request past the first per node is a CGI refetch the generation
+    // service absorbed.
+    let kickstart_requests: u64 = sim.nodes().iter().map(|n| u64::from(n.kickstart_requests)).sum();
+    let kickstart_refetches = kickstart_requests.saturating_sub(sim.nodes().len() as u64);
+    service.stats().record_kickstart_refetches(kickstart_refetches);
+    let install_attempts = result.total_attempts();
+
+    Ok(MassReinstallReport {
+        profiles,
+        result,
+        generation_seconds,
+        install_attempts,
+        kickstart_refetches,
+    })
 }
 
 #[cfg(test)]
@@ -155,6 +190,19 @@ mod tests {
         // most a few duplicate builds from workers racing the first miss.
         assert!(svc.stats().misses() <= 8, "misses {}", svc.stats().misses());
         assert!(svc.stats().hits() >= 9, "hits {}", svc.stats().hits());
+    }
+
+    #[test]
+    fn healthy_mass_reinstall_records_no_refetches() {
+        let db = provision_cluster(4);
+        let svc = service();
+        let mut cfg = small_cfg(1);
+        cfg.retry = Some(crate::config::RetryPolicy::standard());
+        let report = mass_reinstall(cfg, &db, &svc, Arch::I686, 2).unwrap();
+        assert_eq!(report.kickstart_refetches, 0);
+        assert_eq!(svc.stats().kickstart_refetches(), 0);
+        // One kickstart + one fetch per bundle per node.
+        assert_eq!(report.install_attempts, 4 * 13);
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! Seed-corpus regression suite for the chaos harness.
+//!
+//! The property tests assert *invariants* over arbitrary seeds; this file
+//! pins *exact outcomes* for a corpus of interesting seeds so that any
+//! behavioural drift in the retry protocol, the failover ring, the fault
+//! machinery, or the generator itself shows up as a precise diff rather
+//! than a silent change. The corpus was selected from a scan of seeds
+//! 0..200 (see `crates/netsim/examples/chaos_scan.rs`, which regenerates
+//! every pinned number) to cover: flapping servers, permanent server loss
+//! with failover, node hangs left unrecoverable, hang-then-power-cycle
+//! recovery, power-cycle races, cabinet topologies, and link degradation.
+
+use rocks::netsim::chaos::{run_plan, standard_invariants, ChaosPlan};
+use rocks::netsim::cluster::{ClusterSim, Fault};
+use rocks::netsim::config::RetryPolicy;
+use rocks::netsim::{EngineMode, SimConfig};
+
+/// `(seed, nodes, completed, unrecoverable, total attempts, failovers)`.
+///
+/// Every row also implicitly asserts zero invariant violations.
+const CORPUS: &[(u64, usize, usize, usize, u64, u64)] = &[
+    // Two permanent server losses + a power cycle ride the failover ring.
+    (0, 7, 7, 0, 57, 3),
+    // Flap + permanent loss + three power cycles on a 2-server cluster.
+    (1, 9, 9, 0, 55, 9),
+    // A hang with no later power cycle: one node stays down by design.
+    (2, 7, 6, 1, 55, 0),
+    // Single server: flap + hang + power cycles, no failover possible.
+    (4, 13, 13, 0, 95, 0),
+    (5, 7, 7, 0, 54, 0),
+    // Cabinet tier under an 11-fault storm.
+    (6, 3, 3, 0, 15, 1),
+    // The flapping-server seed: four down/up pairs, seven failovers.
+    (7, 11, 11, 0, 89, 7),
+    (9, 7, 7, 0, 50, 2),
+    // Two hangs, one unrecoverable, on a single-server cluster.
+    (11, 12, 11, 1, 89, 0),
+    // Twelve faults, yet nothing needs a retry: bounded blast radius.
+    (12, 12, 12, 0, 64, 0),
+    // Smallest cluster: cabinet + permanent server loss.
+    (13, 2, 2, 0, 16, 0),
+    // Hang-during-backoff flavour: a flap overlaps the retry loop.
+    (14, 12, 12, 0, 60, 0),
+    // Largest topology with a flap across three replicas.
+    (17, 16, 16, 0, 115, 3),
+    // Three permanent losses, survivors found via seven failovers.
+    (26, 6, 6, 0, 51, 7),
+    (38, 11, 10, 1, 76, 4),
+    // Two permanent losses among three replicas, 15 nodes.
+    (41, 15, 15, 0, 127, 5),
+    (45, 10, 10, 0, 70, 0),
+    (50, 16, 16, 0, 140, 5),
+    // Four link degradations plus an unrecoverable hang.
+    (52, 15, 14, 1, 104, 0),
+    // The heaviest failover seed: 13 rotations across a cabinet fabric.
+    (60, 16, 16, 0, 118, 13),
+    // Two unrecoverable hangs in one schedule.
+    (67, 11, 9, 2, 52, 3),
+];
+
+#[test]
+fn pinned_seeds_replay_exactly() {
+    for &(seed, nodes, completed, unrecoverable, attempts, failovers) in CORPUS {
+        let plan = ChaosPlan::generate(seed);
+        assert_eq!(plan.n_nodes, nodes, "seed {seed}: topology drifted");
+        let record = run_plan(&plan, EngineMode::Fast, &mut standard_invariants());
+        assert!(record.violations.is_empty(), "seed {seed}: {:#?}", record.violations);
+        assert_eq!(record.completed, completed, "seed {seed}: completed drifted");
+        assert_eq!(record.unrecoverable, unrecoverable, "seed {seed}: recoverability drifted");
+        assert_eq!(record.result.total_attempts(), attempts, "seed {seed}: attempts drifted");
+        assert_eq!(record.result.total_failovers(), failovers, "seed {seed}: failovers drifted");
+    }
+}
+
+/// The fixed policy the hand-crafted scenarios below run under; changing
+/// it invalidates their pinned attempt counts on purpose.
+fn scenario_policy() -> RetryPolicy {
+    RetryPolicy {
+        fetch_timeout_s: 60.0,
+        backoff_base_s: 5.0,
+        backoff_cap_s: 40.0,
+        backoff_jitter: 0.2,
+        attempts_per_server: 8,
+    }
+}
+
+fn scenario_cfg(n_servers: usize) -> SimConfig {
+    let mut cfg = SimConfig::paper_testbed(7).bundled(6);
+    cfg.n_servers = n_servers;
+    cfg.with_retries(scenario_policy())
+}
+
+#[test]
+fn flapping_server_burns_exactly_the_pinned_retries() {
+    // One server that flaps three times while four nodes install. The
+    // fault-free baseline is 7 fetches per node (kickstart + 6 bundles);
+    // the flaps cost node 1 two extra attempts and the rest one each.
+    let mut sim = ClusterSim::new(scenario_cfg(1), 4);
+    for (down, up) in [(100.0, 160.0), (200.0, 260.0), (300.0, 360.0)] {
+        sim.inject_fault_at(down, Fault::ServerDown(0));
+        sim.inject_fault_at(up, Fault::ServerUp(0));
+    }
+    let result = sim.try_run_reinstall().expect("the server always comes back");
+    assert_eq!(result.completed(), 4);
+    assert_eq!(result.per_node_attempts, vec![8, 9, 8, 8]);
+    assert_eq!(result.per_node_failovers, vec![0; 4], "nowhere to fail over to");
+    assert!(result.total_backoff_seconds() > 0.0);
+}
+
+#[test]
+fn hang_during_backoff_recovers_after_power_cycle() {
+    // Node 0 hangs *while waiting out a retry backoff* (the server went
+    // down at t=50, so by t=80 it is mid-timeout/backoff). The hang must
+    // freeze the retry loop cleanly; the later power cycle restarts the
+    // node from POST with a fresh attempt budget, and it completes.
+    let mut sim = ClusterSim::new(scenario_cfg(1), 2);
+    sim.inject_fault_at(50.0, Fault::ServerDown(0));
+    sim.inject_fault_at(80.0, Fault::NodeHang(0));
+    sim.inject_fault_at(200.0, Fault::ServerUp(0));
+    sim.inject_fault_at(260.0, Fault::PowerCycle(0));
+    let result = sim.try_run_reinstall().expect("cycled node reinstalls cleanly");
+    assert_eq!(result.completed(), 2);
+    assert_eq!(result.per_node_attempts, vec![8, 9]);
+}
+
+#[test]
+fn power_cycle_race_restarts_mid_fetch_cleanly() {
+    // A spurious PDU cycle hits node 1 mid-install on a healthy cluster:
+    // its first life's 3 fetches are wasted, the second life re-runs all
+    // 7, and the bystanders are untouched at the 7-fetch baseline.
+    let mut sim = ClusterSim::new(scenario_cfg(2), 3);
+    sim.inject_fault_at(150.0, Fault::PowerCycle(1));
+    let result = sim.try_run_reinstall().expect("healthy cluster completes");
+    assert_eq!(result.completed(), 3);
+    assert_eq!(result.per_node_attempts, vec![7, 10, 7]);
+    assert_eq!(result.total_failovers(), 0);
+}

@@ -1,8 +1,9 @@
 //! Failure scenarios from §4: dead install server mid-wave, hung nodes
-//! recovered by the PDU, and the NFS common-mode failure.
+//! recovered by the PDU, and the NFS common-mode failure — plus the
+//! retrying install protocol riding out outages that never end.
 
 use rocks::netsim::cluster::Fault;
-use rocks::netsim::{ClusterSim, NodeState, SimConfig};
+use rocks::netsim::{ClusterSim, NodeState, ReinstallError, RetryPolicy, SimConfig};
 use rocks::services::{MountError, NfsServer};
 
 fn cfg() -> SimConfig {
@@ -46,6 +47,67 @@ fn unrecovered_hang_is_visible_not_fatal() {
     assert_eq!(result.completed(), 3);
     assert!(result.per_node_seconds[0].is_none());
     assert_eq!(sim.node(0).state, NodeState::Hung);
+}
+
+#[test]
+fn permanent_outage_with_failover_completes_in_bounded_extra_time() {
+    // The headline guarantee of the retrying install protocol: server 0
+    // dies mid-wave and NEVER comes back, but a second replica exists, so
+    // every node still completes — the watchdog times the dead fetches
+    // out, backoff spreads the retries, and the failover ring lands each
+    // stranded node on the survivor. Attempt accounting proves the path.
+    let mut base_cfg = cfg();
+    base_cfg.n_servers = 2;
+    let base_cfg = base_cfg.with_retries(RetryPolicy::standard());
+    let clean =
+        ClusterSim::new(base_cfg.clone(), 8).try_run_reinstall().expect("clean run completes");
+
+    let mut sim = ClusterSim::new(base_cfg.clone(), 8);
+    sim.inject_fault_at(120.0, Fault::ServerDown(0));
+    let result =
+        sim.try_run_reinstall().expect("failover must carry every node past the permanent outage");
+    assert_eq!(result.completed(), 8, "no node may be lost to a dead replica");
+
+    // The stranded half (odd ranks home on server 1 stay clean; even
+    // ranks home on server 0 must have failed over at least once).
+    assert!(result.total_failovers() >= 1, "completion must come via failover");
+    assert!(result.total_backoff_seconds() > 0.0, "retries must have backed off");
+    let extra_per_target = RetryPolicy::standard().worst_target_seconds(2);
+    let bundles = 1.0 + base_cfg.packages.len() as f64;
+    let bound = clean.total_seconds + 120.0 + bundles * extra_per_target;
+    assert!(
+        result.total_seconds <= bound,
+        "extra time unbounded: {} vs bound {}",
+        result.total_seconds,
+        bound
+    );
+    // Nobody burnt more than one timed-out attempt per fetch target plus
+    // the baseline — the watchdog fires once per dead fetch, not forever.
+    let minimal = bundles as u32;
+    for (i, &attempts) in result.per_node_attempts.iter().enumerate() {
+        assert!(
+            attempts >= minimal && attempts <= minimal * 3,
+            "node {i} attempts {attempts} outside [{minimal}, {}]",
+            minimal * 3
+        );
+    }
+}
+
+#[test]
+fn single_server_permanent_outage_surfaces_typed_exhaustion() {
+    // With no replica to fail over to, the budget runs dry and the
+    // protocol reports *which* node gave up and how hard it tried —
+    // instead of wedging the simulation with a stall.
+    let policy = RetryPolicy::standard();
+    let mut sim = ClusterSim::new(cfg().with_retries(policy), 4);
+    sim.inject_fault_at(120.0, Fault::ServerDown(0));
+    match sim.try_run_reinstall() {
+        Err(ReinstallError::AllServersDown { node, attempts }) => {
+            assert!(node.starts_with("compute-"), "typed error names the node: {node}");
+            assert_eq!(attempts, policy.max_attempts(1));
+        }
+        other => panic!("expected AllServersDown, got {other:?}"),
+    }
 }
 
 #[test]
