@@ -16,6 +16,7 @@
 //! reproduce sqlbench   # indexed planner vs scan (writes BENCH_sql_engine.json)
 //! reproduce netsim-scale [--quick]  # engine scaling sweep (writes BENCH_netsim.json)
 //! reproduce chaos [--quick]         # seeded chaos sweep (writes BENCH_chaos.json)
+//! reproduce trace [--quick]         # telemetry overhead (writes BENCH_trace.json)
 //! ```
 
 use rocks_bench::*;
@@ -46,6 +47,7 @@ fn main() {
         ("sqlbench", sql_engine_bench),
         ("netsim-scale", netsim_scale_full),
         ("chaos", chaos_full),
+        ("trace", trace_overhead_full),
     ];
 
     // `netsim-scale --quick` shrinks the sweep so the CI debug build
@@ -57,6 +59,11 @@ fn main() {
     // `chaos --quick` runs 200 seeded scenarios instead of 1000.
     if arg == "chaos" && quick {
         println!("{}", chaos(true));
+        return;
+    }
+    // `trace --quick` measures at 512 nodes instead of 8192.
+    if arg == "trace" && quick {
+        println!("{}", trace_overhead(true));
         return;
     }
 

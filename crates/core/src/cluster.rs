@@ -9,6 +9,7 @@ use rocks_netsim::{ClusterSim, SimConfig};
 use rocks_rexec::NodeAgent;
 use rocks_rpm::{synth, Arch, Repository};
 use rocks_services::{DhcpService, NfsServer, NisDomain};
+use rocks_trace::{Snapshot, Tracer};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// What one node currently has on disk, from the management system's
@@ -66,25 +67,43 @@ impl Cluster {
     /// database, register the frontend, and start services — everything
     /// the Rocks CD does (§7).
     pub fn install_frontend(frontend_mac: &str, sim_seed: u64) -> Result<Cluster> {
+        Cluster::install_frontend_traced(frontend_mac, sim_seed, Tracer::disabled())
+    }
+
+    /// [`install_frontend`](Self::install_frontend) with telemetry: every
+    /// subsystem — distribution builds, Kickstart generation, SQL query
+    /// planning, and the install simulator — reports spans and counters
+    /// through `tracer`, whose registry becomes the cluster's single
+    /// metrics ledger (see [`Self::telemetry`]).
+    pub fn install_frontend_traced(
+        frontend_mac: &str,
+        sim_seed: u64,
+        tracer: Tracer,
+    ) -> Result<Cluster> {
         let stock = Distribution::stock("redhat-7.2", synth::redhat72(sim_seed));
         let community = synth::community();
         let local = synth::rocks_local();
-        let (distribution, _report) = builder::build(BuildConfig {
-            name: "rocks-2.2.1".into(),
-            parent: Some(&stock),
-            contrib: vec![&community],
-            local: vec![&local],
-            ..Default::default()
-        })?;
+        let (distribution, _report) = builder::build_traced(
+            BuildConfig {
+                name: "rocks-2.2.1".into(),
+                parent: Some(&stock),
+                contrib: vec![&community],
+                local: vec![&local],
+                ..Default::default()
+            },
+            &tracer,
+        )?;
 
         let mut db = ClusterDb::new();
         register_frontend(&mut db, frontend_mac, "frontend-0")?;
 
-        let kickstart = GenerationService::new(KickstartGenerator::new(
-            profiles::default_profiles(),
-            "10.1.1.1",
-            "install/rocks-dist",
-        ));
+        let kickstart = GenerationService::with_tracer(
+            KickstartGenerator::new(profiles::default_profiles(), "10.1.1.1", "install/rocks-dist"),
+            tracer,
+        );
+        // SQL planner counters land in the same registry as everything
+        // else (one ledger per cluster).
+        db.sql().bind_stats_registry(kickstart.registry());
 
         let mut nfs = NfsServer::new();
         nfs.export("/export/home", "10.");
@@ -134,10 +153,25 @@ impl Cluster {
         if !names.is_empty() {
             let cfg = self.sim_config();
             let mut sim = ClusterSim::new(cfg, names.len());
+            sim.set_tracer(self.kickstart.tracer().clone());
             let outcome = sim.try_run_reinstall_staggered(20.0)?;
             self.apply_install_outcome(&names, &outcome)?;
         }
         Ok(records)
+    }
+
+    /// The tracer every subsystem reports through (disabled unless the
+    /// cluster was built with
+    /// [`install_frontend_traced`](Self::install_frontend_traced)).
+    pub fn tracer(&self) -> &Tracer {
+        self.kickstart.tracer()
+    }
+
+    /// One consistent snapshot of every metric the cluster has recorded:
+    /// Kickstart cache traffic, SQL planner decisions, distribution
+    /// builds, and simulated-install counters all share one registry.
+    pub fn telemetry(&self) -> Snapshot {
+        self.kickstart.registry().snapshot()
     }
 
     /// The Kickstart generator inside the service (read-only).
@@ -230,6 +264,7 @@ impl Cluster {
         }
         let cfg = self.sim_config();
         let mut sim = ClusterSim::new(cfg, names.len());
+        sim.set_tracer(self.kickstart.tracer().clone());
         let outcome = sim.try_run_reinstall()?;
         self.apply_install_outcome(names, &outcome)
     }
@@ -295,6 +330,7 @@ impl Cluster {
         }
         let cfg = self.sim_config();
         let mut sim = ClusterSim::new(cfg, names.len());
+        sim.set_tracer(self.kickstart.tracer().clone());
         let outcome = sim.try_run_reinstall()?;
 
         let mut feeds = Vec::new();
@@ -403,12 +439,15 @@ impl Cluster {
     /// wins (§6.2.1).
     pub fn rebuild_distribution(&mut self, updates: &[&Repository]) -> Result<()> {
         let parent = self.distribution.clone();
-        let (dist, _report) = builder::build(BuildConfig {
-            name: parent.name.clone(),
-            parent: Some(&parent),
-            updates: updates.to_vec(),
-            ..Default::default()
-        })?;
+        let (dist, _report) = builder::build_traced(
+            BuildConfig {
+                name: parent.name.clone(),
+                parent: Some(&parent),
+                updates: updates.to_vec(),
+                ..Default::default()
+            },
+            self.kickstart.tracer(),
+        )?;
         self.distribution = dist;
         // New RPMs on disk: cached Kickstart skeletons may list stale
         // package sets, so flush them (the rocks-dist invalidation hook).
@@ -481,6 +520,29 @@ mod tests {
         let report = cluster.reinstall_all().unwrap();
         assert_eq!(report.nodes.len(), 4);
         assert!(cluster.inconsistent_nodes().unwrap().is_empty());
+    }
+
+    #[test]
+    fn traced_cluster_collects_one_ledger_across_subsystems() {
+        let mut cluster =
+            Cluster::install_frontend_traced("00:30:c1:d8:ac:80", 1, Tracer::ring_sim(1 << 14))
+                .unwrap();
+        cluster.integrate_rack("Compute", 0, &macs(3)).unwrap();
+        cluster.reinstall_all().unwrap();
+        let snap = cluster.telemetry();
+        // Every subsystem reported into the same registry.
+        assert_eq!(snap.counter("dist.builds"), 1);
+        assert!(snap.counter("kickstart.requests") > 0);
+        assert_eq!(
+            snap.counter("kickstart.requests"),
+            snap.counter("kickstart.cache.hits") + snap.counter("kickstart.cache.misses"),
+        );
+        assert!(snap.counter("sql.lookup_eq") > 0);
+        assert!(snap.counter("netsim.installs.completed") >= 6, "rack install + reinstall_all");
+        assert!(snap.counter("netsim.flow.completions") > 0);
+        // The generation service's Stats are the same counters, not a
+        // parallel ledger.
+        assert_eq!(snap.counter("kickstart.cache.hits"), cluster.kickstart.stats().hits());
     }
 
     #[test]

@@ -12,6 +12,7 @@
 
 use crate::distribution::Distribution;
 use rocks_rpm::Repository;
+use rocks_trace::Tracer;
 use std::collections::BTreeMap;
 
 /// Configuration for one build.
@@ -98,6 +99,18 @@ impl std::error::Error for DistError {}
 
 /// Run the build pipeline.
 pub fn build(config: BuildConfig<'_>) -> Result<(Distribution, BuildReport), DistError> {
+    build_traced(config, &Tracer::disabled())
+}
+
+/// Run the build pipeline with telemetry: each phase gets a span, and the
+/// report's numbers land as `dist.*` counters in the tracer's registry
+/// (symlinks vs real files, newest-version resolutions, bytes). With a
+/// disabled tracer this is exactly [`build`].
+pub fn build_traced(
+    config: BuildConfig<'_>,
+    tracer: &Tracer,
+) -> Result<(Distribution, BuildReport), DistError> {
+    let _span = tracer.span("dist.build");
     if config.parent.is_none()
         && config.updates.is_empty()
         && config.contrib.is_empty()
@@ -117,55 +130,76 @@ pub fn build(config: BuildConfig<'_>) -> Result<(Distribution, BuildReport), Dis
 
     // Phase 1: mirror the parent. Every parent package enters the working
     // set; provenance is tracked so the tree phase knows what to link.
+    let mut version_resolutions = 0u64;
     let mut from_parent: std::collections::BTreeSet<(String, rocks_rpm::Arch)> = Default::default();
-    if let Some(parent) = config.parent {
-        for pkg in parent.repo().iter() {
-            repo.insert(pkg.clone());
-            from_parent.insert(pkg.key());
+    {
+        let _phase = tracer.span("dist.mirror");
+        if let Some(parent) = config.parent {
+            for pkg in parent.repo().iter() {
+                repo.insert(pkg.clone());
+                from_parent.insert(pkg.key());
+            }
+            report.mirrored = repo.len();
         }
-        report.mirrored = repo.len();
     }
 
     // Phase 2: vendor updates (newest-wins; §6.2.1 "Rocks-dist resolves
     // version numbers of RPMs and only includes the most recent").
-    for updates in &config.updates {
-        for pkg in updates.iter() {
-            let existed = from_parent.contains(&pkg.key());
-            if repo.insert(pkg.clone()) {
-                // This update's version won: it will be a real file.
-                from_parent.remove(&pkg.key());
-                if existed {
-                    report.updated += 1;
-                } else {
-                    report.added_by_updates += 1;
+    {
+        let _phase = tracer.span("dist.updates");
+        for updates in &config.updates {
+            for pkg in updates.iter() {
+                let existed = from_parent.contains(&pkg.key());
+                if repo.get(&pkg.name, pkg.arch).is_some() {
+                    // A same-name package is already present: rpmvercmp
+                    // decides the winner — a newest-version resolution.
+                    version_resolutions += 1;
+                }
+                if repo.insert(pkg.clone()) {
+                    // This update's version won: it will be a real file.
+                    from_parent.remove(&pkg.key());
+                    if existed {
+                        report.updated += 1;
+                    } else {
+                        report.added_by_updates += 1;
+                    }
                 }
             }
         }
     }
 
     // Phase 3: contrib and local.
-    for contrib in &config.contrib {
-        for pkg in contrib.iter() {
-            let existed_in_parent = from_parent.contains(&pkg.key());
-            if repo.insert(pkg.clone()) {
-                from_parent.remove(&pkg.key());
-                if !existed_in_parent {
-                    report.contrib_added += 1;
-                } else {
-                    report.updated += 1;
+    {
+        let _phase = tracer.span("dist.contrib_local");
+        for contrib in &config.contrib {
+            for pkg in contrib.iter() {
+                let existed_in_parent = from_parent.contains(&pkg.key());
+                if repo.get(&pkg.name, pkg.arch).is_some() {
+                    version_resolutions += 1;
+                }
+                if repo.insert(pkg.clone()) {
+                    from_parent.remove(&pkg.key());
+                    if !existed_in_parent {
+                        report.contrib_added += 1;
+                    } else {
+                        report.updated += 1;
+                    }
                 }
             }
         }
-    }
-    for local in &config.local {
-        for pkg in local.iter() {
-            let existed_in_parent = from_parent.contains(&pkg.key());
-            if repo.insert(pkg.clone()) {
-                from_parent.remove(&pkg.key());
-                if !existed_in_parent {
-                    report.local_added += 1;
-                } else {
-                    report.updated += 1;
+        for local in &config.local {
+            for pkg in local.iter() {
+                let existed_in_parent = from_parent.contains(&pkg.key());
+                if repo.get(&pkg.name, pkg.arch).is_some() {
+                    version_resolutions += 1;
+                }
+                if repo.insert(pkg.clone()) {
+                    from_parent.remove(&pkg.key());
+                    if !existed_in_parent {
+                        report.local_added += 1;
+                    } else {
+                        report.updated += 1;
+                    }
                 }
             }
         }
@@ -173,22 +207,26 @@ pub fn build(config: BuildConfig<'_>) -> Result<(Distribution, BuildReport), Dis
 
     // Phase 4: lay out the tree. Parent-sourced packages become links
     // into the parent's tree; everything else is a real file.
-    for pkg in repo.iter() {
-        let path = Distribution::rpm_path(&config.name, pkg);
-        if from_parent.contains(&pkg.key()) {
-            let parent = config.parent.expect("provenance implies a parent");
-            let target = Distribution::rpm_path(&parent.name, pkg);
-            // Link only if the parent actually has the file; a parent
-            // built from links is itself resolvable one level up, so
-            // chase it to keep links one hop deep.
-            let resolved = parent.tree.resolve(&target).unwrap_or(&target).to_string();
-            dist.tree.add_link(&path, &resolved);
-        } else {
-            dist.tree.add_file(&path, pkg.size_bytes);
+    {
+        let _phase = tracer.span("dist.tree");
+        for pkg in repo.iter() {
+            let path = Distribution::rpm_path(&config.name, pkg);
+            if from_parent.contains(&pkg.key()) {
+                let parent = config.parent.expect("provenance implies a parent");
+                let target = Distribution::rpm_path(&parent.name, pkg);
+                // Link only if the parent actually has the file; a parent
+                // built from links is itself resolvable one level up, so
+                // chase it to keep links one hop deep.
+                let resolved = parent.tree.resolve(&target).unwrap_or(&target).to_string();
+                dist.tree.add_link(&path, &resolved);
+            } else {
+                dist.tree.add_file(&path, pkg.size_bytes);
+            }
         }
     }
 
     // Phase 5: profiles. Inherit the parent's build/ files, then overlay.
+    let _phase = tracer.span("dist.profiles");
     let mut build_files = config.parent.map(|p| p.build_files.clone()).unwrap_or_default();
     for (name, content) in config.profile_overlay {
         build_files.insert(name, content);
@@ -196,6 +234,7 @@ pub fn build(config: BuildConfig<'_>) -> Result<(Distribution, BuildReport), Dis
     for (name, content) in &build_files {
         dist.add_build_file(name, content);
     }
+    drop(_phase);
 
     // Phase 6: report. Logical size is the resolved package set plus the
     // profile files — computing it from the repository (rather than by
@@ -208,6 +247,22 @@ pub fn build(config: BuildConfig<'_>) -> Result<(Distribution, BuildReport), Dis
     report.links = links;
     report.materialized_bytes = dist.tree.materialized_bytes();
     report.logical_bytes = dist.repo().total_size_bytes() + build_bytes;
+
+    // Surface the report through the registry too — one build adds its
+    // numbers once, so registry values and reports can never disagree.
+    if let Some(registry) = tracer.registry() {
+        registry.counter("dist.builds").incr();
+        registry.counter("dist.mirrored").add(report.mirrored as u64);
+        registry.counter("dist.updated").add(report.updated as u64);
+        registry.counter("dist.added_by_updates").add(report.added_by_updates as u64);
+        registry.counter("dist.contrib_added").add(report.contrib_added as u64);
+        registry.counter("dist.local_added").add(report.local_added as u64);
+        registry.counter("dist.tree.links").add(report.links as u64);
+        registry.counter("dist.tree.files").add(report.files as u64);
+        registry.counter("dist.version_resolutions").add(version_resolutions);
+        registry.counter("dist.bytes.materialized").add(report.materialized_bytes);
+        registry.counter("dist.bytes.logical").add(report.logical_bytes);
+    }
     Ok((dist, report))
 }
 
@@ -349,6 +404,50 @@ mod tests {
         assert!(dist.tree.contains("child/build/nodes/compute.xml"));
         assert!(dist.tree.contains("child/build/nodes/site.xml"));
         assert_eq!(dist.build_files.len(), 3);
+    }
+
+    #[test]
+    fn traced_build_matches_untraced_and_fills_registry() {
+        let parent = stock();
+        let community = synth::community();
+        let mut stale = Repository::new("stale");
+        stale.insert(Package::builder("glibc", "2.2.4-1").arch(rocks_rpm::Arch::I686).build());
+        let config = || BuildConfig {
+            name: "traced".into(),
+            parent: Some(&parent),
+            updates: vec![&stale],
+            contrib: vec![&community],
+            ..Default::default()
+        };
+        let (plain_dist, plain_report) = build(config()).unwrap();
+        let tracer = Tracer::ring(256);
+        let (traced_dist, traced_report) = build_traced(config(), &tracer).unwrap();
+        assert_eq!(plain_report, traced_report, "telemetry must not change the build");
+        assert_eq!(plain_dist.repo().len(), traced_dist.repo().len());
+
+        let snap = tracer.registry().unwrap().snapshot();
+        assert_eq!(snap.counter("dist.builds"), 1);
+        assert_eq!(snap.counter("dist.mirrored"), traced_report.mirrored as u64);
+        assert_eq!(snap.counter("dist.tree.links"), traced_report.links as u64);
+        assert_eq!(snap.counter("dist.tree.files"), traced_report.files as u64);
+        assert_eq!(snap.counter("dist.contrib_added"), traced_report.contrib_added as u64);
+        // The stale glibc triggered exactly one version resolution.
+        assert_eq!(snap.counter("dist.version_resolutions"), 1);
+
+        // Phase spans nest under dist.build and balance.
+        let dump = tracer.dump();
+        let enters = dump
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, rocks_trace::EventKind::Enter { .. }))
+            .count();
+        let exits = dump
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, rocks_trace::EventKind::Exit { .. }))
+            .count();
+        assert_eq!(enters, 6, "dist.build + five phase spans");
+        assert_eq!(enters, exits);
     }
 
     #[test]

@@ -9,6 +9,7 @@ use crate::config::SimConfig;
 use crate::engine::{micros, seconds, Engine, EngineMode, SimError, SimTime, Wakeup};
 use crate::node::{NodeEvent, NodeState, SimNode};
 use crate::reinstall::ReinstallError;
+use rocks_trace::{Counter, Gauge, Tracer};
 
 /// Control events injected into a run at absolute virtual times.
 #[derive(Debug, Clone, PartialEq)]
@@ -108,6 +109,42 @@ impl ReinstallResult {
 /// Alias kept for API clarity at call sites that only care about success.
 pub type ReinstallOutcome = ReinstallResult;
 
+/// Pre-resolved metric handles, built once in
+/// [`ClusterSim::set_tracer`]. The hot path (`step_once`) only bumps
+/// plain integers; totals are published into these handles at
+/// [`ClusterSim::collect_result`], as deltas since the previous flush so
+/// collecting twice (or sharing a registry across sequential sims) never
+/// double-counts.
+#[derive(Debug)]
+struct NetsimTelemetry {
+    flow_completions: Counter,
+    timers: Counter,
+    fetch_attempts: Counter,
+    failovers: Counter,
+    kickstart_requests: Counter,
+    installs_completed: Counter,
+    faults: Counter,
+    /// Total retry-backoff seconds (f64; set idempotently at collection).
+    backoff_seconds: Gauge,
+    /// Bytes settled per engine link (servers first, then cabinet
+    /// uplinks); set idempotently in [`ClusterSim::collect_result`].
+    link_bytes: Vec<Gauge>,
+    /// Totals already published, so a re-collect adds only the delta.
+    flushed: std::cell::Cell<EventTally>,
+}
+
+/// Cumulative per-run totals mirrored into the registry at collection.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+struct EventTally {
+    flows: u64,
+    timers: u64,
+    faults: u64,
+    fetch_attempts: u64,
+    failovers: u64,
+    kickstart_requests: u64,
+    installs_completed: u64,
+}
+
 /// A simulated cluster: engine + nodes + the configured package set.
 #[derive(Debug)]
 pub struct ClusterSim {
@@ -125,6 +162,18 @@ pub struct ClusterSim {
     /// Whether each link's server is currently down. Only ever set for
     /// server links; cabinet links are degraded, not downed.
     link_down: Vec<bool>,
+    /// Telemetry destination; disabled by default (zero cost per event).
+    trace: Tracer,
+    /// Cached `trace.records_events()`: the per-event path tests one
+    /// local bool instead of dereferencing the tracer, so the disabled
+    /// and no-op-sink configurations cost the same — nothing.
+    trace_events: bool,
+    /// Metric handles resolved once when a tracer with a registry is
+    /// attached; `None` keeps the hot path untouched.
+    telemetry: Option<NetsimTelemetry>,
+    /// Scheduler-event counts (flows drained, timers fired, faults
+    /// dispatched); plain integers so counting costs nothing.
+    events: EventTally,
 }
 
 impl ClusterSim {
@@ -180,7 +229,40 @@ impl ClusterSim {
             link_base,
             link_factor: vec![1.0; n_links],
             link_down: vec![false; n_links],
+            trace: Tracer::disabled(),
+            trace_events: false,
+            telemetry: None,
+            events: EventTally::default(),
         }
+    }
+
+    /// Route this cluster's events and counters through `tracer`. The
+    /// virtual clock is driven from engine time, so traces are exactly as
+    /// deterministic as the simulation itself. Metric handles are
+    /// resolved here, once, against the tracer's registry.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.telemetry = tracer.registry().map(|reg| NetsimTelemetry {
+            flow_completions: reg.counter("netsim.flow.completions"),
+            timers: reg.counter("netsim.timers"),
+            fetch_attempts: reg.counter("netsim.fetch.attempts"),
+            failovers: reg.counter("netsim.failovers"),
+            kickstart_requests: reg.counter("netsim.kickstart.requests"),
+            installs_completed: reg.counter("netsim.installs.completed"),
+            faults: reg.counter("netsim.faults"),
+            backoff_seconds: reg.gauge("netsim.backoff_seconds"),
+            link_bytes: (0..self.link_base.len())
+                .map(|i| reg.gauge(&format!("netsim.link.bytes.{i}")))
+                .collect(),
+            flushed: std::cell::Cell::new(EventTally::default()),
+        });
+        self.trace_events = tracer.records_events();
+        self.trace = tracer;
+    }
+
+    /// The tracer attached via [`set_tracer`](Self::set_tracer)
+    /// (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.trace
     }
 
     /// Schedule a fault at an absolute virtual time (seconds). Must be
@@ -223,6 +305,7 @@ impl ClusterSim {
     /// [`ReinstallError::AllServersDown`] when the retrying install
     /// protocol gave up on a node.
     pub fn try_run_reinstall(&mut self) -> Result<ReinstallResult, ReinstallError> {
+        let _run = self.trace.span("netsim.run");
         self.begin_reinstall();
         self.run_to_quiescence()?;
         self.finish()
@@ -241,9 +324,11 @@ impl ClusterSim {
         &mut self,
         gap_seconds: f64,
     ) -> Result<ReinstallResult, ReinstallError> {
+        let _run = self.trace.span("netsim.run");
         // Reuse the fault timer mechanism for delayed power-ons.
         for i in 0..self.nodes.len() {
             if i == 0 {
+                self.trace.mark("node.power_on", 0);
                 self.nodes[0].power_on(&mut self.engine, &self.cfg);
             } else {
                 let idx = self.faults.len();
@@ -265,7 +350,9 @@ impl ClusterSim {
         &mut self,
         ids: &[usize],
     ) -> Result<ReinstallResult, ReinstallError> {
+        let _run = self.trace.span("netsim.run");
         for &id in ids {
+            self.trace.mark("node.power_on", id as u64);
             self.nodes[id].power_on(&mut self.engine, &self.cfg);
         }
         self.run_to_quiescence()?;
@@ -276,7 +363,9 @@ impl ClusterSim {
     /// — callers that want to observe the run event by event (the chaos
     /// harness) follow with [`step_once`](Self::step_once).
     pub fn begin_reinstall(&mut self) {
+        self.trace.set_time(self.engine.now());
         for i in 0..self.nodes.len() {
+            self.trace.mark("node.power_on", i as u64);
             self.nodes[i].power_on(&mut self.engine, &self.cfg);
         }
     }
@@ -302,8 +391,36 @@ impl ClusterSim {
             Wakeup::FlowDone { tag } => (tag, NodeEvent::FlowDone),
             Wakeup::TimerFired { tag } => (tag, NodeEvent::TimerFired),
         };
+        // Telemetry on the hot path is plain-integer tallies; everything
+        // that touches the tracer (clock store, marks, state diffing) is
+        // gated on one cached bool, so with events off — disabled tracer
+        // or no-op sink — the path is identical to uninstrumented code.
+        // Counters hit the registry once, at collection.
+        if self.trace_events {
+            self.trace.set_time(self.engine.now());
+        }
+        match event {
+            NodeEvent::FlowDone => self.events.flows += 1,
+            NodeEvent::TimerFired => self.events.timers += 1,
+        }
         if tag >= CONTROL_TAG_BASE {
-            self.apply_fault(tag - CONTROL_TAG_BASE);
+            let idx = tag - CONTROL_TAG_BASE;
+            self.events.faults += 1;
+            if self.trace_events {
+                self.trace.mark("netsim.fault", idx as u64);
+            }
+            self.apply_fault(idx);
+        } else if self.trace_events {
+            let before = self.nodes[tag].state;
+            self.nodes[tag].on_wakeup(&mut self.engine, &self.cfg, event);
+            let after = self.nodes[tag].state;
+            if after != before {
+                match after {
+                    NodeState::Up => self.trace.mark("node.up", tag as u64),
+                    NodeState::Hung => self.trace.mark("node.hung", tag as u64),
+                    _ => {}
+                }
+            }
         } else {
             self.nodes[tag].on_wakeup(&mut self.engine, &self.cfg, event);
         }
@@ -381,8 +498,14 @@ impl ClusterSim {
                     self.refresh_link(id);
                 }
             }
-            Fault::NodeHang(id) => self.nodes[id].hang(&mut self.engine),
-            Fault::PowerCycle(id) => self.nodes[id].power_on(&mut self.engine, &self.cfg),
+            Fault::NodeHang(id) => {
+                self.trace.mark("node.hung", id as u64);
+                self.nodes[id].hang(&mut self.engine);
+            }
+            Fault::PowerCycle(id) => {
+                self.trace.mark("node.power_on", id as u64);
+                self.nodes[id].power_on(&mut self.engine, &self.cfg);
+            }
             Fault::LinkDegrade { link, factor } => {
                 if link < self.link_base.len() {
                     self.link_factor[link] = factor.clamp(0.0, 1.0);
@@ -397,6 +520,39 @@ impl ClusterSim {
     /// failed); [`try_run_reinstall`](Self::try_run_reinstall) wraps it
     /// behind the typed-error check.
     pub fn collect_result(&self) -> ReinstallResult {
+        if let Some(t) = &self.telemetry {
+            // Publish cumulative totals — scheduler tallies plus the
+            // nodes' own FSM counters, so the registry can never disagree
+            // with the result it is collected alongside. Counters receive
+            // the delta since the previous flush (collecting twice adds
+            // nothing); gauges are set idempotently and mirror the
+            // engine's settled-byte ledger bit for bit.
+            let now = EventTally {
+                flows: self.events.flows,
+                timers: self.events.timers,
+                faults: self.events.faults,
+                fetch_attempts: self.nodes.iter().map(|n| u64::from(n.fetch_attempts)).sum(),
+                failovers: self.nodes.iter().map(|n| u64::from(n.failovers)).sum(),
+                kickstart_requests: self
+                    .nodes
+                    .iter()
+                    .map(|n| u64::from(n.kickstart_requests))
+                    .sum(),
+                installs_completed: self.nodes.iter().map(|n| n.installs_completed as u64).sum(),
+            };
+            let prev = t.flushed.replace(now);
+            t.flow_completions.add(now.flows - prev.flows);
+            t.timers.add(now.timers - prev.timers);
+            t.faults.add(now.faults - prev.faults);
+            t.fetch_attempts.add(now.fetch_attempts - prev.fetch_attempts);
+            t.failovers.add(now.failovers - prev.failovers);
+            t.kickstart_requests.add(now.kickstart_requests - prev.kickstart_requests);
+            t.installs_completed.add(now.installs_completed - prev.installs_completed);
+            for (gauge, &bytes) in t.link_bytes.iter().zip(self.engine.link_bytes()) {
+                gauge.set(bytes);
+            }
+            t.backoff_seconds.set(self.nodes.iter().map(|n| n.backoff_seconds).sum());
+        }
         let per_node_seconds: Vec<Option<f64>> =
             self.nodes.iter().map(|n| n.last_install_seconds()).collect();
         ReinstallResult {

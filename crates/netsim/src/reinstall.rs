@@ -133,7 +133,11 @@ pub fn mass_reinstall(
         cfg.kickstart_bytes = profile.kickstart.render().len() as u64;
     }
 
+    // The simulation reports into the service's tracer (disabled by
+    // default), so generation metrics and install metrics land in one
+    // registry — a single source of truth for the whole reinstall.
     let mut sim = ClusterSim::new(cfg, compute_profiles.len());
+    sim.set_tracer(service.tracer().clone());
     let result = sim.try_run_reinstall()?;
 
     // Surface the install protocol's frontend-side cost: every kickstart
@@ -203,6 +207,64 @@ mod tests {
         assert_eq!(svc.stats().kickstart_refetches(), 0);
         // One kickstart + one fetch per bundle per node.
         assert_eq!(report.install_attempts, 4 * 13);
+    }
+
+    #[test]
+    fn registry_counters_cannot_disagree_with_report() {
+        // The duplicate-accounting guard: the report's install_attempts /
+        // kickstart_refetches, the ReinstallResult totals, the service's
+        // Stats, and the shared registry must all be views of the same
+        // numbers.
+        let db = provision_cluster(6);
+        let svc = GenerationService::with_tracer(
+            KickstartGenerator::new(
+                rocks_kickstart::profiles::default_profiles(),
+                "10.1.1.1",
+                "install/rocks-dist",
+            ),
+            rocks_trace::Tracer::ring_sim(1 << 14),
+        );
+        let report = mass_reinstall(small_cfg(3), &db, &svc, Arch::I686, 2).unwrap();
+        let snap = svc.registry().snapshot();
+
+        assert_eq!(snap.counter("netsim.fetch.attempts"), report.install_attempts);
+        assert_eq!(snap.counter("netsim.fetch.attempts"), report.result.total_attempts());
+        assert_eq!(snap.counter("netsim.failovers"), report.result.total_failovers());
+        assert_eq!(snap.counter("netsim.installs.completed"), report.result.completed() as u64);
+        // Refetch bridge: CGI requests beyond the first per node, counted
+        // once by the nodes and once by the service — they must agree.
+        let n = report.result.per_node_attempts.len() as u64;
+        assert_eq!(snap.counter("netsim.kickstart.requests") - n, report.kickstart_refetches);
+        assert_eq!(snap.counter("kickstart.refetches"), report.kickstart_refetches);
+        assert_eq!(svc.stats().kickstart_refetches(), report.kickstart_refetches);
+        // Generation accounting flows through the same registry.
+        assert_eq!(snap.counter("kickstart.requests"), svc.stats().requests());
+        assert_eq!(
+            snap.counter("kickstart.cache.hits") + snap.counter("kickstart.cache.misses"),
+            svc.stats().requests()
+        );
+    }
+
+    #[test]
+    fn failover_counters_match_result_under_server_fault() {
+        let mut cfg = SimConfig::paper_testbed(11).bundled(12);
+        cfg.n_servers = 2;
+        cfg.retry = Some(crate::config::RetryPolicy::standard());
+        let tracer = rocks_trace::Tracer::ring_sim(1 << 12);
+        let mut sim = ClusterSim::new(cfg, 6);
+        sim.set_tracer(tracer.clone());
+        sim.inject_fault_at(5.0, crate::cluster::Fault::ServerDown(0));
+        let result = sim.try_run_reinstall().unwrap();
+        let snap = tracer.registry().unwrap().snapshot();
+        assert!(result.total_failovers() > 0, "fault must force failovers");
+        assert_eq!(snap.counter("netsim.failovers"), result.total_failovers());
+        assert_eq!(snap.counter("netsim.fetch.attempts"), result.total_attempts());
+        assert_eq!(snap.counter("netsim.faults"), 1);
+        // Per-link byte gauges mirror the engine ledger bit-for-bit.
+        for (i, &bytes) in sim.link_bytes().iter().enumerate() {
+            let name = format!("netsim.link.bytes.{i}");
+            assert_eq!(snap.gauge(&name).to_bits(), bytes.to_bits(), "{name}");
+        }
     }
 
     #[test]

@@ -299,11 +299,13 @@ fn scan_rows(
     offsets: &[usize],
     total_width: usize,
     where_clause: Option<&Expr>,
+    examined: &mut u64,
 ) -> Result<Vec<Vec<Value>>> {
     let mut joined: Vec<Vec<Value>> = Vec::new();
     let mut indices = vec![0usize; tables.len()];
     if tables.iter().all(|(_, t)| !t.is_empty()) {
         'outer: loop {
+            *examined += 1;
             let mut row = Vec::with_capacity(total_width);
             for ((_, t), &idx) in tables.iter().zip(indices.iter()) {
                 row.extend_from_slice(&t.rows()[idx]);
@@ -354,15 +356,22 @@ fn select(
 
     // Produce the filtered, joined row set — through the planner when a
     // WHERE clause planned successfully, through the scan path otherwise.
+    // `examined` and `used_index` feed the database's QueryStats.
+    let mut examined = 0u64;
+    let mut used_index = false;
     let mut joined: Vec<Vec<Value>> = match (where_clause, mode) {
         (Some(expr), PlanChoice::Auto) => match plan::plan_select(&tables, expr) {
-            Some(p) => plan::execute_plan(&p, &tables, &offsets, total_width)?,
-            None => scan_rows(&tables, &offsets, total_width, where_clause)?,
+            Some(p) => {
+                used_index = p.uses_index();
+                plan::execute_plan(&p, &tables, &offsets, total_width, &mut examined)?
+            }
+            None => scan_rows(&tables, &offsets, total_width, where_clause, &mut examined)?,
         },
         (Some(_), PlanChoice::Prepared(Some(p))) => {
-            plan::execute_plan(p, &tables, &offsets, total_width)?
+            used_index = p.uses_index();
+            plan::execute_plan(p, &tables, &offsets, total_width, &mut examined)?
         }
-        _ => scan_rows(&tables, &offsets, total_width, where_clause)?,
+        _ => scan_rows(&tables, &offsets, total_width, where_clause, &mut examined)?,
     };
 
     let has_aggregate = items.iter().any(SelectItem::is_aggregate);
@@ -399,7 +408,9 @@ fn select(
 
     // Grouped / aggregate path.
     if has_aggregate || !group_by.is_empty() {
-        return grouped_select(items, group_by, &tables, &offsets, joined, limit);
+        let result = grouped_select(items, group_by, &tables, &offsets, joined, limit)?;
+        db.stats().record_select(examined, result.rows.len() as u64, used_index);
+        return Ok(result);
     }
 
     if let Some(n) = limit {
@@ -430,8 +441,9 @@ fn select(
         }
     }
 
-    let rows =
+    let rows: Vec<Vec<Value>> =
         joined.into_iter().map(|row| positions.iter().map(|&i| row[i].clone()).collect()).collect();
+    db.stats().record_select(examined, rows.len() as u64, used_index);
     Ok(QueryResult { columns: out_columns, rows })
 }
 

@@ -54,6 +54,7 @@ pub use plan::SelectPlan;
 pub use table::{Column, ColumnType, Table};
 pub use value::Value;
 
+use rocks_trace::{Counter, Registry};
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Mutex};
@@ -126,6 +127,96 @@ struct PlanCache {
     entries: HashMap<String, Arc<Prepared>>,
 }
 
+/// Planner/executor telemetry, backed by [`rocks_trace`] counter handles
+/// so the same numbers surface in a cluster-wide metrics registry (see
+/// DESIGN.md "Observability"). Every counter has exactly one source of
+/// truth: the registry handle this struct holds a clone of.
+#[derive(Debug, Clone)]
+pub struct QueryStats {
+    registry: Registry,
+    plan_cache_hits: Counter,
+    plan_cache_misses: Counter,
+    indexed_exec: Counter,
+    scan_exec: Counter,
+    lookups: Counter,
+    rows_examined: Counter,
+    rows_returned: Counter,
+}
+
+impl QueryStats {
+    fn bound_to(registry: Registry) -> Self {
+        QueryStats {
+            plan_cache_hits: registry.counter("sql.plan.cache_hits"),
+            plan_cache_misses: registry.counter("sql.plan.cache_misses"),
+            indexed_exec: registry.counter("sql.plan.indexed"),
+            scan_exec: registry.counter("sql.plan.scan"),
+            lookups: registry.counter("sql.lookup_eq"),
+            rows_examined: registry.counter("sql.rows.examined"),
+            rows_returned: registry.counter("sql.rows.returned"),
+            registry,
+        }
+    }
+
+    /// The registry the counters live in (for merging into a
+    /// cluster-wide view).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Cached-plan lookups that hit (`Database::query_ref`).
+    pub fn plan_cache_hits(&self) -> u64 {
+        self.plan_cache_hits.get()
+    }
+
+    /// Cached-plan lookups that missed and had to parse + plan.
+    pub fn plan_cache_misses(&self) -> u64 {
+        self.plan_cache_misses.get()
+    }
+
+    /// SELECT executions that ran an index-using pipeline (a point
+    /// lookup or hash join somewhere in the plan).
+    pub fn indexed_executions(&self) -> u64 {
+        self.indexed_exec.get()
+    }
+
+    /// SELECT executions that scanned (no plan, planning declined, or a
+    /// plan with no index access).
+    pub fn scan_executions(&self) -> u64 {
+        self.scan_exec.get()
+    }
+
+    /// Calls to the SQL-free [`Database::lookup_eq`] fast path.
+    pub fn lookups(&self) -> u64 {
+        self.lookups.get()
+    }
+
+    /// Rows enumerated/probed while producing results.
+    pub fn rows_examined(&self) -> u64 {
+        self.rows_examined.get()
+    }
+
+    /// Rows returned to callers.
+    pub fn rows_returned(&self) -> u64 {
+        self.rows_returned.get()
+    }
+
+    pub(crate) fn record_select(&self, examined: u64, returned: u64, used_index: bool) {
+        self.rows_examined.add(examined);
+        self.rows_returned.add(returned);
+        if used_index {
+            self.indexed_exec.incr();
+        } else {
+            self.scan_exec.incr();
+        }
+    }
+}
+
+impl Default for QueryStats {
+    fn default() -> Self {
+        QueryStats::bound_to(Registry::new())
+    }
+}
+
 /// An in-memory database: a set of named tables.
 #[derive(Debug, Default)]
 pub struct Database {
@@ -135,15 +226,18 @@ pub struct Database {
     /// may no longer match the schema).
     schema_gen: u64,
     cache: Mutex<PlanCache>,
+    stats: QueryStats,
 }
 
 impl Clone for Database {
     fn clone(&self) -> Self {
-        // The cache is pure acceleration state; a clone starts cold.
+        // The cache is pure acceleration state; a clone starts cold —
+        // and with fresh counters, so clones never double-count.
         Database {
             tables: self.tables.clone(),
             schema_gen: self.schema_gen,
             cache: Mutex::new(PlanCache::default()),
+            stats: QueryStats::default(),
         }
     }
 }
@@ -216,9 +310,11 @@ impl Database {
                 cache.schema_gen = self.schema_gen;
             }
             if let Some(hit) = cache.entries.get(sql) {
+                self.stats.plan_cache_hits.incr();
                 return Ok(Arc::clone(hit));
             }
         }
+        self.stats.plan_cache_misses.incr();
         // Parse and plan outside the lock; a racing thread preparing the
         // same text produces an identical entry.
         let stmt = parser::parse(sql)?;
@@ -249,6 +345,19 @@ impl Database {
         self.cache.lock().expect("plan cache lock").entries.len()
     }
 
+    /// Planner/executor telemetry for this database.
+    pub fn stats(&self) -> &QueryStats {
+        &self.stats
+    }
+
+    /// Rebind this database's [`QueryStats`] to an external registry
+    /// (e.g. a [`rocks_trace::Tracer`]'s), so SQL counters land in the
+    /// same cluster-wide view as everything else. Counters restart from
+    /// the registry's current values.
+    pub fn bind_stats_registry(&mut self, registry: &Registry) {
+        self.stats = QueryStats::bound_to(registry.clone());
+    }
+
     /// Prepared point lookup: all rows of `table` whose `column` equals
     /// `value` under SQL semantics, as a [`QueryResult`] shaped exactly
     /// like `SELECT * FROM table WHERE column = <value>`. Bypasses SQL
@@ -262,14 +371,17 @@ impl Database {
             .ok_or_else(|| SqlError::NoSuchColumn(format!("{}.{column}", t.name())))?;
         let index = t.eq_index(col);
         let mut scratch = Vec::new();
-        let rows = index
-            .probe(value, &mut scratch)
+        let candidates = index.probe(value, &mut scratch);
+        self.stats.lookups.incr();
+        self.stats.rows_examined.add(candidates.len() as u64);
+        let rows: Vec<Vec<Value>> = candidates
             .iter()
             .map(|&r| &t.rows()[r as usize])
             // Candidates are a superset; keep only true equality.
             .filter(|row| row[col].sql_cmp(value) == Some(Ordering::Equal))
             .cloned()
             .collect();
+        self.stats.rows_returned.add(rows.len() as u64);
         Ok(QueryResult { columns: t.columns().iter().map(|c| c.name.clone()).collect(), rows })
     }
 
@@ -414,6 +526,30 @@ mod tests {
         assert_eq!(copy.prepared_statements(), 0);
         // And the clone still answers (and re-caches) independently.
         assert_eq!(copy.query_ref("select name from nodes where id = 1").unwrap().rows.len(), 1);
+    }
+
+    #[test]
+    fn query_stats_track_cache_decisions_and_rows() {
+        let db = two_table_db();
+        let sql = "select name from nodes where ip = '10.1.1.2'";
+        db.query_ref(sql).unwrap();
+        db.query_ref(sql).unwrap();
+        let s = db.stats();
+        assert_eq!(s.plan_cache_misses(), 1);
+        assert_eq!(s.plan_cache_hits(), 1);
+        assert_eq!(s.indexed_executions(), 2, "point lookups run the indexed pipeline");
+        assert_eq!(s.rows_returned(), 2);
+        assert!(s.rows_examined() >= 2);
+        // The scan baseline records a scan execution, not an indexed one.
+        db.query_ref_scan(sql).unwrap();
+        assert_eq!(s.scan_executions(), 1);
+        // And the SQL-free fast path counts as a lookup.
+        db.lookup_eq("nodes", "ip", &Value::Text("10.1.1.2".into())).unwrap();
+        assert_eq!(s.lookups(), 1);
+        // Registry view agrees with the typed getters: one source of truth.
+        let snap = s.registry().snapshot();
+        assert_eq!(snap.counter("sql.plan.cache_hits"), s.plan_cache_hits());
+        assert_eq!(snap.counter("sql.rows.examined"), s.rows_examined());
     }
 
     #[test]

@@ -96,6 +96,15 @@ pub struct SelectPlan {
     pub residual: Vec<(usize, Expr)>,
 }
 
+impl SelectPlan {
+    /// Whether executing this plan touches a hash index anywhere — a
+    /// point lookup or a hash join. Telemetry classifies executions as
+    /// "indexed" vs "scan" with this.
+    pub fn uses_index(&self) -> bool {
+        self.steps.iter().any(|s| s.join.is_some() || matches!(s.access, Access::IndexEq { .. }))
+    }
+}
+
 /// Split an expression into its top-level AND conjuncts.
 fn split_and(expr: &Expr, out: &mut Vec<Expr>) {
     match expr {
@@ -294,12 +303,15 @@ fn step_filter(
 }
 
 /// Execute a plan, returning joined rows identical (values and order) to
-/// the scan path's filtered cross product.
+/// the scan path's filtered cross product. `examined` tallies every row
+/// enumerated or index candidate probed (the telemetry behind
+/// `sql.rows.examined`).
 pub fn execute_plan(
     plan: &SelectPlan,
     tables: &[(&str, &Table)],
     offsets: &[usize],
     total_width: usize,
+    examined: &mut u64,
 ) -> Result<Vec<Vec<Value>>> {
     let n = tables.len();
     debug_assert_eq!(plan.steps.len(), n);
@@ -321,6 +333,7 @@ pub fn execute_plan(
                 let mut right: Vec<u32> = Vec::new();
                 match &step.access {
                     Access::Scan => {
+                        *examined += t.len() as u64;
                         for row in 0..t.len() as u32 {
                             if step_filter(&step.filter, &single, row, &mut memo)? {
                                 right.push(row);
@@ -329,7 +342,9 @@ pub fn execute_plan(
                     }
                     Access::IndexEq { column, literal } => {
                         let index = t.eq_index(*column);
-                        for &row in index.probe(literal, &mut probe_scratch) {
+                        let candidates = index.probe(literal, &mut probe_scratch);
+                        *examined += candidates.len() as u64;
+                        for &row in candidates {
                             if step_filter(&step.filter, &single, row, &mut memo)? {
                                 right.push(row);
                             }
@@ -363,7 +378,9 @@ pub fn execute_plan(
                     if lval.is_null() {
                         continue; // NULL joins nothing
                     }
-                    for &r in index.probe(lval, &mut probe_scratch) {
+                    let candidates = index.probe(lval, &mut probe_scratch);
+                    *examined += candidates.len() as u64;
+                    for &r in candidates {
                         let rval = &t.rows()[r as usize][key.right_col];
                         if lval.sql_cmp(rval) != Some(Ordering::Equal) {
                             continue; // candidate false positive

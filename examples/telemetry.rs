@@ -1,0 +1,44 @@
+//! Deterministic cluster telemetry end-to-end: bring up a traced
+//! cluster, reinstall it, and inspect the one ledger every subsystem
+//! reports into — spans on virtual time, counters, histograms.
+//!
+//! Run with: `cargo run --example telemetry`
+
+use rocks::core::Cluster;
+use rocks::trace::Tracer;
+
+fn main() {
+    // One tracer for the whole cluster: the distribution builder, the
+    // Kickstart generation service, the SQL planner, and the install
+    // simulator all share its registry and ring buffer.
+    let mut cluster =
+        Cluster::install_frontend_traced("00:30:c1:d8:ac:80", 21, Tracer::ring(1 << 16))
+            .expect("frontend install");
+    let macs: Vec<String> = (0..4).map(|i| format!("00:50:8b:00:00:{i:02x}")).collect();
+    cluster.integrate_rack("Compute", 0, &macs).expect("rack integration");
+    cluster.reinstall_all().expect("reinstall");
+
+    // The normalized dump is what the golden-trace suite pins: stable
+    // span numbering, quantized virtual timestamps, wall-clock counters
+    // excluded. Same seed, same bytes — every time.
+    let dump = cluster.tracer().dump();
+    println!("--- normalized trace (first 20 lines) ---");
+    for line in dump.normalized(1).lines().take(20) {
+        println!("{line}");
+    }
+
+    println!("\n--- one ledger, every subsystem ---");
+    let snap = cluster.telemetry();
+    for prefix in ["dist.", "kickstart.", "sql.", "netsim."] {
+        for (name, value) in snap.counters.iter().filter(|(n, _)| n.starts_with(prefix)) {
+            println!("{name:<28} {value}");
+        }
+    }
+
+    // Machine-readable: one JSON object per event plus the metric
+    // snapshot, ready for jq or a trace viewer.
+    println!("\n--- JSONL (first 3 events) ---");
+    for line in dump.to_jsonl().lines().take(3) {
+        println!("{line}");
+    }
+}

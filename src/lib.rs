@@ -21,6 +21,7 @@
 //! | [`rexec`] | §4.1 | REXEC-like parallel remote execution |
 //! | [`services`] | §4–5 | DHCP, NIS-like sync, NFS-like home directories |
 //! | [`xml`] | §6.1 | the minimal XML parser the framework rides on |
+//! | [`trace`] | — | deterministic spans + metrics registry shared by every subsystem |
 //!
 //! # Quickstart
 //!
@@ -58,6 +59,7 @@ pub use rocks_rexec as rexec;
 pub use rocks_rpm as rpm;
 pub use rocks_services as services;
 pub use rocks_sql as sql;
+pub use rocks_trace as trace;
 pub use rocks_xml as xml;
 
 pub use rocks_kickstart::{GeneratedProfile, GenerationService, KickstartGenerator};
