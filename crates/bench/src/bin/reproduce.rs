@@ -17,6 +17,7 @@
 //! reproduce netsim-scale [--quick]  # engine scaling sweep (writes BENCH_netsim.json)
 //! reproduce chaos [--quick]         # seeded chaos sweep (writes BENCH_chaos.json)
 //! reproduce trace [--quick]         # telemetry overhead (writes BENCH_trace.json)
+//! reproduce db [--quick]            # durable DB: WAL throughput, recovery, crash sweep (writes BENCH_db.json)
 //! ```
 
 use rocks_bench::*;
@@ -48,6 +49,7 @@ fn main() {
         ("netsim-scale", netsim_scale_full),
         ("chaos", chaos_full),
         ("trace", trace_overhead_full),
+        ("db", db_durability_full),
     ];
 
     // `netsim-scale --quick` shrinks the sweep so the CI debug build
@@ -64,6 +66,11 @@ fn main() {
     // `trace --quick` measures at 512 nodes instead of 8192.
     if arg == "trace" && quick {
         println!("{}", trace_overhead(true));
+        return;
+    }
+    // `db --quick` samples 10k rows only and sweeps 2 crash seeds.
+    if arg == "db" && quick {
+        println!("{}", db_durability(true));
         return;
     }
 

@@ -112,20 +112,22 @@ pub fn table2_db() -> ClusterDb {
 
 /// Table II rendered as the MySQL client would.
 pub fn table2() -> String {
-    let mut db = table2_db();
+    let db = table2_db();
     let result = db
-        .sql()
-        .query("select id, mac, name, membership, rack, rank, ip, comment from nodes order by id")
+        .sql_ref()
+        .query_ref(
+            "select id, mac, name, membership, rack, rank, ip, comment from nodes order by id",
+        )
         .expect("nodes query");
     format!("Table II. The Nodes table in the cluster database\n{}", result.render_ascii())
 }
 
 /// Table III rendered from the seeded default memberships.
 pub fn table3() -> String {
-    let mut db = ClusterDb::new();
+    let db = ClusterDb::new();
     let result = db
-        .sql()
-        .query("select id, name, appliance, compute from memberships order by id")
+        .sql_ref()
+        .query_ref("select id, name, appliance, compute from memberships order by id")
         .expect("memberships query");
     format!("Table III. The Memberships table\n{}", result.render_ascii())
 }
@@ -1166,6 +1168,191 @@ pub fn trace_overhead_full() -> String {
     trace_overhead(false)
 }
 
+// ---------------------------------------------------------------------
+// Durable cluster database (`reproduce db`, BENCH_db.json)
+// ---------------------------------------------------------------------
+
+/// One scale point of the durability benchmark.
+#[derive(Debug, Clone)]
+pub struct DbDurabilitySample {
+    /// Rows loaded (100 rows per committed transaction).
+    pub rows: usize,
+    /// Transactions committed to load them.
+    pub commits: u64,
+    /// Committed transactions per wall-clock second during the load.
+    pub commits_per_sec: f64,
+    /// Reopen time after a plain shutdown: snapshot load plus WAL tail
+    /// replay (auto-checkpoints during the load bound the tail).
+    pub replay_ms: f64,
+    /// Commits the reopen actually replayed from the WAL tail.
+    pub replayed_commits: u64,
+    /// Explicit full-checkpoint time at this scale.
+    pub checkpoint_ms: f64,
+    /// Reopen time when the log is empty (pure snapshot load).
+    pub replay_after_checkpoint_ms: f64,
+}
+
+/// Everything `reproduce db` measured, renderable as `BENCH_db.json`.
+#[derive(Debug, Clone)]
+pub struct DbDurabilitySnapshot {
+    /// Whether the quick (CI-sized) variant ran.
+    pub quick: bool,
+    /// One sample per row scale.
+    pub samples: Vec<DbDurabilitySample>,
+    /// Seeded workloads swept by the crash-point injector.
+    pub sweep_seeds: u64,
+    /// Distinct kill points exercised (each one a full recovery).
+    pub sweep_crash_points: u64,
+    /// Recovery-invariant violations across the sweep (must be 0).
+    pub sweep_violations: usize,
+}
+
+impl DbDurabilitySnapshot {
+    /// Render as the `BENCH_db.json` document.
+    pub fn to_json(&self) -> String {
+        let samples = self
+            .samples
+            .iter()
+            .map(|s| {
+                format!(
+                    "    {{\"rows\": {}, \"commits\": {}, \"commits_per_sec\": {:.0}, \"replay_ms\": {:.2}, \"replayed_commits\": {}, \"checkpoint_ms\": {:.2}, \"replay_after_checkpoint_ms\": {:.2}}}",
+                    s.rows,
+                    s.commits,
+                    s.commits_per_sec,
+                    s.replay_ms,
+                    s.replayed_commits,
+                    s.checkpoint_ms,
+                    s.replay_after_checkpoint_ms,
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!(
+            "{{\n  \"experiment\": \"db_durability\",\n  \"quick\": {},\n  \"samples\": [\n{samples}\n  ],\n  \"crash_sweep\": {{\"seeds\": {}, \"crash_points\": {}, \"violations\": {}}}\n}}\n",
+            self.quick, self.sweep_seeds, self.sweep_crash_points, self.sweep_violations,
+        )
+    }
+}
+
+/// Load `rows` rows in 100-row transactions against a fresh durable
+/// engine and measure commit throughput, reopen (recovery) time, and
+/// checkpoint cost. The recovered state is verified against the
+/// pre-shutdown fingerprint before any number is reported.
+pub fn measure_db_scale(rows: usize) -> DbDurabilitySample {
+    use rocks_sql::durable::DurableDatabase;
+    use rocks_sql::MemVfs;
+
+    let vfs = MemVfs::new();
+    let mut db = DurableDatabase::open(&vfs).expect("fresh open");
+    db.execute("create table nodes (id int, name text, membership int, rack int)").expect("schema");
+
+    let batch = 100usize;
+    let commits = (rows / batch) as u64;
+    let start = std::time::Instant::now();
+    for c in 0..commits {
+        db.begin().expect("begin");
+        for i in 0..batch {
+            let id = c as usize * batch + i;
+            db.execute(&format!(
+                "insert into nodes values ({id}, 'node-{id}', {}, {})",
+                id % 5,
+                id % 32
+            ))
+            .expect("insert");
+        }
+        db.commit().expect("commit");
+    }
+    let commits_per_sec = commits as f64 / start.elapsed().as_secs_f64().max(1e-9);
+    let fingerprint = db.state_fingerprint();
+    drop(db);
+
+    let t = std::time::Instant::now();
+    let mut db = DurableDatabase::open(&vfs).expect("reopen");
+    let replay_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(db.state_fingerprint(), fingerprint, "recovery lost state at {rows} rows");
+    let replayed_commits = db.recovery_report().commits_replayed;
+
+    let t = std::time::Instant::now();
+    db.checkpoint().expect("checkpoint");
+    let checkpoint_ms = t.elapsed().as_secs_f64() * 1e3;
+    drop(db);
+
+    let t = std::time::Instant::now();
+    let db = DurableDatabase::open(&vfs).expect("reopen after checkpoint");
+    let replay_after_checkpoint_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(db.state_fingerprint(), fingerprint);
+    assert_eq!(db.recovery_report().commits_replayed, 0, "checkpoint left WAL work behind");
+
+    DbDurabilitySample {
+        rows,
+        commits,
+        commits_per_sec,
+        replay_ms,
+        replayed_commits,
+        checkpoint_ms,
+        replay_after_checkpoint_ms,
+    }
+}
+
+/// The full measurement: throughput/recovery samples at each scale plus
+/// a crash-point sweep (every mutating disk op of each seeded workload
+/// is a kill point; each survivor is recovered and checked).
+pub fn measure_db_durability(quick: bool) -> DbDurabilitySnapshot {
+    let scales: &[usize] = if quick { &[10_000] } else { &[10_000, 100_000] };
+    let samples = scales.iter().map(|&rows| measure_db_scale(rows)).collect();
+    let seeds = if quick { 2 } else { 6 };
+    let sweep = rocks_sql::crashtest::sweep(0xD0_0DAD, seeds);
+    DbDurabilitySnapshot {
+        quick,
+        samples,
+        sweep_seeds: sweep.seeds,
+        sweep_crash_points: sweep.crash_points,
+        sweep_violations: sweep.violations.len(),
+    }
+}
+
+/// Durability experiment for `reproduce`: writes `BENCH_db.json` and
+/// reports the table. Violations render loudly — each one names its
+/// seed and kill point for exact replay.
+pub fn db_durability(quick: bool) -> String {
+    let snap = measure_db_durability(quick);
+    let json = snap.to_json();
+    let written = match std::fs::write("BENCH_db.json", &json) {
+        Ok(()) => "snapshot written to BENCH_db.json".to_string(),
+        Err(e) => format!("snapshot NOT written: {e}"),
+    };
+    let verdict = if snap.sweep_violations == 0 {
+        "all recovery invariants held".to_string()
+    } else {
+        format!("*** {} RECOVERY VIOLATION(S) ***", snap.sweep_violations)
+    };
+    let mut rows = String::new();
+    for s in &snap.samples {
+        rows.push_str(&format!(
+            "{:>8} | {:>12.0} | {:>9.2} ({:>3} commits) | {:>10.2} | {:>13.2}\n",
+            s.rows,
+            s.commits_per_sec,
+            s.replay_ms,
+            s.replayed_commits,
+            s.checkpoint_ms,
+            s.replay_after_checkpoint_ms,
+        ));
+    }
+    format!(
+        "durable cluster database: WAL commit throughput and recovery\n\
+         rows     | commits/sec  | reopen ms (tail replay) | chkpt ms   | snap-only ms\n\
+         {rows}\
+         crash sweep: {} seeds, {} kill points — {}\n\
+         {written}\n",
+        snap.sweep_seeds, snap.sweep_crash_points, verdict,
+    )
+}
+
+/// `reproduce db` without flags: the full two-scale measurement.
+pub fn db_durability_full() -> String {
+    db_durability(false)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1485,6 +1672,33 @@ mod tests {
             "\"diff_checked\"",
             "\"wall_ms\"",
             "\"scenarios_per_sec\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in\n{json}");
+        }
+    }
+
+    #[test]
+    fn db_durability_quick_snapshot_has_schema() {
+        let snap = measure_db_durability(true);
+        assert_eq!(snap.sweep_violations, 0, "crash sweep violated recovery invariants");
+        assert!(snap.sweep_crash_points > 100);
+        assert_eq!(snap.samples.len(), 1);
+        assert!(snap.samples[0].commits_per_sec > 0.0);
+        let json = snap.to_json();
+        for key in [
+            "\"experiment\": \"db_durability\"",
+            "\"quick\": true",
+            "\"samples\"",
+            "\"rows\": 10000",
+            "\"commits\": 100",
+            "\"commits_per_sec\"",
+            "\"replay_ms\"",
+            "\"replayed_commits\"",
+            "\"checkpoint_ms\"",
+            "\"replay_after_checkpoint_ms\"",
+            "\"crash_sweep\"",
+            "\"crash_points\"",
+            "\"violations\": 0",
         ] {
             assert!(json.contains(key), "missing {key} in\n{json}");
         }

@@ -103,7 +103,7 @@ impl Cluster {
         );
         // SQL planner counters land in the same registry as everything
         // else (one ledger per cluster).
-        db.sql().bind_stats_registry(kickstart.registry());
+        db.bind_stats_registry(kickstart.registry());
 
         let mut nfs = NfsServer::new();
         nfs.export("/export/home", "10.");
@@ -366,15 +366,18 @@ impl Cluster {
         compute: bool,
     ) -> Result<i64> {
         // Appliance row: next free id in the appliances table.
-        let next_appliance =
-            self.db.sql().query("select max(id) from appliances")?.rows[0][0].as_int().unwrap_or(0)
-                + 1;
-        self.db.sql().execute(&format!(
+        let next_appliance = self.db.sql_ref().query_ref("select max(id) from appliances")?.rows[0]
+            [0]
+        .as_int()
+        .unwrap_or(0)
+            + 1;
+        self.db.execute_raw(&format!(
             "insert into appliances values ({next_appliance}, '{}', '{}')",
             rocks_db::sql_escape(membership_name),
             rocks_db::sql_escape(graph_root),
         ))?;
-        let next_membership = self.db.sql().query("select max(id) from memberships")?.rows[0][0]
+        let next_membership = self.db.sql_ref().query_ref("select max(id) from memberships")?.rows
+            [0][0]
             .as_int()
             .unwrap_or(0)
             + 1;

@@ -31,13 +31,15 @@ pub fn cluster_fork(
 /// membership, per rack — the at-a-glance view administrators keep in a
 /// terminal. Rendered the way the `mysql` client would.
 pub fn cluster_status(cluster: &mut Cluster) -> Result<String> {
-    let by_membership = cluster.db.sql().query(
+    let by_membership = cluster.db.sql_ref().query_ref(
         "select memberships.name, count(*) from nodes, memberships \
          where nodes.membership = memberships.id \
          group by memberships.name order by memberships.name",
     )?;
-    let by_rack =
-        cluster.db.sql().query("select rack, count(*) from nodes group by rack order by rack")?;
+    let by_rack = cluster
+        .db
+        .sql_ref()
+        .query_ref("select rack, count(*) from nodes group by rack order by rack")?;
     Ok(format!(
         "nodes by membership:\n{}\nnodes by rack:\n{}",
         by_membership.render_ascii(),

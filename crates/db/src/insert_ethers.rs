@@ -109,7 +109,7 @@ pub fn replace_node(db: &mut ClusterDb, name: &str, new_mac: &str) -> Result<Nod
             return Err(DbError::DuplicateMac(new_mac.to_string()));
         }
     }
-    db.sql().execute(&format!(
+    db.execute_raw(&format!(
         "update nodes set mac = '{}' where name = '{}'",
         crate::sql_escape(new_mac),
         crate::sql_escape(name)
@@ -238,8 +238,10 @@ mod tests {
         assert_eq!(replaced.mac, mac(99));
 
         // The old MAC is gone; the new one answers.
-        let rows =
-            db.sql().query(&format!("select name from nodes where mac = '{}'", mac(1))).unwrap();
+        let rows = db
+            .sql_ref()
+            .query_ref(&format!("select name from nodes where mac = '{}'", mac(1)))
+            .unwrap();
         assert!(rows.rows.is_empty());
     }
 

@@ -29,13 +29,17 @@ pub use insert_ethers::{DhcpRequest, InsertEthers};
 pub use ip::Ipv4;
 pub use schema::{Membership, NodeRecord, DEFAULT_MEMBERSHIPS};
 
-use rocks_sql::{Database, SqlError, Value};
+use rocks_sql::{Database, DurableDatabase, DurableError, RecoveryReport, SqlError, Value, Vfs};
+use rocks_trace::{Registry, Tracer};
 
 /// Errors from cluster-database operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DbError {
     /// Underlying SQL failure.
     Sql(SqlError),
+    /// Storage-engine failure (durable mode only): disk, recovery, or
+    /// transaction misuse.
+    Storage(DurableError),
     /// Unknown membership id or name.
     NoSuchMembership(String),
     /// Duplicate MAC address registration.
@@ -52,10 +56,21 @@ impl From<SqlError> for DbError {
     }
 }
 
+impl From<DurableError> for DbError {
+    fn from(e: DurableError) -> Self {
+        // Plain statement failures surface identically in both modes.
+        match e {
+            DurableError::Sql(e) => DbError::Sql(e),
+            other => DbError::Storage(other),
+        }
+    }
+}
+
 impl std::fmt::Display for DbError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DbError::Sql(e) => write!(f, "sql: {e}"),
+            DbError::Storage(e) => write!(f, "storage: {e}"),
             DbError::NoSuchMembership(m) => write!(f, "no such membership: {m}"),
             DbError::DuplicateMac(m) => write!(f, "MAC already registered: {m}"),
             DbError::NoFreeAddress => write!(f, "no free IP address in the cluster network"),
@@ -80,10 +95,36 @@ pub type Result<T> = std::result::Result<T, DbError>;
 ///
 /// [`revision`]: Self::revision
 /// [`sql`]: Self::sql
-#[derive(Debug, Clone)]
+#[derive(Debug)]
+enum Store {
+    /// The default volatile engine.
+    Memory(Database),
+    /// WAL + checkpoint storage: state survives a restart (or crash) of
+    /// the frontend.
+    Durable(Box<DurableDatabase>),
+}
+
+/// See the [crate docs](crate) and [`Store`].
+#[derive(Debug)]
 pub struct ClusterDb {
-    db: Database,
+    store: Store,
     revision: u64,
+    /// Memory-mode transaction state: the image and revision saved at
+    /// `begin_txn`. (Durable mode keeps its own inside the engine.)
+    mem_txn: Option<(Database, u64)>,
+}
+
+impl Clone for ClusterDb {
+    /// Cloning always yields a *detached in-memory* database with the
+    /// same contents and revision: simulation fan-out wants cheap
+    /// independent copies, never two writers of one WAL.
+    fn clone(&self) -> Self {
+        ClusterDb {
+            store: Store::Memory(self.sql_ref().clone()),
+            revision: self.revision,
+            mem_txn: None,
+        }
+    }
 }
 
 impl Default for ClusterDb {
@@ -98,7 +139,150 @@ impl ClusterDb {
     pub fn new() -> Self {
         let mut db = Database::new();
         schema::create_schema(&mut db);
-        ClusterDb { db, revision: 0 }
+        ClusterDb { store: Store::Memory(db), revision: 0, mem_txn: None }
+    }
+
+    /// Open (or create) a durable cluster database on `vfs`. A fresh
+    /// store is seeded with the Rocks schema in one transaction; an
+    /// existing one is recovered — revision counter included — from its
+    /// snapshot and log.
+    pub fn open_durable(vfs: &dyn Vfs) -> Result<Self> {
+        Self::open_durable_with_tracer(vfs, Tracer::disabled())
+    }
+
+    /// [`open_durable`](Self::open_durable) with storage telemetry
+    /// flowing into `tracer`.
+    pub fn open_durable_with_tracer(vfs: &dyn Vfs, tracer: Tracer) -> Result<Self> {
+        let mut d = DurableDatabase::open_with_tracer(vfs, tracer).map_err(DbError::from)?;
+        let fresh = d.seq() == 0 && d.reader().table_names().is_empty();
+        if fresh {
+            d.set_revision(0);
+            d.begin().map_err(DbError::from)?;
+            for stmt in schema::schema_statements() {
+                d.execute(&stmt).map_err(DbError::from)?;
+            }
+            d.commit().map_err(DbError::from)?;
+        }
+        let revision = d.revision();
+        Ok(ClusterDb { store: Store::Durable(Box::new(d)), revision, mem_txn: None })
+    }
+
+    /// True when backed by the durable engine.
+    pub fn is_durable(&self) -> bool {
+        matches!(self.store, Store::Durable(_))
+    }
+
+    /// What open-time recovery found and did (durable mode only).
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        match &self.store {
+            Store::Memory(_) => None,
+            Store::Durable(d) => Some(d.recovery_report()),
+        }
+    }
+
+    /// Force a checkpoint (durable mode; a no-op in memory mode).
+    pub fn checkpoint(&mut self) -> Result<()> {
+        match &mut self.store {
+            Store::Memory(_) => Ok(()),
+            Store::Durable(d) => Ok(d.checkpoint()?),
+        }
+    }
+
+    /// Route all query/storage counters into `registry`. Not a write:
+    /// the revision is untouched.
+    pub fn bind_stats_registry(&mut self, registry: &Registry) {
+        match &mut self.store {
+            Store::Memory(db) => db.bind_stats_registry(registry),
+            Store::Durable(d) => d.bind_stats_registry(registry),
+        }
+    }
+
+    /// Execute one raw SQL write in whichever store backs this database,
+    /// bumping the revision. This is the mode-agnostic form of
+    /// [`sql`](Self::sql) for tools that issue statement text.
+    pub fn execute_raw(&mut self, sql: &str) -> Result<()> {
+        self.exec(sql)
+    }
+
+    /// Run `sql` against the store, bumping the revision first so a
+    /// durable commit journals the post-write revision.
+    fn exec(&mut self, sql: &str) -> Result<()> {
+        self.revision += 1;
+        match &mut self.store {
+            Store::Memory(db) => {
+                db.execute(sql)?;
+            }
+            Store::Durable(d) => {
+                d.set_revision(self.revision);
+                d.execute(sql)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Open an explicit transaction. Writes until
+    /// [`commit_txn`](Self::commit_txn) apply (and, in durable mode,
+    /// become durable) together; [`rollback_txn`](Self::rollback_txn)
+    /// undoes all of them.
+    pub fn begin_txn(&mut self) -> Result<()> {
+        match &mut self.store {
+            Store::Memory(db) => {
+                if self.mem_txn.is_some() {
+                    return Err(DbError::Storage(DurableError::Txn(
+                        "transaction already open".into(),
+                    )));
+                }
+                self.mem_txn = Some((db.clone(), self.revision));
+                Ok(())
+            }
+            Store::Durable(d) => Ok(d.begin()?),
+        }
+    }
+
+    /// Commit the open transaction.
+    pub fn commit_txn(&mut self) -> Result<()> {
+        match &mut self.store {
+            Store::Memory(_) => {
+                self.mem_txn.take().ok_or_else(|| {
+                    DbError::Storage(DurableError::Txn("no open transaction".into()))
+                })?;
+                Ok(())
+            }
+            Store::Durable(d) => Ok(d.commit()?),
+        }
+    }
+
+    /// Roll the open transaction back. The database contents return to
+    /// their pre-transaction state, but the revision moves strictly
+    /// *forward* past every provisional value handed out inside the
+    /// transaction — caches may have keyed entries on those revisions
+    /// against rolled-back contents, and a revision that never repeats is
+    /// what keeps such entries unreachable forever.
+    pub fn rollback_txn(&mut self) -> Result<()> {
+        match &mut self.store {
+            Store::Memory(db) => {
+                let (saved, _) = self.mem_txn.take().ok_or_else(|| {
+                    DbError::Storage(DurableError::Txn("no open transaction".into()))
+                })?;
+                *db = saved;
+            }
+            Store::Durable(d) => {
+                d.rollback()?;
+            }
+        }
+        self.revision += 1;
+        if let Store::Durable(d) = &mut self.store {
+            d.set_revision(self.revision);
+        }
+        Ok(())
+    }
+
+    /// True while an explicit transaction is open.
+    pub fn in_txn(&self) -> bool {
+        match &self.store {
+            Store::Memory(_) => self.mem_txn.is_some(),
+            Store::Durable(d) => d.in_txn(),
+        }
     }
 
     /// The mutation counter. Strictly increases on every write (typed or
@@ -115,29 +299,43 @@ impl ClusterDb {
     /// writes — may run, so the revision is bumped conservatively. Use
     /// [`sql_ref`](Self::sql_ref) for queries that must not invalidate
     /// caches.
+    ///
+    /// # Panics
+    ///
+    /// In durable mode: statements that bypass the journal would be
+    /// silently lost on restart. Use [`execute_raw`](Self::execute_raw)
+    /// for writes and [`sql_ref`](Self::sql_ref) for queries instead.
     pub fn sql(&mut self) -> &mut Database {
         self.revision += 1;
-        &mut self.db
+        match &mut self.store {
+            Store::Memory(db) => db,
+            Store::Durable(_) => panic!(
+                "ClusterDb::sql() bypasses the write-ahead log; durable mode requires \
+                 execute_raw() for writes or sql_ref() for queries"
+            ),
+        }
     }
 
     /// Shared read-only SQL access: `SELECT` only, callable from any
     /// number of threads at once, never bumps the revision. This is the
     /// read path the parallel Kickstart generation workers use.
     pub fn sql_ref(&self) -> &Database {
-        &self.db
+        match &self.store {
+            Store::Memory(db) => db,
+            Store::Durable(d) => d.reader(),
+        }
     }
 
     /// Run a query and return the first column as strings: the exact
     /// contract of the `--query` flag in §6.4. Read-only — shareable
     /// across threads.
     pub fn query_names(&self, sql: &str) -> Result<Vec<String>> {
-        Ok(self.db.query_column_ref(sql)?)
+        Ok(self.sql_ref().query_column_ref(sql)?)
     }
 
     /// Register a membership (appliance class) and return its id.
     pub fn add_membership(&mut self, m: &Membership) -> Result<()> {
-        self.revision += 1;
-        self.db.execute(&format!(
+        self.exec(&format!(
             "insert into memberships values ({}, '{}', {}, '{}', '{}')",
             m.id,
             sql_escape(&m.name),
@@ -151,14 +349,14 @@ impl ClusterDb {
     /// Look up a membership by id. Read-only: an indexed point lookup
     /// through [`rocks_sql::Database::lookup_eq`], no SQL text involved.
     pub fn membership(&self, id: i64) -> Result<Membership> {
-        let result = self.db.lookup_eq("memberships", "id", &Value::Int(id))?;
+        let result = self.sql_ref().lookup_eq("memberships", "id", &Value::Int(id))?;
         let row = result.rows.first().ok_or(DbError::NoSuchMembership(id.to_string()))?;
         Ok(Membership::from_row(row))
     }
 
     /// Look up a membership by (case-insensitive) name. Read-only.
     pub fn membership_by_name(&self, name: &str) -> Result<Membership> {
-        let result = self.db.query_ref("select * from memberships")?;
+        let result = self.sql_ref().query_ref("select * from memberships")?;
         result
             .rows
             .iter()
@@ -169,7 +367,7 @@ impl ClusterDb {
 
     /// All memberships, ordered by id. Read-only.
     pub fn memberships(&self) -> Result<Vec<Membership>> {
-        let result = self.db.query_ref("select * from memberships order by id")?;
+        let result = self.sql_ref().query_ref("select * from memberships order by id")?;
         Ok(result.rows.iter().map(|r| Membership::from_row(r)).collect())
     }
 
@@ -183,8 +381,7 @@ impl ClusterDb {
             Some(c) => format!("'{}'", sql_escape(c)),
             None => "NULL".to_string(),
         };
-        self.revision += 1;
-        self.db.execute(&format!(
+        self.exec(&format!(
             "insert into nodes values ({}, '{}', '{}', {}, {}, {}, '{}', {})",
             node.id,
             sql_escape(&node.mac),
@@ -200,13 +397,13 @@ impl ClusterDb {
 
     /// All nodes ordered by id. Read-only.
     pub fn nodes(&self) -> Result<Vec<NodeRecord>> {
-        let result = self.db.query_ref("select * from nodes order by id")?;
+        let result = self.sql_ref().query_ref("select * from nodes order by id")?;
         Ok(result.rows.iter().map(|r| NodeRecord::from_row(r)).collect())
     }
 
     /// A node by name. Read-only indexed lookup.
     pub fn node_by_name(&self, name: &str) -> Result<NodeRecord> {
-        let result = self.db.lookup_eq("nodes", "name", &Value::Text(name.to_string()))?;
+        let result = self.sql_ref().lookup_eq("nodes", "name", &Value::Text(name.to_string()))?;
         let row = result.rows.first().ok_or_else(|| DbError::NoSuchNode(name.to_string()))?;
         Ok(NodeRecord::from_row(row))
     }
@@ -217,7 +414,7 @@ impl ClusterDb {
     /// the hash index on `nodes.ip` makes each probe O(1) instead of a
     /// table scan per request.
     pub fn node_by_ip(&self, ip: &str) -> Result<NodeRecord> {
-        let result = self.db.lookup_eq("nodes", "ip", &Value::Text(ip.to_string()))?;
+        let result = self.sql_ref().lookup_eq("nodes", "ip", &Value::Text(ip.to_string()))?;
         let row = result.rows.first().ok_or_else(|| DbError::NoSuchNode(ip.to_string()))?;
         Ok(NodeRecord::from_row(row))
     }
@@ -227,7 +424,7 @@ impl ClusterDb {
     /// probe, which must not bump the revision (a rebooting installed
     /// node would otherwise invalidate every cached profile).
     pub fn node_by_mac(&self, mac: &str) -> Result<Option<NodeRecord>> {
-        let result = self.db.lookup_eq("nodes", "mac", &Value::Text(mac.to_string()))?;
+        let result = self.sql_ref().lookup_eq("nodes", "mac", &Value::Text(mac.to_string()))?;
         Ok(result.rows.first().map(|r| NodeRecord::from_row(r)))
     }
 
@@ -235,7 +432,7 @@ impl ClusterDb {
     /// `None` when the appliance is tracked but not kickstartable
     /// (switches, PDUs). Read-only.
     pub fn appliance_root(&self, appliance: i64) -> Result<Option<String>> {
-        let result = self.db.lookup_eq("appliances", "id", &Value::Int(appliance))?;
+        let result = self.sql_ref().lookup_eq("appliances", "id", &Value::Int(appliance))?;
         // Column 2 is `graph_node`; empty means "tracked, not kickstartable".
         Ok(result.rows.first().map(|r| r[2].render()).filter(|r| !r.is_empty()))
     }
@@ -243,7 +440,7 @@ impl ClusterDb {
     /// Nodes whose membership is flagged `compute = 'yes'` — the join the
     /// paper demonstrates (§6.4). Read-only.
     pub fn compute_nodes(&self) -> Result<Vec<NodeRecord>> {
-        let result = self.db.query_ref(
+        let result = self.sql_ref().query_ref(
             "select nodes.id, nodes.mac, nodes.name, nodes.membership, nodes.rack, \
              nodes.rank, nodes.ip, nodes.comment \
              from nodes, memberships \
@@ -255,7 +452,7 @@ impl ClusterDb {
 
     /// Next unused node id. Read-only.
     pub fn next_node_id(&self) -> Result<i64> {
-        let result = self.db.query_ref("select max(id) from nodes")?;
+        let result = self.sql_ref().query_ref("select max(id) from nodes")?;
         Ok(match result.rows[0][0] {
             Value::Int(n) => n + 1,
             _ => 1,
@@ -265,34 +462,56 @@ impl ClusterDb {
     /// Highest rank already used in `(membership, rack)`, or None.
     /// Read-only.
     pub fn max_rank(&self, membership: i64, rack: i64) -> Result<Option<i64>> {
-        let result = self.db.query_ref(&format!(
+        let result = self.sql_ref().query_ref(&format!(
             "select max(rank) from nodes where membership = {membership} and rack = {rack}"
         ))?;
         Ok(result.rows[0][0].as_int())
     }
 
     /// Set a site-global key (the "site-specific configuration table").
+    /// The delete + insert pair is one logical write: in durable mode it
+    /// runs inside a transaction so a crash between the two statements
+    /// cannot resurrect a key half-set.
     pub fn set_global(&mut self, key: &str, value: &str) -> Result<()> {
-        self.revision += 1;
-        self.db.execute(&format!("delete from app_globals where name = '{}'", sql_escape(key)))?;
-        self.db.execute(&format!(
+        let delete = format!("delete from app_globals where name = '{}'", sql_escape(key));
+        let insert = format!(
             "insert into app_globals values ('{}', '{}')",
             sql_escape(key),
             sql_escape(value)
-        ))?;
+        );
+        self.revision += 1;
+        match &mut self.store {
+            Store::Memory(db) => {
+                db.execute(&delete)?;
+                db.execute(&insert)?;
+            }
+            Store::Durable(d) => {
+                d.set_revision(self.revision);
+                let wrap = !d.in_txn();
+                if wrap {
+                    d.begin()?;
+                }
+                d.execute(&delete)?;
+                d.execute(&insert)?;
+                if wrap {
+                    d.commit()?;
+                }
+            }
+        }
         Ok(())
     }
 
     /// Read a site-global key. Read-only indexed lookup.
     pub fn global(&self, key: &str) -> Result<Option<String>> {
-        let result = self.db.lookup_eq("app_globals", "name", &Value::Text(key.to_string()))?;
+        let result =
+            self.sql_ref().lookup_eq("app_globals", "name", &Value::Text(key.to_string()))?;
         // Column 1 is `value`.
         Ok(result.rows.first().map(|r| r[1].render()))
     }
 
     /// All IPs currently assigned. Read-only.
     pub fn used_ips(&self) -> Result<Vec<Ipv4>> {
-        let result = self.db.query_ref("select ip from nodes")?;
+        let result = self.sql_ref().query_ref("select ip from nodes")?;
         Ok(result.rows.iter().filter_map(|r| r[0].as_text().and_then(Ipv4::parse)).collect())
     }
 

@@ -111,28 +111,27 @@ pub const DEFAULT_MEMBERSHIPS: &[(i64, &str, i64, bool, &str)] = &[
     (6, "Power Units", 5, false, "power"),
 ];
 
-/// Create the Rocks tables and seed Table III's memberships.
-pub fn create_schema(db: &mut Database) {
-    db.execute(
+/// The DDL and seed statements that build the Rocks schema, in
+/// execution order. Shared by the in-memory and durable open paths (the
+/// durable path journals them like any other transaction, so a replayed
+/// frontend rebuilds the identical schema).
+pub fn schema_statements() -> Vec<String> {
+    let mut stmts = vec![
         "create table nodes (id int, mac text, name text, membership int, \
-         rack int, rank int, ip text, comment text)",
-    )
-    .expect("nodes schema");
-    db.execute(
+         rack int, rank int, ip text, comment text)"
+            .to_string(),
         "create table memberships (id int, name text, appliance int, \
-         compute text, basename text)",
-    )
-    .expect("memberships schema");
-    db.execute("create table appliances (id int, name text, graph_node text)")
-        .expect("appliances schema");
-    db.execute("create table app_globals (name text, value text)").expect("app_globals schema");
+         compute text, basename text)"
+            .to_string(),
+        "create table appliances (id int, name text, graph_node text)".to_string(),
+        "create table app_globals (name text, value text)".to_string(),
+    ];
 
     for (id, name, appliance, compute, basename) in DEFAULT_MEMBERSHIPS {
-        db.execute(&format!(
+        stmts.push(format!(
             "insert into memberships values ({id}, '{name}', {appliance}, '{}', '{basename}')",
             if *compute { "yes" } else { "no" },
-        ))
-        .expect("seed membership");
+        ));
     }
 
     // Appliances: graph roots (paper Figure 4 shows `compute` and
@@ -145,8 +144,15 @@ pub fn create_schema(db: &mut Database) {
         (4, "switch", ""),
         (5, "power", ""),
     ] {
-        db.execute(&format!("insert into appliances values ({id}, '{name}', '{graph_node}')"))
-            .expect("seed appliance");
+        stmts.push(format!("insert into appliances values ({id}, '{name}', '{graph_node}')"));
+    }
+    stmts
+}
+
+/// Create the Rocks tables and seed Table III's memberships.
+pub fn create_schema(db: &mut Database) {
+    for stmt in schema_statements() {
+        db.execute(&stmt).expect("schema statement");
     }
 }
 

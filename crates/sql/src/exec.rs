@@ -91,11 +91,20 @@ pub fn execute(db: &mut Database, stmt: Statement) -> Result<ExecOutcome> {
         Statement::Insert { table, columns, rows } => {
             let t = db.table_mut(&table).ok_or(SqlError::NoSuchTable(table))?;
             let affected = rows.len();
-            for row in rows {
-                match &columns {
-                    Some(names) => t.insert_named(names, row)?,
-                    None => t.insert_row(row)?,
-                }
+            // Stage (validate + coerce) every row before appending any, so
+            // a mid-statement type error leaves the table untouched. The
+            // durable engine journals whole statements and replays them on
+            // recovery; that is only sound if failed statements have no
+            // effect.
+            let staged = rows
+                .into_iter()
+                .map(|row| match &columns {
+                    Some(names) => t.stage_named(names, row),
+                    None => t.stage_row(row),
+                })
+                .collect::<Result<Vec<_>>>()?;
+            for row in staged {
+                t.append_staged(row);
             }
             Ok(ExecOutcome::Written { affected })
         }

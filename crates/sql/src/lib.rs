@@ -39,18 +39,29 @@
 //! ```
 
 pub mod ast;
+pub mod btree;
+pub(crate) mod codec;
+pub mod crashtest;
+pub mod disk;
+pub mod durable;
 pub mod exec;
 pub mod index;
 pub mod lexer;
+pub mod pager;
 pub mod parser;
 pub mod plan;
+pub mod recovery;
 pub mod table;
 pub mod value;
+pub mod wal;
 
 pub use ast::Statement;
+pub use disk::{CrashPlan, DiskError, DiskFile, FileVfs, MemVfs, Vfs};
+pub use durable::{DurableDatabase, DurableError};
 pub use exec::{ExecOutcome, QueryResult};
 pub use index::HashIndex;
 pub use plan::SelectPlan;
+pub use recovery::{RecoveryError, RecoveryReport};
 pub use table::{Column, ColumnType, Table};
 pub use value::Value;
 
@@ -425,6 +436,20 @@ impl Database {
     /// Names of all tables, sorted.
     pub fn table_names(&self) -> Vec<&str> {
         self.tables.values().map(|t| t.name()).collect()
+    }
+
+    /// The current schema generation: bumped on every CREATE/DROP TABLE.
+    /// The durable engine journals it with each commit and restores it on
+    /// recovery so plan-cache keys survive a restart coherently.
+    pub fn schema_generation(&self) -> u64 {
+        self.schema_gen
+    }
+
+    /// Restore the schema generation recorded by a checkpoint or commit
+    /// record (recovery only — the replayed CREATE TABLE statements bump
+    /// the counter from zero, and this realigns it with the journal).
+    pub(crate) fn set_schema_generation(&mut self, schema_gen: u64) {
+        self.schema_gen = schema_gen;
     }
 }
 

@@ -1,0 +1,444 @@
+//! The pager: page-granular snapshot storage with a double-buffered
+//! header, the physical half of the storage engine.
+//!
+//! The data file holds two fixed header slots followed by page-aligned
+//! snapshot regions:
+//!
+//! ```text
+//! [0    .. 2048)  header slot 0
+//! [2048 .. 4096)  header slot 1
+//! [4096 ..    )   snapshot page runs (4096-byte pages, CRC-prefixed)
+//! ```
+//!
+//! A checkpoint is shadow-written: the complete new snapshot goes to a
+//! region that does not overlap the live one (the front of the file when
+//! possible, otherwise appended), is synced, and only then is the older
+//! header slot overwritten with a higher generation number — the atomic
+//! commit point. Recovery reads both slots and trusts whichever has a
+//! valid CRC and the higher generation, so a crash at any write boundary
+//! leaves either the old snapshot or the new one fully intact, never a
+//! blend. After the flip the file is truncated to the end of the new
+//! region, which is what keeps the file from growing without bound
+//! (checkpoint *compaction*).
+
+use crate::codec::{self, Reader};
+use crate::disk::{crc32, DiskError, DiskFile, DiskResult};
+use crate::recovery::RecoveryError;
+
+/// On-disk page size.
+pub const PAGE_SIZE: usize = 4096;
+/// Bytes of payload per page (4 bytes go to the page CRC).
+pub const PAGE_PAYLOAD: usize = PAGE_SIZE - 4;
+
+const HEADER_SLOT_SIZE: u64 = 2048;
+const SNAPSHOT_START: u64 = 2 * HEADER_SLOT_SIZE;
+const HEADER_MAGIC: u64 = 0x524F_434B_5344_4231; // "ROCKSDB1"
+
+/// A decoded header slot: everything needed to locate and interpret the
+/// live snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotMeta {
+    /// Monotone flip counter; the valid slot with the higher value wins.
+    pub generation: u64,
+    /// Byte offset of the snapshot's first page.
+    pub base: u64,
+    /// Number of pages in the snapshot.
+    pub pages: u32,
+    /// Page index of the first catalog page (B-tree pages come first).
+    pub catalog_page: u32,
+    /// Catalog length in bytes (spans ceil(len / PAGE_PAYLOAD) pages).
+    pub catalog_len: u32,
+    /// Highest commit sequence number folded into this snapshot; WAL
+    /// replay skips commits at or below it.
+    pub checkpoint_seq: u64,
+    /// `ClusterDb` revision at checkpoint.
+    pub revision: u64,
+    /// Schema generation at checkpoint.
+    pub schema_gen: u64,
+}
+
+fn encode_header(meta: &SnapshotMeta) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    codec::put_u64(&mut out, HEADER_MAGIC);
+    codec::put_u64(&mut out, meta.generation);
+    codec::put_u64(&mut out, meta.base);
+    codec::put_u32(&mut out, meta.pages);
+    codec::put_u32(&mut out, meta.catalog_page);
+    codec::put_u32(&mut out, meta.catalog_len);
+    codec::put_u64(&mut out, meta.checkpoint_seq);
+    codec::put_u64(&mut out, meta.revision);
+    codec::put_u64(&mut out, meta.schema_gen);
+    let crc = crc32(&out);
+    codec::put_u32(&mut out, crc);
+    out
+}
+
+fn decode_header(bytes: &[u8]) -> Option<SnapshotMeta> {
+    // Fixed layout: six u64s + three u32s = 60 bytes + 4 CRC.
+    const BODY: usize = 60;
+    if bytes.len() < BODY + 4 {
+        return None;
+    }
+    let crc = u32::from_le_bytes(bytes[BODY..BODY + 4].try_into().expect("4 bytes"));
+    if crc32(&bytes[..BODY]) != crc {
+        return None;
+    }
+    let mut r = Reader::new(&bytes[..BODY]);
+    let magic = r.u64().ok()?;
+    if magic != HEADER_MAGIC {
+        return None;
+    }
+    Some(SnapshotMeta {
+        generation: r.u64().ok()?,
+        base: r.u64().ok()?,
+        pages: r.u32().ok()?,
+        catalog_page: r.u32().ok()?,
+        catalog_len: r.u32().ok()?,
+        checkpoint_seq: r.u64().ok()?,
+        revision: r.u64().ok()?,
+        schema_gen: r.u64().ok()?,
+    })
+}
+
+/// Accumulates the pages of a snapshot being built; nothing touches the
+/// disk until [`Pager::write_snapshot`].
+#[derive(Debug, Default)]
+pub struct SnapshotWriter {
+    pages: Vec<Vec<u8>>,
+}
+
+impl SnapshotWriter {
+    /// An empty snapshot under construction.
+    pub fn new() -> Self {
+        SnapshotWriter::default()
+    }
+
+    /// Add one page (payload at most [`PAGE_PAYLOAD`] bytes, padded with
+    /// zeroes); returns its page id.
+    pub fn push_page(&mut self, payload: Vec<u8>) -> u32 {
+        assert!(payload.len() <= PAGE_PAYLOAD, "page payload overflow: {}", payload.len());
+        let id = self.pages.len() as u32;
+        self.pages.push(payload);
+        id
+    }
+
+    /// Pages accumulated so far.
+    pub fn page_count(&self) -> u32 {
+        self.pages.len() as u32
+    }
+}
+
+/// The pager: owns the data file and the live-snapshot bookkeeping.
+pub struct Pager {
+    file: Box<dyn DiskFile>,
+    live: Option<SnapshotMeta>,
+    /// Which slot the live header occupies (the next flip targets the
+    /// other one).
+    live_slot: u8,
+    /// File was non-empty but neither header slot decoded. Legal only
+    /// when a crash interrupted the *first* checkpoint (the WAL then
+    /// still holds the full history); the recovery layer decides.
+    headerless: bool,
+}
+
+impl std::fmt::Debug for Pager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pager")
+            .field("live", &self.live)
+            .field("live_slot", &self.live_slot)
+            .finish()
+    }
+}
+
+impl Pager {
+    /// Open the data file and locate the live snapshot, if any.
+    ///
+    /// Both-slots-invalid on a non-empty file sets
+    /// [`headerless_damage`](Self::headerless_damage) instead of erroring:
+    /// whether that state is survivable (crash before the first header
+    /// flip — the WAL still has everything) or fatal (a once-valid
+    /// snapshot was destroyed) is decided by the recovery layer, which
+    /// can see the log.
+    pub fn open(file: Box<dyn DiskFile>) -> Result<Pager, RecoveryError> {
+        let len = file.len().map_err(RecoveryError::from_disk)?;
+        if len == 0 {
+            return Ok(Pager { file, live: None, live_slot: 1, headerless: false });
+        }
+        let mut slots = [None, None];
+        for (i, slot) in slots.iter_mut().enumerate() {
+            let off = i as u64 * HEADER_SLOT_SIZE;
+            if len >= off + HEADER_SLOT_SIZE {
+                let mut buf = vec![0u8; HEADER_SLOT_SIZE as usize];
+                file.read_exact_at(off, &mut buf).map_err(RecoveryError::from_disk)?;
+                *slot = decode_header(&buf);
+            }
+        }
+        let (live_slot, live) = match (slots[0], slots[1]) {
+            (Some(a), Some(b)) => {
+                if a.generation >= b.generation {
+                    (0, Some(a))
+                } else {
+                    (1, Some(b))
+                }
+            }
+            (Some(a), None) => (0, Some(a)),
+            (None, Some(b)) => (1, Some(b)),
+            (None, None) => {
+                return Ok(Pager { file, live: None, live_slot: 1, headerless: true });
+            }
+        };
+        Ok(Pager { file, live, live_slot, headerless: false })
+    }
+
+    /// The live snapshot's metadata, if a checkpoint has ever completed.
+    pub fn live(&self) -> Option<&SnapshotMeta> {
+        self.live.as_ref()
+    }
+
+    /// True when the file was non-empty but held no valid header (see
+    /// [`open`](Self::open)).
+    pub fn headerless_damage(&self) -> bool {
+        self.headerless
+    }
+
+    /// Repair a headerless file by erasing it back to emptiness, making
+    /// recovery idempotent: once the decision to rebuild from the log is
+    /// made, the damaged half-checkpoint must not greet the next open.
+    pub fn reset_damaged(&mut self) -> DiskResult<()> {
+        self.file.truncate(0)?;
+        self.file.sync()?;
+        self.headerless = false;
+        Ok(())
+    }
+
+    /// Read and verify one page of the live snapshot.
+    pub fn read_page(&self, meta: &SnapshotMeta, page: u32) -> Result<Vec<u8>, RecoveryError> {
+        if page >= meta.pages {
+            return Err(RecoveryError::Corrupt(format!(
+                "page {page} out of range ({} pages)",
+                meta.pages
+            )));
+        }
+        let off = meta.base + page as u64 * PAGE_SIZE as u64;
+        let mut buf = vec![0u8; PAGE_SIZE];
+        self.file.read_exact_at(off, &mut buf).map_err(RecoveryError::from_disk)?;
+        let crc = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes"));
+        if crc32(&buf[4..]) != crc {
+            return Err(RecoveryError::ChecksumMismatch(format!(
+                "snapshot page {page} (offset {off}) fails its CRC"
+            )));
+        }
+        buf.drain(..4);
+        Ok(buf)
+    }
+
+    /// Reassemble the catalog bytes of the live snapshot.
+    pub fn read_catalog(&self, meta: &SnapshotMeta) -> Result<Vec<u8>, RecoveryError> {
+        let mut out = Vec::with_capacity(meta.catalog_len as usize);
+        let mut page = meta.catalog_page;
+        while out.len() < meta.catalog_len as usize {
+            let payload = self.read_page(meta, page)?;
+            let take = (meta.catalog_len as usize - out.len()).min(PAGE_PAYLOAD);
+            out.extend_from_slice(&payload[..take]);
+            page += 1;
+        }
+        Ok(out)
+    }
+
+    /// Shadow-write a complete snapshot and flip the header. On return
+    /// the new snapshot is durable and live; on a crash anywhere inside,
+    /// the previous snapshot (or fresh emptiness) is still intact.
+    pub fn write_snapshot(
+        &mut self,
+        writer: SnapshotWriter,
+        catalog_page: u32,
+        catalog_len: u32,
+        checkpoint_seq: u64,
+        revision: u64,
+        schema_gen: u64,
+    ) -> DiskResult<SnapshotMeta> {
+        let new_len = writer.pages.len() as u64 * PAGE_SIZE as u64;
+        // Shadow placement: the front region right after the headers, if
+        // the live snapshot is not in the way; otherwise right after the
+        // live region. Never overlap the live pages.
+        let base = match &self.live {
+            None => SNAPSHOT_START,
+            Some(live) => {
+                let live_end = live.base + live.pages as u64 * PAGE_SIZE as u64;
+                if live.base >= SNAPSHOT_START + new_len {
+                    SNAPSHOT_START
+                } else {
+                    live_end
+                }
+            }
+        };
+        for (i, payload) in writer.pages.iter().enumerate() {
+            let mut page = vec![0u8; PAGE_SIZE];
+            page[4..4 + payload.len()].copy_from_slice(payload);
+            let crc = crc32(&page[4..]);
+            page[..4].copy_from_slice(&crc.to_le_bytes());
+            self.file.write_at(base + i as u64 * PAGE_SIZE as u64, &page)?;
+        }
+        // Make sure the file reaches past both header slots even for an
+        // empty snapshot (zero tables is legal).
+        if self.file.len()? < SNAPSHOT_START {
+            self.file.truncate(SNAPSHOT_START)?;
+        }
+        // Barrier 1: the pages must be stable before the header can
+        // point at them.
+        self.file.sync()?;
+
+        let meta = SnapshotMeta {
+            generation: self.live.map_or(1, |l| l.generation + 1),
+            base,
+            pages: writer.pages.len() as u32,
+            catalog_page,
+            catalog_len,
+            checkpoint_seq,
+            revision,
+            schema_gen,
+        };
+        let target_slot = 1 - self.live_slot;
+        self.file.write_at(target_slot as u64 * HEADER_SLOT_SIZE, &encode_header(&meta))?;
+        // Barrier 2: the flip itself. After this sync the new snapshot
+        // is the recovery target.
+        self.file.sync()?;
+
+        // Compaction: everything past the new region is dead.
+        let end = base + new_len;
+        if self.file.len()? > end.max(SNAPSHOT_START) {
+            self.file.truncate(end.max(SNAPSHOT_START))?;
+            self.file.sync()?;
+        }
+        self.live = Some(meta);
+        self.live_slot = target_slot;
+        self.headerless = false;
+        Ok(meta)
+    }
+
+    /// Total data-file length (telemetry).
+    pub fn file_len(&self) -> DiskResult<u64> {
+        self.file.len()
+    }
+}
+
+impl RecoveryError {
+    /// Disk failures during recovery reads surface as `Corrupt` (for
+    /// out-of-range reads of a truncated file) or pass `Crashed` through
+    /// as an I/O-level corruption marker.
+    pub(crate) fn from_disk(e: DiskError) -> RecoveryError {
+        match e {
+            DiskError::OutOfBounds { .. } => {
+                RecoveryError::TornWrite(format!("snapshot read past end of file: {e}"))
+            }
+            other => RecoveryError::Corrupt(other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::{MemVfs, Vfs};
+
+    fn snapshot_of(bytes: &[u8]) -> SnapshotWriter {
+        let mut w = SnapshotWriter::new();
+        for chunk in bytes.chunks(PAGE_PAYLOAD) {
+            w.push_page(chunk.to_vec());
+        }
+        w
+    }
+
+    #[test]
+    fn header_encode_decode_round_trip() {
+        let meta = SnapshotMeta {
+            generation: 7,
+            base: 8192,
+            pages: 3,
+            catalog_page: 2,
+            catalog_len: 999,
+            checkpoint_seq: 41,
+            revision: 90,
+            schema_gen: 5,
+        };
+        let bytes = encode_header(&meta);
+        assert_eq!(decode_header(&bytes), Some(meta));
+        // Any single corrupted byte must invalidate the slot.
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert_eq!(decode_header(&bad), None, "byte {i} corruption undetected");
+        }
+    }
+
+    #[test]
+    fn fresh_file_has_no_snapshot() {
+        let vfs = MemVfs::new();
+        let pager = Pager::open(vfs.open("data").unwrap()).unwrap();
+        assert!(pager.live().is_none());
+    }
+
+    #[test]
+    fn snapshot_round_trip_and_generation_flip() {
+        let vfs = MemVfs::new();
+        let mut pager = Pager::open(vfs.open("data").unwrap()).unwrap();
+        let m1 = pager.write_snapshot(snapshot_of(b"first snapshot"), 0, 14, 3, 30, 2).unwrap();
+        assert_eq!(m1.generation, 1);
+        assert_eq!(pager.read_catalog(&m1).unwrap(), b"first snapshot");
+
+        let big = vec![7u8; PAGE_PAYLOAD + 100];
+        let m2 = pager.write_snapshot(snapshot_of(&big), 0, big.len() as u32, 5, 50, 2).unwrap();
+        assert_eq!(m2.generation, 2);
+        assert_eq!(pager.read_catalog(&m2).unwrap(), big);
+
+        // A reopen finds the latest generation.
+        let pager2 = Pager::open(vfs.open("data").unwrap()).unwrap();
+        let live = *pager2.live().unwrap();
+        assert_eq!(live, m2);
+        assert_eq!(pager2.read_catalog(&live).unwrap(), big);
+    }
+
+    #[test]
+    fn page_corruption_is_detected() {
+        let vfs = MemVfs::new();
+        let mut pager = Pager::open(vfs.open("data").unwrap()).unwrap();
+        let meta = pager.write_snapshot(snapshot_of(b"payload"), 0, 7, 1, 1, 1).unwrap();
+        // Flip a byte inside the page region, behind the pager's back.
+        let mut f = vfs.open("data").unwrap();
+        let mut b = [0u8; 1];
+        f.read_exact_at(meta.base + 10, &mut b).unwrap();
+        f.write_at(meta.base + 10, &[b[0] ^ 0xFF]).unwrap();
+        f.sync().unwrap();
+        let pager = Pager::open(vfs.open("data").unwrap()).unwrap();
+        let live = *pager.live().unwrap();
+        assert!(matches!(pager.read_page(&live, 0), Err(RecoveryError::ChecksumMismatch(_))));
+    }
+
+    #[test]
+    fn both_headers_bad_is_flagged_for_recovery() {
+        let vfs = MemVfs::new();
+        let mut f = vfs.open("data").unwrap();
+        f.write_at(0, &vec![0xABu8; 2 * HEADER_SLOT_SIZE as usize]).unwrap();
+        f.sync().unwrap();
+        let pager = Pager::open(vfs.open("data").unwrap()).unwrap();
+        assert!(pager.live().is_none());
+        assert!(pager.headerless_damage());
+    }
+
+    #[test]
+    fn checkpoints_compact_instead_of_growing() {
+        let vfs = MemVfs::new();
+        let mut pager = Pager::open(vfs.open("data").unwrap()).unwrap();
+        let payload = vec![1u8; 3 * PAGE_PAYLOAD];
+        let mut lens = Vec::new();
+        for seq in 0..8 {
+            pager
+                .write_snapshot(snapshot_of(&payload), 0, payload.len() as u32, seq, seq, 1)
+                .unwrap();
+            lens.push(pager.file_len().unwrap());
+        }
+        // Ping-pong placement bounds the file at headers + two regions.
+        let bound = SNAPSHOT_START + 2 * 3 * PAGE_SIZE as u64;
+        assert!(lens.iter().all(|&l| l <= bound), "file grew: {lens:?}");
+    }
+}

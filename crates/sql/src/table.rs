@@ -180,8 +180,11 @@ impl Table {
         }
     }
 
-    /// Append a full-width row, coercing each value.
-    pub fn insert_row(&mut self, values: Vec<Value>) -> Result<()> {
+    /// Validate and coerce a full-width row without storing it. Staging
+    /// separately from appending lets multi-row INSERT check every row
+    /// before touching the table, so a failed statement has no effect —
+    /// the atomicity the durable engine's statement-level WAL relies on.
+    pub(crate) fn stage_row(&self, values: Vec<Value>) -> Result<Vec<Value>> {
         if values.len() != self.columns.len() {
             return Err(SqlError::TypeMismatch(format!(
                 "table {} has {} columns but {} values were supplied",
@@ -190,20 +193,12 @@ impl Table {
                 values.len()
             )));
         }
-        let row = self
-            .columns
-            .iter()
-            .zip(values)
-            .map(|(col, v)| Self::coerce(col, v))
-            .collect::<Result<Vec<Value>>>()?;
-        self.rows.push(row);
-        self.index_appended_row();
-        Ok(())
+        self.columns.iter().zip(values).map(|(col, v)| Self::coerce(col, v)).collect()
     }
 
-    /// Append a row given a subset of named columns; unnamed columns get
-    /// NULL.
-    pub fn insert_named(&mut self, names: &[String], values: Vec<Value>) -> Result<()> {
+    /// Validate and coerce a named-subset row without storing it; unnamed
+    /// columns get NULL.
+    pub(crate) fn stage_named(&self, names: &[String], values: Vec<Value>) -> Result<Vec<Value>> {
         if names.len() != values.len() {
             return Err(SqlError::TypeMismatch(format!(
                 "{} columns named but {} values supplied",
@@ -218,9 +213,39 @@ impl Table {
                 .ok_or_else(|| SqlError::NoSuchColumn(format!("{}.{name}", self.name)))?;
             row[idx] = Self::coerce(&self.columns[idx], value)?;
         }
+        Ok(row)
+    }
+
+    /// Append a row previously coerced by [`stage_row`](Self::stage_row) /
+    /// [`stage_named`](Self::stage_named). Infallible by construction.
+    pub(crate) fn append_staged(&mut self, row: Vec<Value>) {
         self.rows.push(row);
         self.index_appended_row();
+    }
+
+    /// Append a full-width row, coercing each value.
+    pub fn insert_row(&mut self, values: Vec<Value>) -> Result<()> {
+        let row = self.stage_row(values)?;
+        self.append_staged(row);
         Ok(())
+    }
+
+    /// Append a row given a subset of named columns; unnamed columns get
+    /// NULL.
+    pub fn insert_named(&mut self, names: &[String], values: Vec<Value>) -> Result<()> {
+        let row = self.stage_named(names, values)?;
+        self.append_staged(row);
+        Ok(())
+    }
+
+    /// Column positions currently carrying a built hash index, sorted.
+    /// The durable engine checkpoints a secondary B-tree for each so a
+    /// recovered process starts with the same columns warmed.
+    pub fn indexed_column_ids(&self) -> Vec<usize> {
+        let mut ids: Vec<usize> =
+            self.indexes.read().expect("index lock").keys().copied().collect();
+        ids.sort_unstable();
+        ids
     }
 }
 

@@ -10,10 +10,16 @@
 //! with failover, node hangs left unrecoverable, hang-then-power-cycle
 //! recovery, power-cycle races, cabinet topologies, and link degradation.
 
+use rocks::db::insert_ethers::{register_frontend, DhcpRequest, InsertEthers};
+use rocks::db::{reports, ClusterDb, DbError};
+use rocks::kickstart::{profiles, GenerationService, KickstartGenerator};
 use rocks::netsim::chaos::{run_plan, standard_invariants, ChaosPlan};
 use rocks::netsim::cluster::{ClusterSim, Fault};
 use rocks::netsim::config::RetryPolicy;
 use rocks::netsim::{EngineMode, SimConfig};
+use rocks::rpm::Arch;
+use rocks::sql::disk::CrashPlan;
+use rocks::sql::{DiskError, DurableError, MemVfs};
 
 /// `(seed, nodes, completed, unrecoverable, total attempts, failovers)`.
 ///
@@ -134,4 +140,145 @@ fn power_cycle_race_restarts_mid_fetch_cleanly() {
     assert_eq!(result.completed(), 3);
     assert_eq!(result.per_node_attempts, vec![7, 10, 7]);
     assert_eq!(result.total_failovers(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Durable cluster database under crash chaos.
+//
+// The rows below pin exact post-recovery outcomes for seeded kills of the
+// durable `ClusterDb` mid-transaction during a mass-reinstall wave, the
+// same way the netsim corpus above pins retry counts. Beyond the pins,
+// every seed asserts the *consistency* story: transactions are atomic
+// (a node is never half-marked), and after recovery the kickstart
+// skeleton cache and the report generators all observe one single
+// database revision.
+// ---------------------------------------------------------------------------
+
+/// Frontend plus six compute nodes in a durable database on `vfs`.
+fn durable_cluster(vfs: &MemVfs) -> ClusterDb {
+    let mut db = ClusterDb::open_durable(vfs).unwrap();
+    register_frontend(&mut db, "00:30:c1:d8:ac:80", "frontend-0").unwrap();
+    let mut session = InsertEthers::start(&mut db, "Compute", 0).unwrap();
+    let reqs: Vec<DhcpRequest> =
+        (1..=6).map(|i| DhcpRequest { mac: format!("00:50:8b:e0:00:{i:02x}") }).collect();
+    session.observe_all(&reqs).unwrap();
+    db
+}
+
+/// Mark every compute node for reinstall, one two-statement transaction
+/// per node (comment tag + rank bump — two fields so a torn transaction
+/// would be visible as a half-marked node).
+fn reinstall_wave(db: &mut ClusterDb) -> Result<(), DbError> {
+    let nodes = db.compute_nodes()?;
+    for rec in nodes {
+        db.begin_txn()?;
+        db.execute_raw(&format!("update nodes set comment = 'wave-1' where id = {}", rec.id))?;
+        db.execute_raw(&format!(
+            "update nodes set rank = {} where id = {}",
+            rec.rank + 100,
+            rec.id
+        ))?;
+        db.commit_txn()?;
+    }
+    Ok(())
+}
+
+fn is_crash(err: &DbError) -> bool {
+    matches!(err, DbError::Storage(DurableError::Disk(DiskError::Crashed)))
+}
+
+/// `(kill op, damage seed, nodes fully marked after recovery, revision)`.
+const DB_CRASH_CORPUS: &[(u64, u64, usize, u64)] = &[
+    // Killed while journaling the very first transaction of the wave.
+    (2, 101, 0, 7),
+    // Killed right after the first commit's sync.
+    (5, 102, 1, 9),
+    // Mid-second-transaction: its frames are on disk, its commit is not.
+    (9, 103, 1, 9),
+    (14, 104, 2, 11),
+    (23, 105, 4, 15),
+    // Killed during the last transaction: five of six nodes marked.
+    (29, 106, 5, 17),
+];
+
+#[test]
+fn durable_db_killed_mid_reinstall_recovers_one_consistent_revision() {
+    for &(at_op, seed, want_marked, want_revision) in DB_CRASH_CORPUS {
+        let vfs = MemVfs::new();
+        let mut db = durable_cluster(&vfs);
+        // arm() restarts the op counter: `at_op` counts mutating disk
+        // operations from the start of the wave itself.
+        vfs.arm(CrashPlan { at_op, seed });
+        let err = reinstall_wave(&mut db).expect_err("armed wave must die");
+        assert!(is_crash(&err), "seed {seed}: wave failed for a non-crash reason: {err}");
+        drop(db);
+
+        let survivor = vfs.survivor();
+        let mut db = ClusterDb::open_durable(&survivor).unwrap();
+        let nodes = db.compute_nodes().unwrap();
+        assert_eq!(nodes.len(), 6, "seed {seed}: integrated nodes lost");
+
+        // Transaction atomicity: comment tag and rank bump land together
+        // or not at all.
+        let marked = nodes.iter().filter(|n| n.comment.as_deref() == Some("wave-1")).count();
+        for n in &nodes {
+            assert_eq!(
+                n.comment.as_deref() == Some("wave-1"),
+                n.rank >= 100,
+                "seed {seed}: node {} is half-marked (comment={:?} rank={})",
+                n.name,
+                n.comment,
+                n.rank
+            );
+        }
+        assert_eq!(marked, want_marked, "seed {seed}: committed prefix drifted");
+        assert_eq!(db.revision(), want_revision, "seed {seed}: revision drifted");
+
+        // Post-recovery consistency: kickstart cache and report
+        // generators all observe this one revision.
+        let rev = db.revision();
+        let service = GenerationService::new(KickstartGenerator::new(
+            profiles::default_profiles(),
+            "10.1.1.1",
+            "install/rocks-dist",
+        ));
+        let mut renders = Vec::new();
+        for n in &nodes {
+            let ks = service.generate_for_request(&db, &n.ip.to_string(), Arch::I686).unwrap();
+            renders.push(ks.render());
+        }
+        assert_eq!(
+            service.stats().misses(),
+            1,
+            "seed {seed}: one appliance skeleton should serve every node of the revision"
+        );
+        assert_eq!(service.stats().hits() as usize, nodes.len() - 1, "seed {seed}");
+        assert_eq!(db.revision(), rev, "seed {seed}: serving kickstarts bumped the revision");
+
+        // Reports are pure reads and byte-stable across a second recovery.
+        let first = reports::generate_all(&mut db).unwrap();
+        assert_eq!(db.revision(), rev, "seed {seed}: report generation bumped the revision");
+        let mut again = ClusterDb::open_durable(&survivor).unwrap();
+        assert_eq!(again.revision(), rev, "seed {seed}: second recovery saw another revision");
+        let second = reports::generate_all(&mut again).unwrap();
+        assert_eq!(first.hosts, second.hosts, "seed {seed}");
+        assert_eq!(first.dhcpd_conf, second.dhcpd_conf, "seed {seed}");
+        assert_eq!(first.pbs_nodes, second.pbs_nodes, "seed {seed}");
+        for (n, render) in nodes.iter().zip(&renders) {
+            let ks = service.generate_for_request(&again, &n.ip.to_string(), Arch::I686).unwrap();
+            assert_eq!(&ks.render(), render, "seed {seed}: kickstart for {} drifted", n.name);
+        }
+    }
+}
+
+/// An unarmed wave commits everything — the corpus' baseline.
+#[test]
+fn unharmed_reinstall_wave_marks_every_node() {
+    let vfs = MemVfs::new();
+    let mut db = durable_cluster(&vfs);
+    reinstall_wave(&mut db).unwrap();
+    drop(db);
+    let db = ClusterDb::open_durable(&vfs).unwrap();
+    let nodes = db.compute_nodes().unwrap();
+    assert_eq!(nodes.iter().filter(|n| n.comment.as_deref() == Some("wave-1")).count(), 6);
 }
