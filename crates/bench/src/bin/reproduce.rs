@@ -13,7 +13,7 @@
 //! reproduce replicas   # §6.3 replicated-server projection
 //! reproduce updates    # §6.2.1 update-tracking experiment
 //! reproduce ablation   # §1/§3 reinstall-vs-verify ablation
-//! reproduce sqlbench   # indexed planner vs scan (writes BENCH_sql_engine.json)
+//! reproduce sqlbench [--quick]      # cost-based planner sweep (writes BENCH_sql_engine.json)
 //! reproduce netsim-scale [--quick]  # engine scaling sweep (writes BENCH_netsim.json)
 //! reproduce chaos [--quick]         # seeded chaos sweep (writes BENCH_chaos.json)
 //! reproduce trace [--quick]         # telemetry overhead (writes BENCH_trace.json)
@@ -56,6 +56,11 @@ fn main() {
     // finishes in seconds.
     if arg == "netsim-scale" && quick {
         println!("{}", netsim_scale(true));
+        return;
+    }
+    // `sqlbench --quick` sweeps 10k/50k rows instead of 10k/100k/1M.
+    if arg == "sqlbench" && quick {
+        println!("{}", sql_engine_sweep(true));
         return;
     }
     // `chaos --quick` runs 200 seeded scenarios instead of 1000.

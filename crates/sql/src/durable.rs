@@ -458,6 +458,7 @@ impl DurableDatabase {
                 rows,
                 root,
                 indexes,
+                stats_warm: table.stats_if_warm().is_some(),
             });
         }
         // The catalog always encodes at least its table count, so even a

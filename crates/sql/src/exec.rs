@@ -1,7 +1,7 @@
 //! Statement execution against a [`Database`].
 
 use crate::ast::*;
-use crate::plan::{self, SelectPlan};
+use crate::plan::{self, PlannerConfig, SelectPlan};
 use crate::table::Table;
 use crate::value::Value;
 use crate::{Database, Result, SqlError};
@@ -165,6 +165,9 @@ pub(crate) enum PlanChoice<'a> {
     ForceScan,
     /// A plan (or a recorded planning refusal) from the statement cache.
     Prepared(Option<&'a SelectPlan>),
+    /// Plan now with an explicit planner configuration, bypassing the
+    /// statement cache (benchmark baselines and forced join algorithms).
+    Config(&'a PlannerConfig),
 }
 
 /// `EXPLAIN <stmt>`: render the plan the SELECT would run with. Writes
@@ -368,20 +371,39 @@ fn select(
     // `examined` and `used_index` feed the database's QueryStats.
     let mut examined = 0u64;
     let mut used_index = false;
+    let mut est_rows: Option<f64> = None;
     let mut joined: Vec<Vec<Value>> = match (where_clause, mode) {
-        (Some(expr), PlanChoice::Auto) => match plan::plan_select(&tables, expr) {
-            Some(p) => {
-                used_index = p.uses_index();
-                plan::execute_plan(&p, &tables, &offsets, total_width, &mut examined)?
+        (Some(expr), PlanChoice::Auto | PlanChoice::Config(_)) => {
+            let config = match mode {
+                PlanChoice::Config(c) => *c,
+                _ => PlannerConfig::default(),
+            };
+            match plan::plan_select_with(&tables, expr, &config) {
+                Some((p, info)) => {
+                    db.stats().record_planning(&info, p.reordered);
+                    used_index = p.uses_index();
+                    if p.costed {
+                        est_rows = Some(p.est_rows);
+                    }
+                    plan::execute_plan(&p, &tables, &offsets, total_width, &mut examined)?
+                }
+                None => scan_rows(&tables, &offsets, total_width, where_clause, &mut examined)?,
             }
-            None => scan_rows(&tables, &offsets, total_width, where_clause, &mut examined)?,
-        },
+        }
         (Some(_), PlanChoice::Prepared(Some(p))) => {
             used_index = p.uses_index();
+            if p.costed {
+                est_rows = Some(p.est_rows);
+            }
             plan::execute_plan(p, &tables, &offsets, total_width, &mut examined)?
         }
         _ => scan_rows(&tables, &offsets, total_width, where_clause, &mut examined)?,
     };
+    // Feed the estimated-vs-actual ratio histogram on the pre-projection
+    // joined-row count — the quantity the planner actually estimated.
+    if let Some(est) = est_rows {
+        db.stats().record_estimate(est, joined.len() as u64);
+    }
 
     let has_aggregate = items.iter().any(SelectItem::is_aggregate);
 
@@ -1090,11 +1112,15 @@ mod tests {
             )
             .unwrap();
         let text: Vec<String> = r.rows.iter().map(|row| row[0].render()).collect();
+        // The cost-based planner starts from the filtered memberships
+        // table and hash-joins nodes into it (reordered from FROM order).
         assert!(
-            text.iter().any(|l| l.contains("hash join(nodes.membership = memberships.id)")),
+            text.iter().any(|l| l.contains("hash join(memberships.id = nodes.membership)")),
             "plan was {text:?}"
         );
         assert!(text.iter().any(|l| l.contains("filter((memberships.compute = 'yes'))")));
+        assert!(text.iter().any(|l| l.contains("join order: memberships, nodes")));
+        assert!(text.iter().any(|l| l.contains("[est ")), "steps carry cost annotations: {text:?}");
         assert!(text.iter().any(|l| l.contains("top-2 selection")));
         assert!(text.iter().any(|l| l.contains("limit: 2")));
     }

@@ -41,6 +41,7 @@
 pub mod ast;
 pub mod btree;
 pub(crate) mod codec;
+pub mod cost;
 pub mod crashtest;
 pub mod disk;
 pub mod durable;
@@ -51,6 +52,7 @@ pub mod pager;
 pub mod parser;
 pub mod plan;
 pub mod recovery;
+pub mod stats;
 pub mod table;
 pub mod value;
 pub mod wal;
@@ -60,12 +62,13 @@ pub use disk::{CrashPlan, DiskError, DiskFile, FileVfs, MemVfs, Vfs};
 pub use durable::{DurableDatabase, DurableError};
 pub use exec::{ExecOutcome, QueryResult};
 pub use index::HashIndex;
-pub use plan::SelectPlan;
+pub use plan::{JoinAlgo, PlannerConfig, PlannerMode, SelectPlan};
 pub use recovery::{RecoveryError, RecoveryReport};
+pub use stats::TableStats;
 pub use table::{Column, ColumnType, Table};
 pub use value::Value;
 
-use rocks_trace::{Counter, Registry};
+use rocks_trace::{Counter, Histogram, Registry};
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Mutex};
@@ -135,6 +138,13 @@ const PLAN_CACHE_CAP: usize = 512;
 struct PlanCache {
     /// Schema generation the entries were prepared under.
     schema_gen: u64,
+    /// Stats epoch the entries were costed under — a hash over every
+    /// table's size *band* (power-of-two bucket of its row count), not
+    /// its exact row count. The band gives the cache hysteresis: a
+    /// single-row INSERT almost never crosses a band boundary, so steady
+    /// trickle writes keep their cached plans, while a table growing
+    /// 100x crosses several bands and forces a re-cost.
+    stats_epoch: u64,
     entries: HashMap<String, Arc<Prepared>>,
 }
 
@@ -152,7 +162,17 @@ pub struct QueryStats {
     lookups: Counter,
     rows_examined: Counter,
     rows_returned: Counter,
+    plans_costed: Counter,
+    stats_builds: Counter,
+    join_reorders: Counter,
+    /// Estimated/actual joined-row ratio per costed execution, in
+    /// percent: 100 = exact, <100 = underestimate, >100 = overestimate.
+    est_actual_pct: Histogram,
 }
+
+/// Bucket bounds for the estimated-vs-actual ratio histogram (percent).
+/// 100 is exact; the 80–125 band is "good enough to pick the same plan".
+const EST_ACTUAL_BOUNDS: &[u64] = &[25, 50, 80, 95, 105, 125, 200, 400, 1600];
 
 impl QueryStats {
     fn bound_to(registry: Registry) -> Self {
@@ -164,6 +184,10 @@ impl QueryStats {
             lookups: registry.counter("sql.lookup_eq"),
             rows_examined: registry.counter("sql.rows.examined"),
             rows_returned: registry.counter("sql.rows.returned"),
+            plans_costed: registry.counter("sql.opt.plans_costed"),
+            stats_builds: registry.counter("sql.opt.stats_builds"),
+            join_reorders: registry.counter("sql.opt.join_reorders"),
+            est_actual_pct: registry.histogram("sql.opt.est_actual_pct", EST_ACTUAL_BOUNDS),
             registry,
         }
     }
@@ -211,6 +235,27 @@ impl QueryStats {
         self.rows_returned.get()
     }
 
+    /// SELECT plans priced by the cost-based planner.
+    pub fn plans_costed(&self) -> u64 {
+        self.plans_costed.get()
+    }
+
+    /// Table-statistics builds/rebuilds triggered by planning.
+    pub fn stats_builds(&self) -> u64 {
+        self.stats_builds.get()
+    }
+
+    /// Costed plans whose join order differs from the FROM order.
+    pub fn join_reorders(&self) -> u64 {
+        self.join_reorders.get()
+    }
+
+    /// The estimated-vs-actual joined-row ratio histogram (percent; 100
+    /// means the estimate was exact).
+    pub fn estimate_ratio(&self) -> &Histogram {
+        &self.est_actual_pct
+    }
+
     pub(crate) fn record_select(&self, examined: u64, returned: u64, used_index: bool) {
         self.rows_examined.add(examined);
         self.rows_returned.add(returned);
@@ -219,6 +264,23 @@ impl QueryStats {
         } else {
             self.scan_exec.incr();
         }
+    }
+
+    pub(crate) fn record_planning(&self, info: &plan::PlanInfo, reordered: bool) {
+        if info.costed {
+            self.plans_costed.incr();
+        }
+        self.stats_builds.add(info.stats_builds);
+        if reordered {
+            self.join_reorders.incr();
+        }
+    }
+
+    /// Record one costed execution's estimate quality. `+1` on both
+    /// sides keeps empty results meaningful (est 0 / actual 0 → 100%).
+    pub(crate) fn record_estimate(&self, est_rows: f64, actual_rows: u64) {
+        let pct = (est_rows + 1.0) / (actual_rows as f64 + 1.0) * 100.0;
+        self.est_actual_pct.record(pct.round().clamp(0.0, 100_000.0) as u64);
     }
 }
 
@@ -312,13 +374,44 @@ impl Database {
         exec::execute_readonly_with(self, &stmt, exec::PlanChoice::ForceScan)
     }
 
+    /// [`query_ref`](Self::query_ref) with an explicit planner
+    /// configuration — the heuristic baseline or a forced join
+    /// algorithm. Parses and plans on every call and bypasses the
+    /// statement cache: this is the benchmark's measurement path, not a
+    /// fast path.
+    pub fn query_ref_config(&self, sql: &str, config: &PlannerConfig) -> Result<QueryResult> {
+        let stmt = parser::parse(sql)?;
+        exec::execute_readonly_with(self, &stmt, exec::PlanChoice::Config(config))
+    }
+
+    /// Hash of every table's name and size *band* (power-of-two bucket
+    /// of its row count). Part of the plan-cache key: when any table
+    /// crosses a band boundary its cost tradeoffs may have flipped, so
+    /// cached plans are re-costed. Banding (rather than the raw stats
+    /// generation) is the hysteresis that keeps single-row INSERTs from
+    /// evicting the cache on every write.
+    fn stats_epoch(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for t in self.tables.values() {
+            for b in t.name().as_bytes() {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            h ^= u64::from(t.stats_band());
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
     /// Fetch (or create) the cached parse+plan for `sql`.
     fn prepare(&self, sql: &str) -> Result<Arc<Prepared>> {
+        let stats_epoch = self.stats_epoch();
         {
             let mut cache = self.cache.lock().expect("plan cache lock");
-            if cache.schema_gen != self.schema_gen {
+            if cache.schema_gen != self.schema_gen || cache.stats_epoch != stats_epoch {
                 cache.entries.clear();
                 cache.schema_gen = self.schema_gen;
+                cache.stats_epoch = stats_epoch;
             }
             if let Some(hit) = cache.entries.get(sql) {
                 self.stats.plan_cache_hits.incr();
@@ -336,13 +429,20 @@ impl Database {
                 // same NoSuchTable the scan path would.
                 let tables: Option<Vec<(&str, &Table)>> =
                     from.iter().map(|name| self.table(name).map(|t| (t.name(), t))).collect();
-                tables.and_then(|tables| plan::plan_select(&tables, w))
+                tables.and_then(|tables| {
+                    plan::plan_select_with(&tables, w, &PlannerConfig::default()).map(
+                        |(p, info)| {
+                            self.stats.record_planning(&info, p.reordered);
+                            p
+                        },
+                    )
+                })
             }
             _ => None,
         };
         let prepared = Arc::new(Prepared { stmt, plan });
         let mut cache = self.cache.lock().expect("plan cache lock");
-        if cache.schema_gen == self.schema_gen {
+        if cache.schema_gen == self.schema_gen && cache.stats_epoch == stats_epoch {
             if cache.entries.len() >= PLAN_CACHE_CAP {
                 cache.entries.clear();
             }
@@ -562,12 +662,17 @@ mod tests {
         let s = db.stats();
         assert_eq!(s.plan_cache_misses(), 1);
         assert_eq!(s.plan_cache_hits(), 1);
-        assert_eq!(s.indexed_executions(), 2, "point lookups run the indexed pipeline");
+        // On a 3-row table the cost model keeps the point lookup on the
+        // scan path — a cold index build cannot pay off at that size.
+        assert_eq!(s.scan_executions(), 2);
+        assert_eq!(s.plans_costed(), 1, "the miss costed a plan; the hit reused it");
         assert_eq!(s.rows_returned(), 2);
         assert!(s.rows_examined() >= 2);
-        // The scan baseline records a scan execution, not an indexed one.
+        // Estimate telemetry saw both executions of the costed plan.
+        assert_eq!(s.estimate_ratio().count(), 2);
+        // The scan baseline records a scan execution too.
         db.query_ref_scan(sql).unwrap();
-        assert_eq!(s.scan_executions(), 1);
+        assert_eq!(s.scan_executions(), 3);
         // And the SQL-free fast path counts as a lookup.
         db.lookup_eq("nodes", "ip", &Value::Text("10.1.1.2".into())).unwrap();
         assert_eq!(s.lookups(), 1);

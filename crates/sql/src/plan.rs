@@ -1,48 +1,59 @@
-//! Query planning: index point lookups, predicate pushdown, hash joins.
+//! Cost-based query planning: index point lookups, predicate pushdown,
+//! hash and sort-merge joins, and join-order enumeration.
 //!
 //! The planner lowers a `SELECT ... WHERE ...` into a left-deep pipeline
-//! of per-table steps, in FROM order:
+//! of per-table steps. Unlike the original heuristic planner (kept as
+//! [`PlannerMode::Heuristic`] — the benchmark baseline), the default
+//! [`PlannerMode::CostBased`] planner:
 //!
-//! * the WHERE clause is split into top-level `AND` conjuncts;
-//! * a conjunct touching one table is **pushed down** to that table's
-//!   step and evaluated against single-table rows (never against the
-//!   cross product);
-//! * a `col = literal` conjunct additionally makes the step an **index
-//!   point lookup** via the table's lazily built [`HashIndex`];
-//! * a `t1.c1 = t2.c2` conjunct joining a step to an earlier table makes
-//!   the step a **hash join** (probe the index on `c2` with the earlier
-//!   row's `c1` value) instead of a nested-loop cross product;
-//! * everything else becomes a **residual** evaluated on the accumulated
-//!   row as soon as every table it references has been joined.
+//! * estimates per-predicate selectivity from per-column
+//!   [`TableStats`] (row counts, NDV, min/max, equi-depth histograms —
+//!   see `stats.rs`);
+//! * prices **scan vs. index point lookup** per table with the model in
+//!   `cost.rs`, so a broad predicate (`arch = 'x86_64'` matching 90% of
+//!   rows) scans while a selective one probes;
+//! * prices **hash vs. sort-merge** per join — warm hash indexes always
+//!   win, but a large *cold* text-keyed join is cheaper to sort (borrowed
+//!   keys, no string clones) than to hash (clone every string);
+//! * **enumerates join orders** — exact dynamic programming over subsets
+//!   for ≤ [`DP_TABLE_LIMIT`] tables, greedy above — instead of taking
+//!   FROM order.
 //!
 //! Byte-identical-to-scan guarantees (checked by the differential
 //! proptest in `tests/proptest_plan.rs`):
 //!
-//! * **candidates are supersets** — index probes may return rows that are
-//!   not equal under [`Value::sql_cmp`]'s Int↔Text coercion, so the
-//!   equality conjunct always stays in the step's filter and hash-join
-//!   probes re-verify with `sql_cmp` before emitting;
+//! * **candidates are supersets** — index probes and merge-join key
+//!   groups may contain rows not equal under [`Value::sql_cmp`]'s
+//!   Int↔Text coercion, so the originating conjunct stays in the step
+//!   filter / every group pair is re-verified with `sql_cmp`;
 //! * **order is preserved** — the scan path enumerates the cross product
-//!   lexicographically in FROM order; step 0 candidates are ascending,
-//!   hash joins extend tuples in accumulator order with ascending-bucket
-//!   matches, and filters only remove tuples, so the planned pipeline
-//!   yields exactly the same sequence;
+//!   lexicographically in FROM order. A plan that executes in FROM order
+//!   with hash joins only reproduces that order for free (ascending
+//!   candidates, accumulator-order extension); any plan that reorders
+//!   tables or merge-joins sets [`SelectPlan::restore_order`], and the
+//!   executor sorts surviving tuples by their FROM-order row indices
+//!   (tuples are distinct, so the order is total and deterministic)
+//!   before materializing;
 //! * **errors are preserved** — the planner refuses (returns `None`, the
 //!   executor falls back to the scan path) unless every column reference
-//!   in the WHERE clause resolves uniquely, so the planned pipeline can
-//!   never mask a `NoSuchColumn`/`AmbiguousColumn` error the scan would
-//!   raise, nor raise one the scan would not.
+//!   in the WHERE clause resolves uniquely.
 //!
-//! Tuples are carried as row *indices* per table and materialized into
-//! value rows only at the end, so a selective join never clones rows the
-//! filter would discard.
+//! Tuples are carried as row *indices* per executed step and
+//! materialized into value rows only at the end.
 
 use crate::ast::{BinOp, ColumnRef, Expr};
+use crate::cost;
 use crate::exec::{eval, RowEnv};
+use crate::stats::{KeyRef, TableStats};
 use crate::table::Table;
 use crate::value::Value;
 use crate::Result;
 use std::cmp::Ordering;
+use std::sync::Arc;
+
+/// Exact DP join-order enumeration up to this many FROM tables; greedy
+/// beyond (2^n states stop being cheap).
+pub const DP_TABLE_LIMIT: usize = 6;
 
 /// How one FROM table's rows are enumerated.
 #[derive(Debug, Clone, PartialEq)]
@@ -59,41 +70,71 @@ pub enum Access {
     },
 }
 
-/// Hash-join linkage: equality between a column of an earlier FROM table
+/// Physical join algorithm for one step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinAlgo {
+    /// Probe the right table's hash index with each accumulated tuple.
+    Hash,
+    /// Sort both sides by normalized key and merge equal-key runs.
+    SortMerge,
+}
+
+/// Join linkage: equality between a column of an earlier *executed* step
 /// and a column of this step's table.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JoinKey {
-    /// FROM position of the earlier table supplying probe values.
-    pub left_table: usize,
-    /// Column index within that earlier table.
+    /// Execution-step index of the earlier step supplying probe values.
+    pub left_step: usize,
+    /// Column index within that step's table.
     pub left_col: usize,
-    /// Column index within this step's table (the probed index).
+    /// Column index within this step's table.
     pub right_col: usize,
+    /// Physical algorithm.
+    pub algo: JoinAlgo,
 }
 
-/// One per-table step of the pipeline.
+/// One per-table step of the pipeline, in execution order.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Step {
-    /// Row enumeration strategy.
+    /// FROM position of the table this step enumerates.
+    pub table: usize,
+    /// Row enumeration strategy (ignored for hash joins, which probe).
     pub access: Access,
-    /// Hash-join key against the accumulated prefix (`None` for step 0
-    /// and for genuine cross joins).
+    /// Join against the accumulated prefix (`None` for step 0 and for
+    /// genuine cross joins).
     pub join: Option<JoinKey>,
     /// Pushed-down single-table conjuncts; a row must satisfy all.
     pub filter: Vec<Expr>,
+    /// Estimated tuples alive after this step (0 when not costed).
+    pub est_rows: f64,
+    /// Estimated cumulative cost through this step (0 when not costed).
+    pub est_cost: f64,
 }
 
 /// A planned SELECT pipeline. Plans reference tables by FROM position
 /// and columns by index, so a plan stays valid as rows change and is
-/// cached per statement (invalidated when the schema generation bumps —
-/// see `Database::query_ref`).
+/// cached per statement (invalidated when the schema generation or the
+/// stats epoch bumps — see `Database::query_ref`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SelectPlan {
-    /// One step per FROM table, in FROM order.
+    /// Steps in execution order (a permutation of the FROM tables).
     pub steps: Vec<Step>,
     /// Conjuncts not consumed above: `(ready_after, expr)` — evaluated on
-    /// the accumulated row right after step `ready_after` completes.
+    /// the accumulated row right after execution step `ready_after`.
     pub residual: Vec<(usize, Expr)>,
+    /// Executor must re-sort surviving tuples into FROM-order
+    /// lexicographic order (set when reordered or merge-joined).
+    pub restore_order: bool,
+    /// Execution order differs from FROM order (telemetry:
+    /// `sql.opt.join_reorders`).
+    pub reordered: bool,
+    /// Whether cost estimation ran (false for heuristic plans).
+    pub costed: bool,
+    /// Estimated joined-row count before residual/projection (feeds the
+    /// estimated-vs-actual telemetry histogram).
+    pub est_rows: f64,
+    /// Estimated total plan cost in `cost.rs` work units.
+    pub est_cost: f64,
 }
 
 impl SelectPlan {
@@ -101,8 +142,43 @@ impl SelectPlan {
     /// point lookup or a hash join. Telemetry classifies executions as
     /// "indexed" vs "scan" with this.
     pub fn uses_index(&self) -> bool {
-        self.steps.iter().any(|s| s.join.is_some() || matches!(s.access, Access::IndexEq { .. }))
+        self.steps.iter().any(|s| {
+            matches!(s.access, Access::IndexEq { .. })
+                || matches!(&s.join, Some(k) if k.algo == JoinAlgo::Hash)
+        })
     }
+}
+
+/// Planner strategy selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlannerMode {
+    /// Statistics-driven costing and join reordering (the default).
+    #[default]
+    CostBased,
+    /// The original fixed-heuristic planner: FROM order, first
+    /// `col = literal` becomes the index access, first connecting equi
+    /// becomes a hash join. Kept as the benchmark/regression baseline.
+    Heuristic,
+}
+
+/// Planner configuration, threaded through `Database::query_ref_config`
+/// so benchmarks can pin the baseline or a join algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlannerConfig {
+    /// Strategy.
+    pub mode: PlannerMode,
+    /// Force every join step onto one algorithm (benchmark crossover
+    /// measurements); `None` lets the cost model choose.
+    pub force_join: Option<JoinAlgo>,
+}
+
+/// What planning did — telemetry inputs for `QueryStats`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlanInfo {
+    /// Table-statistics (re)builds triggered by this planning pass.
+    pub stats_builds: u64,
+    /// Whether cost estimation ran.
+    pub costed: bool,
 }
 
 /// Split an expression into its top-level AND conjuncts.
@@ -181,10 +257,23 @@ fn column_eq(expr: &Expr, tables: &[(&str, &Table)]) -> Option<((usize, usize), 
     Some((ra, rb))
 }
 
-/// Build a plan for a WHERE clause over the given FROM tables, or `None`
-/// when any column reference fails unique resolution (the caller then
-/// falls back to the scan path, preserving error behavior exactly).
-pub fn plan_select(tables: &[(&str, &Table)], where_clause: &Expr) -> Option<SelectPlan> {
+/// Cross-table equality conjunct: `((ta, ca), (tb, cb), expr)`.
+type EquiConjunct = ((usize, usize), (usize, usize), Expr);
+
+/// The WHERE clause, classified per table — shared by both planner
+/// modes.
+struct Analysis {
+    /// Pushed-down single-table conjuncts, per FROM position.
+    filters: Vec<Vec<Expr>>,
+    /// `col = literal` conjuncts per FROM position (conjunct order).
+    literal_eqs: Vec<Vec<(usize, Value)>>,
+    /// Cross-table equality conjuncts, see [`EquiConjunct`].
+    equis: Vec<EquiConjunct>,
+    /// Everything else: `(touched FROM positions, expr)`.
+    other: Vec<(Vec<usize>, Expr)>,
+}
+
+fn analyze(tables: &[(&str, &Table)], where_clause: &Expr) -> Option<Analysis> {
     // Every referenced column must resolve uniquely, or planning is off.
     let mut all_resolve = true;
     walk_columns(where_clause, &mut |c| {
@@ -200,13 +289,12 @@ pub fn plan_select(tables: &[(&str, &Table)], where_clause: &Expr) -> Option<Sel
     split_and(where_clause, &mut conjuncts);
 
     let n = tables.len();
-    let mut steps: Vec<Step> =
-        (0..n).map(|_| Step { access: Access::Scan, join: None, filter: Vec::new() }).collect();
-    let mut residual: Vec<(usize, Expr)> = Vec::new();
-    // Unconsumed cross-table equality conjuncts: ((lo, lo_col), (hi, hi_col), expr).
-    type EquiConjunct = ((usize, usize), (usize, usize), Expr);
-    let mut equi: Vec<EquiConjunct> = Vec::new();
-
+    let mut a = Analysis {
+        filters: vec![Vec::new(); n],
+        literal_eqs: vec![Vec::new(); n],
+        equis: Vec::new(),
+        other: Vec::new(),
+    };
     for conj in conjuncts {
         let mut touched: Vec<usize> = Vec::new();
         walk_columns(&conj, &mut |c| {
@@ -216,58 +304,470 @@ pub fn plan_select(tables: &[(&str, &Table)], where_clause: &Expr) -> Option<Sel
             }
         });
         match touched.len() {
-            0 => residual.push((0, conj)), // constant predicate
+            0 => a.other.push((Vec::new(), conj)), // constant predicate
             1 => {
                 let t = touched[0];
-                if steps[t].access == Access::Scan {
-                    if let Some((pos, idx, lit)) = literal_eq(&conj, tables) {
-                        debug_assert_eq!(pos, t);
-                        steps[t].access = Access::IndexEq { column: idx, literal: lit };
-                    }
+                if let Some((pos, idx, lit)) = literal_eq(&conj, tables) {
+                    debug_assert_eq!(pos, t);
+                    a.literal_eqs[t].push((idx, lit));
                 }
                 // The conjunct itself always remains a filter: index
                 // candidates are supersets and must be re-checked.
-                steps[t].filter.push(conj);
+                a.filters[t].push(conj);
             }
             2 => match column_eq(&conj, tables) {
-                Some((ra, rb)) => {
-                    let (lo, hi) = if ra.0 < rb.0 { (ra, rb) } else { (rb, ra) };
-                    equi.push((lo, hi, conj));
-                }
-                None => {
-                    residual.push((*touched.iter().max().unwrap(), conj));
-                }
+                Some((ra, rb)) => a.equis.push((ra, rb, conj)),
+                None => a.other.push((touched, conj)),
             },
-            _ => residual.push((*touched.iter().max().unwrap(), conj)),
+            _ => a.other.push((touched, conj)),
+        }
+    }
+    Some(a)
+}
+
+/// Estimated fraction of a single table's rows satisfying one pushed
+/// conjunct.
+fn conjunct_selectivity(expr: &Expr, tables: &[(&str, &Table)], stats: &TableStats) -> f64 {
+    // `col <op> literal` in either orientation (flipping the operator).
+    fn col_op_lit<'e>(
+        expr: &'e Expr,
+        tables: &[(&str, &Table)],
+    ) -> Option<(usize, BinOp, &'e Value)> {
+        let Expr::Binary { op, lhs, rhs } = expr else {
+            return None;
+        };
+        match (lhs.as_ref(), rhs.as_ref()) {
+            (Expr::Column(c), Expr::Literal(v)) => Some((resolve_ref(tables, c)?.1, *op, v)),
+            (Expr::Literal(v), Expr::Column(c)) => {
+                let flipped = match op {
+                    BinOp::Lt => BinOp::Gt,
+                    BinOp::LtEq => BinOp::GtEq,
+                    BinOp::Gt => BinOp::Lt,
+                    BinOp::GtEq => BinOp::LtEq,
+                    other => *other,
+                };
+                Some((resolve_ref(tables, c)?.1, flipped, v))
+            }
+            _ => None,
         }
     }
 
-    // Consume at most one equi conjunct per step as its hash-join key;
-    // leftovers are verified as residuals.
-    let mut used = vec![false; equi.len()];
+    match expr {
+        Expr::Binary { op: BinOp::And, lhs, rhs } => {
+            conjunct_selectivity(lhs, tables, stats) * conjunct_selectivity(rhs, tables, stats)
+        }
+        Expr::Binary { op: BinOp::Or, lhs, rhs } => {
+            let a = conjunct_selectivity(lhs, tables, stats);
+            let b = conjunct_selectivity(rhs, tables, stats);
+            (a + b - a * b).clamp(0.0, 1.0)
+        }
+        Expr::Binary { .. } => match col_op_lit(expr, tables) {
+            Some((col, op, lit)) => stats.est_cmp_fraction(col, op, lit),
+            None => 0.33,
+        },
+        Expr::Not(inner) => 1.0 - conjunct_selectivity(inner, tables, stats),
+        Expr::IsNull { expr: inner, negated } => match inner.as_ref() {
+            Expr::Column(c) => match resolve_ref(tables, c) {
+                Some((_, col)) => {
+                    let f = stats.null_fraction(col);
+                    if *negated {
+                        1.0 - f
+                    } else {
+                        f
+                    }
+                }
+                None => 0.33,
+            },
+            _ => 0.33,
+        },
+        Expr::InList { expr: inner, list, negated } => match inner.as_ref() {
+            Expr::Column(c) => match resolve_ref(tables, c) {
+                Some((_, col)) => {
+                    let rows = stats.rows.max(1) as f64;
+                    let hit: f64 = list
+                        .iter()
+                        .map(|lit| stats.est_eq_rows(col, lit) / rows)
+                        .sum::<f64>()
+                        .clamp(0.0, 1.0);
+                    if *negated {
+                        1.0 - hit
+                    } else {
+                        hit
+                    }
+                }
+                None => 0.33,
+            },
+            _ => 0.33,
+        },
+        Expr::Like { negated, .. } => {
+            if *negated {
+                0.75
+            } else {
+                0.25
+            }
+        }
+        Expr::Literal(_) | Expr::Column(_) => 0.5,
+    }
+}
+
+/// How the DP extends a partial join with one more table.
+#[derive(Debug, Clone)]
+struct Extension {
+    table: usize,
+    access: Access,
+    /// `(index into Analysis::equis, algorithm)` when joined.
+    join: Option<(usize, JoinAlgo)>,
+}
+
+/// Per-table planning facts gathered once.
+struct TableFacts {
+    stats: Arc<TableStats>,
+    /// Estimated rows surviving this table's pushed filters.
+    base_est: f64,
+    /// Cheapest standalone access and its cost.
+    access: Access,
+    access_cost: f64,
+}
+
+/// Build a plan for a WHERE clause over the given FROM tables with the
+/// default (cost-based) configuration, or `None` when any column
+/// reference fails unique resolution.
+pub fn plan_select(tables: &[(&str, &Table)], where_clause: &Expr) -> Option<SelectPlan> {
+    plan_select_with(tables, where_clause, &PlannerConfig::default()).map(|(p, _)| p)
+}
+
+/// [`plan_select`] with an explicit configuration, also reporting what
+/// planning did (for telemetry).
+pub fn plan_select_with(
+    tables: &[(&str, &Table)],
+    where_clause: &Expr,
+    config: &PlannerConfig,
+) -> Option<(SelectPlan, PlanInfo)> {
+    if tables.is_empty() || tables.len() > 32 {
+        return None; // join-set masks are u32; the scan path handles it
+    }
+    let analysis = analyze(tables, where_clause)?;
+    match config.mode {
+        PlannerMode::Heuristic => Some(plan_heuristic(tables, analysis, config)),
+        PlannerMode::CostBased => Some(plan_cost_based(tables, analysis, config)),
+    }
+}
+
+/// The original PR-2 planner: FROM order, first literal-eq as access,
+/// first connecting equi as a hash join.
+fn plan_heuristic(
+    tables: &[(&str, &Table)],
+    analysis: Analysis,
+    config: &PlannerConfig,
+) -> (SelectPlan, PlanInfo) {
+    let n = tables.len();
+    let algo = config.force_join.unwrap_or(JoinAlgo::Hash);
+    let mut steps: Vec<Step> = (0..n)
+        .map(|t| Step {
+            table: t,
+            access: match analysis.literal_eqs[t].first() {
+                Some((col, lit)) => Access::IndexEq { column: *col, literal: lit.clone() },
+                None => Access::Scan,
+            },
+            join: None,
+            filter: analysis.filters[t].clone(),
+            est_rows: 0.0,
+            est_cost: 0.0,
+        })
+        .collect();
+    let mut used = vec![false; analysis.equis.len()];
     for (k, step) in steps.iter_mut().enumerate().skip(1) {
-        for (i, (lo, hi, _)) in equi.iter().enumerate() {
+        for (i, (ra, rb, _)) in analysis.equis.iter().enumerate() {
+            let (lo, hi) = if ra.0 < rb.0 { (ra, rb) } else { (rb, ra) };
             if !used[i] && hi.0 == k {
-                step.join = Some(JoinKey { left_table: lo.0, left_col: lo.1, right_col: hi.1 });
+                step.join =
+                    Some(JoinKey { left_step: lo.0, left_col: lo.1, right_col: hi.1, algo });
                 used[i] = true;
                 break;
             }
         }
     }
-    for (i, (_, hi, expr)) in equi.into_iter().enumerate() {
+    let mut residual: Vec<(usize, Expr)> = Vec::new();
+    for (i, (ra, rb, expr)) in analysis.equis.iter().enumerate() {
         if !used[i] {
-            residual.push((hi.0, expr));
+            residual.push((ra.0.max(rb.0), expr.clone()));
         }
     }
-
-    Some(SelectPlan { steps, residual })
+    for (touched, expr) in &analysis.other {
+        residual.push((touched.iter().copied().max().unwrap_or(0), expr.clone()));
+    }
+    let restore_order = algo == JoinAlgo::SortMerge && n > 1;
+    (
+        SelectPlan {
+            steps,
+            residual,
+            restore_order,
+            reordered: false,
+            costed: false,
+            est_rows: 0.0,
+            est_cost: 0.0,
+        },
+        PlanInfo::default(),
+    )
 }
 
-/// Assemble the value row for a tuple of per-table row indices.
-fn assemble(tables: &[(&str, &Table)], tuple: &[u32], out: &mut Vec<Value>) {
+/// The cost-based planner: per-table facts, then join-order enumeration.
+fn plan_cost_based(
+    tables: &[(&str, &Table)],
+    analysis: Analysis,
+    config: &PlannerConfig,
+) -> (SelectPlan, PlanInfo) {
+    let n = tables.len();
+    let mut info = PlanInfo { stats_builds: 0, costed: true };
+
+    // Gather stats and per-table access choices.
+    let facts: Vec<TableFacts> = (0..n)
+        .map(|t| {
+            let (stats, built) = tables[t].1.stats_with_info();
+            if built {
+                info.stats_builds += 1;
+            }
+            let rows = stats.rows as f64;
+            let nf = analysis.filters[t].len();
+            let sel: f64 = analysis.filters[t]
+                .iter()
+                .map(|f| conjunct_selectivity(f, tables, &stats))
+                .product();
+            let base_est = rows * sel.clamp(0.0, 1.0);
+            // Candidate accesses: a scan, or a probe on any literal-eq.
+            let mut access = Access::Scan;
+            let mut access_cost = cost::scan_access_cost(rows, nf);
+            for (col, lit) in &analysis.literal_eqs[t] {
+                let cand = stats.est_eq_rows(*col, lit);
+                let build = cost::index_build_cost(
+                    rows,
+                    tables[t].1.columns()[*col].ty,
+                    tables[t].1.has_eq_index(*col),
+                );
+                let c = cost::index_access_cost(cand, nf, build);
+                if c < access_cost {
+                    access_cost = c;
+                    access = Access::IndexEq { column: *col, literal: lit.clone() };
+                }
+            }
+            TableFacts { stats, base_est, access, access_cost }
+        })
+        .collect();
+
+    // Price extending a partial join (`mask`, `cur_rows` tuples) with
+    // table `t`. Returns (added cost, resulting rows, extension).
+    let extend = |mask: u32, cur_rows: f64, t: usize| -> (f64, f64, Extension) {
+        let f = &facts[t];
+        let rows_t = f.stats.rows as f64;
+        let nf = analysis.filters[t].len();
+        // Equis connecting t to the current set, as (equi index, left
+        // (pos, col) inside the set, right col on t).
+        let connecting: Vec<(usize, (usize, usize), usize)> = analysis
+            .equis
+            .iter()
+            .enumerate()
+            .filter_map(|(i, (ra, rb, _))| {
+                if ra.0 == t && mask & (1 << rb.0) != 0 {
+                    Some((i, *rb, ra.1))
+                } else if rb.0 == t && mask & (1 << ra.0) != 0 {
+                    Some((i, *ra, rb.1))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        if connecting.is_empty() {
+            // Cross join: enumerate t's filtered rows once, multiply.
+            let out = cur_rows * f.base_est;
+            let added = f.access_cost + cost::emit_cost(out);
+            return (added, out, Extension { table: t, access: f.access.clone(), join: None });
+        }
+        // Joint output estimate: every connecting equi applies its
+        // selectivity (the first is the physical join key, the rest are
+        // verified as residuals).
+        let mut out = cur_rows * f.base_est;
+        for &(i, (lpos, lcol), rcol) in &connecting {
+            let _ = i;
+            let ndv_l = facts[lpos].stats.ndv(lcol);
+            let ndv_r = f.stats.ndv(rcol);
+            out /= ndv_l.max(ndv_r).max(1.0);
+        }
+        // Pick the physical join key + algorithm by cost.
+        let mut best: Option<(f64, usize, JoinAlgo)> = None;
+        for &(i, (_lpos, _lcol), rcol) in &connecting {
+            let ndv_r = f.stats.ndv(rcol).max(1.0);
+            let raw_candidates = cur_rows * rows_t / ndv_r;
+            let filtered_pairs = cur_rows * (f.base_est / ndv_r).max(0.0);
+            let build = cost::index_build_cost(
+                rows_t,
+                tables[t].1.columns()[rcol].ty,
+                tables[t].1.has_eq_index(rcol),
+            );
+            let hash = cost::hash_join_cost(cur_rows, raw_candidates, nf, build);
+            let merge = cost::merge_join_cost(cur_rows, rows_t, f.base_est, nf, filtered_pairs);
+            let choices: &[(JoinAlgo, f64)] = match config.force_join {
+                Some(JoinAlgo::Hash) => &[(JoinAlgo::Hash, hash)],
+                Some(JoinAlgo::SortMerge) => &[(JoinAlgo::SortMerge, merge)],
+                None => &[(JoinAlgo::Hash, hash), (JoinAlgo::SortMerge, merge)],
+            };
+            for &(algo, c) in choices {
+                if best.as_ref().is_none_or(|(bc, _, _)| c < *bc) {
+                    best = Some((c, i, algo));
+                }
+            }
+        }
+        let (join_cost, equi_idx, algo) = best.expect("connecting is non-empty");
+        let added = join_cost + cost::emit_cost(out);
+        (added, out, Extension { table: t, access: Access::Scan, join: Some((equi_idx, algo)) })
+    };
+
+    // Enumerate the join order: exact DP over subsets when small, greedy
+    // otherwise. Ties break toward FROM order (ascending t, strict <).
+    let order: Vec<Extension> = if n == 1 {
+        vec![Extension { table: 0, access: facts[0].access.clone(), join: None }]
+    } else if n <= DP_TABLE_LIMIT {
+        // best[mask] = (cost, rows, predecessor mask, extension taken).
+        let full = (1u32 << n) - 1;
+        let mut best: Vec<Option<(f64, f64, u32, Extension)>> = vec![None; (full + 1) as usize];
+        for t in 0..n {
+            let f = &facts[t];
+            let c = f.access_cost + cost::emit_cost(f.base_est);
+            best[1usize << t] = Some((
+                c,
+                f.base_est,
+                0,
+                Extension { table: t, access: f.access.clone(), join: None },
+            ));
+        }
+        for mask in 1..=full {
+            let Some((cur_cost, cur_rows, _, _)) = best[mask as usize].clone() else {
+                continue;
+            };
+            for t in 0..n {
+                if mask & (1 << t) != 0 {
+                    continue;
+                }
+                let (added, out, ext) = extend(mask, cur_rows, t);
+                let next = mask | (1 << t);
+                let total = cur_cost + added;
+                if best[next as usize].as_ref().is_none_or(|(c, ..)| total < *c) {
+                    best[next as usize] = Some((total, out, mask, ext));
+                }
+            }
+        }
+        // Walk back from the full mask.
+        let mut rev = Vec::with_capacity(n);
+        let mut mask = full;
+        while mask != 0 {
+            let (_, _, prev, ext) = best[mask as usize].clone().expect("reachable");
+            rev.push(ext);
+            mask = prev;
+        }
+        rev.reverse();
+        rev
+    } else {
+        // Greedy: cheapest first table, then cheapest extension.
+        let mut order = Vec::with_capacity(n);
+        let start = (0..n)
+            .min_by(|&a, &b| {
+                let ca = facts[a].access_cost + cost::emit_cost(facts[a].base_est);
+                let cb = facts[b].access_cost + cost::emit_cost(facts[b].base_est);
+                ca.partial_cmp(&cb).unwrap_or(Ordering::Equal)
+            })
+            .expect("n > 0");
+        let mut cur_rows = facts[start].base_est;
+        let mut mask = 1u32 << start;
+        order.push(Extension { table: start, access: facts[start].access.clone(), join: None });
+        while order.len() < n {
+            let mut pick: Option<(f64, f64, Extension)> = None;
+            for t in 0..n {
+                if mask & (1 << t) != 0 {
+                    continue;
+                }
+                let (added, out, ext) = extend(mask, cur_rows, t);
+                if pick.as_ref().is_none_or(|(c, ..)| added < *c) {
+                    pick = Some((added, out, ext));
+                }
+            }
+            let (_, out, ext) = pick.expect("tables remain");
+            mask |= 1 << ext.table;
+            cur_rows = out;
+            order.push(ext);
+        }
+        order
+    };
+
+    // Lower the chosen order into steps.
+    let mut exec_pos = vec![0usize; n];
+    for (k, ext) in order.iter().enumerate() {
+        exec_pos[ext.table] = k;
+    }
+    let mut used = vec![false; analysis.equis.len()];
+    let mut steps = Vec::with_capacity(n);
+    let mut cum_cost = 0.0;
+    let mut cur_rows = 0.0;
+    let mut mask = 0u32;
+    for (k, ext) in order.iter().enumerate() {
+        let t = ext.table;
+        let (added, out) = if k == 0 {
+            (facts[t].access_cost + cost::emit_cost(facts[t].base_est), facts[t].base_est)
+        } else {
+            let (a, o, _) = extend(mask, cur_rows, t);
+            (a, o)
+        };
+        cum_cost += added;
+        cur_rows = out;
+        mask |= 1 << t;
+        let join = ext.join.map(|(equi_idx, algo)| {
+            used[equi_idx] = true;
+            let (ra, rb, _) = &analysis.equis[equi_idx];
+            let (left, right_col) = if ra.0 == t { (*rb, ra.1) } else { (*ra, rb.1) };
+            JoinKey { left_step: exec_pos[left.0], left_col: left.1, right_col, algo }
+        });
+        steps.push(Step {
+            table: t,
+            access: ext.access.clone(),
+            join,
+            filter: analysis.filters[t].clone(),
+            est_rows: out,
+            est_cost: cum_cost,
+        });
+    }
+
+    // Residuals: ready once every touched table has executed.
+    let ready_for =
+        |touched: &[usize]| -> usize { touched.iter().map(|&t| exec_pos[t]).max().unwrap_or(0) };
+    let mut residual: Vec<(usize, Expr)> = Vec::new();
+    for (i, (ra, rb, expr)) in analysis.equis.iter().enumerate() {
+        if !used[i] {
+            residual.push((ready_for(&[ra.0, rb.0]), expr.clone()));
+        }
+    }
+    for (touched, expr) in &analysis.other {
+        residual.push((ready_for(touched), expr.clone()));
+    }
+
+    let reordered = order.iter().enumerate().any(|(k, ext)| ext.table != k);
+    let merge_used =
+        steps.iter().any(|s| matches!(&s.join, Some(k) if k.algo == JoinAlgo::SortMerge));
+    let plan = SelectPlan {
+        restore_order: (reordered || merge_used) && n > 0,
+        reordered,
+        costed: true,
+        est_rows: cur_rows,
+        est_cost: cum_cost,
+        steps,
+        residual,
+    };
+    (plan, info)
+}
+
+/// Assemble the value row for a tuple of per-step row indices, in
+/// execution order.
+fn assemble(exec_tables: &[(&str, &Table)], tuple: &[u32], out: &mut Vec<Value>) {
     out.clear();
     for (pos, &row) in tuple.iter().enumerate() {
-        out.extend_from_slice(&tables[pos].1.rows()[row as usize]);
+        out.extend_from_slice(&exec_tables[pos].1.rows()[row as usize]);
     }
 }
 
@@ -302,6 +802,80 @@ fn step_filter(
     }
 }
 
+/// Sort-merge join: sort the (filtered) right rows and the accumulated
+/// tuples by normalized key, merge equal-key runs, and re-verify every
+/// pair with `sql_cmp` (group keys are supersets — see `stats.rs`).
+#[allow(clippy::too_many_arguments)]
+fn merge_join(
+    acc: &[Vec<u32>],
+    left_table: &Table,
+    left_step: usize,
+    left_col: usize,
+    right: &Table,
+    right_col: usize,
+    filters: &[Expr],
+    single: &[(&str, &Table)],
+    memo: &mut [u8],
+    examined: &mut u64,
+) -> Result<Vec<Vec<u32>>> {
+    let right_rows = right.rows();
+    *examined += right_rows.len() as u64;
+    let mut rkeys: Vec<(KeyRef<'_>, u32)> = Vec::new();
+    for (i, row) in right_rows.iter().enumerate() {
+        if let Some(k) = KeyRef::of(&row[right_col]) {
+            if step_filter(filters, single, i as u32, memo)? {
+                rkeys.push((k, i as u32));
+            }
+        }
+    }
+    rkeys.sort_unstable();
+
+    let left_rows = left_table.rows();
+    let mut lkeys: Vec<(KeyRef<'_>, u32)> = Vec::new();
+    for (i, tuple) in acc.iter().enumerate() {
+        let v = &left_rows[tuple[left_step] as usize][left_col];
+        if let Some(k) = KeyRef::of(v) {
+            lkeys.push((k, i as u32)); // NULL keys join nothing
+        }
+    }
+    lkeys.sort_unstable();
+
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < lkeys.len() && j < rkeys.len() {
+        match lkeys[i].0.cmp(&rkeys[j].0) {
+            Ordering::Less => i += 1,
+            Ordering::Greater => j += 1,
+            Ordering::Equal => {
+                let key = lkeys[i].0;
+                let (i0, j0) = (i, j);
+                while i < lkeys.len() && lkeys[i].0 == key {
+                    i += 1;
+                }
+                while j < rkeys.len() && rkeys[j].0 == key {
+                    j += 1;
+                }
+                for &(_, acc_idx) in &lkeys[i0..i] {
+                    let tuple = &acc[acc_idx as usize];
+                    let lval = &left_rows[tuple[left_step] as usize][left_col];
+                    for &(_, r) in &rkeys[j0..j] {
+                        *examined += 1;
+                        let rval = &right_rows[r as usize][right_col];
+                        if lval.sql_cmp(rval) != Some(Ordering::Equal) {
+                            continue; // group key was a superset
+                        }
+                        let mut extended = Vec::with_capacity(tuple.len() + 1);
+                        extended.extend_from_slice(tuple);
+                        extended.push(r);
+                        out.push(extended);
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
 /// Execute a plan, returning joined rows identical (values and order) to
 /// the scan path's filtered cross product. `examined` tallies every row
 /// enumerated or index candidate probed (the telemetry behind
@@ -313,23 +887,36 @@ pub fn execute_plan(
     total_width: usize,
     examined: &mut u64,
 ) -> Result<Vec<Vec<Value>>> {
+    let _ = offsets;
     let n = tables.len();
     debug_assert_eq!(plan.steps.len(), n);
 
-    // Tuples of per-table row indices joined so far.
+    // Tables in execution order, with execution-order row offsets for
+    // residual evaluation environments.
+    let exec_tables: Vec<(&str, &Table)> = plan.steps.iter().map(|s| tables[s.table]).collect();
+    let mut exec_offsets = Vec::with_capacity(n);
+    {
+        let mut w = 0usize;
+        for (_, t) in &exec_tables {
+            exec_offsets.push(w);
+            w += t.columns().len();
+        }
+    }
+
+    // Tuples of per-step row indices joined so far.
     let mut acc: Vec<Vec<u32>> = Vec::new();
     let mut scratch_row: Vec<Value> = Vec::new();
     let mut probe_scratch: Vec<u32> = Vec::new();
 
     for (k, step) in plan.steps.iter().enumerate() {
-        let t = tables[k].1;
-        let single = [(tables[k].0, t)];
+        let t = tables[step.table].1;
+        let single = [(tables[step.table].0, t)];
         let mut memo = vec![0u8; t.len()];
 
-        match (&step.join, k) {
+        match &step.join {
             // Step 0 or an explicit cross join: enumerate this table's
             // (filtered) rows once, then extend every tuple.
-            (None, _) => {
+            None => {
                 let mut right: Vec<u32> = Vec::new();
                 match &step.access {
                     Access::Scan => {
@@ -366,15 +953,30 @@ pub fn execute_plan(
                     acc = next;
                 }
             }
+            Some(key) if key.algo == JoinAlgo::SortMerge => {
+                acc = merge_join(
+                    &acc,
+                    exec_tables[key.left_step].1,
+                    key.left_step,
+                    key.left_col,
+                    t,
+                    key.right_col,
+                    &step.filter,
+                    &single,
+                    &mut memo,
+                    examined,
+                )?;
+            }
             // Hash join: probe this table's index with each accumulated
             // tuple's key value. Ascending buckets + accumulator order
-            // reproduce the cross product's lexicographic order.
-            (Some(key), _) => {
+            // reproduce the cross product's lexicographic order (when
+            // executing in FROM order).
+            Some(key) => {
                 let index = t.eq_index(key.right_col);
-                let left_rows = tables[key.left_table].1.rows();
+                let left_rows = exec_tables[key.left_step].1.rows();
                 let mut next = Vec::new();
                 for tuple in &acc {
-                    let lval = &left_rows[tuple[key.left_table] as usize][key.left_col];
+                    let lval = &left_rows[tuple[key.left_step] as usize][key.left_col];
                     if lval.is_null() {
                         continue; // NULL joins nothing
                     }
@@ -398,10 +1000,10 @@ pub fn execute_plan(
             }
         }
 
-        // Residuals that became evaluable once table k joined.
+        // Residuals that became evaluable once step k executed.
         if plan.residual.iter().any(|(ready, _)| *ready == k) {
-            let prefix_tables = &tables[..=k];
-            let prefix_offsets = &offsets[..=k];
+            let prefix_tables = &exec_tables[..=k];
+            let prefix_offsets = &exec_offsets[..=k];
             let mut kept = Vec::with_capacity(acc.len());
             for tuple in acc {
                 assemble(prefix_tables, &tuple, &mut scratch_row);
@@ -426,19 +1028,43 @@ pub fn execute_plan(
         }
     }
 
-    // Materialize value rows only for surviving tuples.
+    // Map FROM position -> execution step slot, for order restoration
+    // and FROM-order materialization.
+    let mut slot_of = vec![0usize; n];
+    for (slot, s) in plan.steps.iter().enumerate() {
+        slot_of[s.table] = slot;
+    }
+
+    // Reordered/merged pipelines emit tuples out of cross-product order;
+    // restore it by sorting on FROM-order row indices. Tuples are
+    // distinct combinations, so the order is total — no tie to break.
+    if plan.restore_order {
+        acc.sort_unstable_by(|a, b| {
+            for p in 0..n {
+                match a[slot_of[p]].cmp(&b[slot_of[p]]) {
+                    Ordering::Equal => continue,
+                    other => return other,
+                }
+            }
+            Ordering::Equal
+        });
+    }
+
+    // Materialize value rows only for surviving tuples, in FROM order.
     let mut joined = Vec::with_capacity(acc.len());
     for tuple in acc {
         let mut row = Vec::with_capacity(total_width);
-        for (pos, &r) in tuple.iter().enumerate() {
-            row.extend_from_slice(&tables[pos].1.rows()[r as usize]);
+        for (pos, (_, t)) in tables.iter().enumerate() {
+            row.extend_from_slice(&t.rows()[tuple[slot_of[pos]] as usize]);
         }
         joined.push(row);
     }
     Ok(joined)
 }
 
-/// Render a plan (or the scan fallback) as EXPLAIN output lines.
+/// Render a plan (or the scan fallback) as EXPLAIN output lines, in
+/// execution order. Costed plans annotate each step with estimated rows
+/// and cumulative cost.
 pub fn render_plan(
     tables: &[(&str, &Table)],
     plan: Option<&SelectPlan>,
@@ -449,15 +1075,20 @@ pub fn render_plan(
     match plan {
         Some(plan) => {
             for (k, step) in plan.steps.iter().enumerate() {
-                let t = tables[k].1;
-                let mut line = format!("  {}: ", names[k]);
+                let t = tables[step.table].1;
+                let mut line = format!("  {}: ", names[step.table]);
                 match &step.join {
                     Some(key) => {
+                        let left_from = plan.steps[key.left_step].table;
+                        let algo = match key.algo {
+                            JoinAlgo::Hash => "hash join",
+                            JoinAlgo::SortMerge => "merge join",
+                        };
                         line.push_str(&format!(
-                            "hash join({}.{} = {}.{})",
-                            names[key.left_table],
-                            tables[key.left_table].1.columns()[key.left_col].name,
-                            names[k],
+                            "{algo}({}.{} = {}.{})",
+                            names[left_from],
+                            tables[left_from].1.columns()[key.left_col].name,
+                            names[step.table],
                             t.columns()[key.right_col].name,
                         ));
                     }
@@ -481,10 +1112,29 @@ pub fn render_plan(
                     let fs: Vec<String> = step.filter.iter().map(|f| f.to_string()).collect();
                     line.push_str(&format!(" filter({})", fs.join(" and ")));
                 }
+                if plan.costed {
+                    line.push_str(&format!(
+                        " [est {} rows, cost {}]",
+                        step.est_rows.round() as u64,
+                        step.est_cost.round() as u64
+                    ));
+                }
                 lines.push(line);
             }
             for (ready, expr) in &plan.residual {
-                lines.push(format!("  residual after {}: {expr}", names[*ready]));
+                let name = names[plan.steps[*ready].table];
+                lines.push(format!("  residual after {name}: {expr}"));
+            }
+            if plan.reordered {
+                let order: Vec<&str> = plan.steps.iter().map(|s| names[s.table]).collect();
+                lines.push(format!("  join order: {} (cost-based)", order.join(", ")));
+            }
+            if plan.costed {
+                lines.push(format!(
+                    "  estimated: {} rows, total cost {}",
+                    plan.est_rows.round() as u64,
+                    plan.est_cost.round() as u64
+                ));
             }
         }
         None => {

@@ -93,6 +93,12 @@ pub(crate) struct CatalogTable {
     pub root: u32,
     /// `(column index, secondary-tree root)`.
     pub indexes: Vec<(u32, u32)>,
+    /// Whether the table had warm planner statistics at checkpoint time.
+    /// Stats are derived state — cheap to rebuild from the recovered
+    /// rows — so only this flag is persisted, and recovery re-warms
+    /// flagged tables so the first post-restart planning pass costs the
+    /// same as it did before the crash.
+    pub stats_warm: bool,
 }
 
 pub(crate) fn encode_catalog(tables: &[CatalogTable]) -> Vec<u8> {
@@ -118,6 +124,7 @@ pub(crate) fn encode_catalog(tables: &[CatalogTable]) -> Vec<u8> {
             codec::put_u32(&mut out, *col);
             codec::put_u32(&mut out, *root);
         }
+        codec::put_u8(&mut out, u8::from(t.stats_warm));
     }
     out
 }
@@ -149,7 +156,12 @@ fn decode_catalog(bytes: &[u8]) -> Result<Vec<CatalogTable>, RecoveryError> {
             let iroot = r.u32().map_err(|e| bad(e.0))?;
             indexes.push((col, iroot));
         }
-        tables.push(CatalogTable { name, columns, rows, root, indexes });
+        let stats_warm = match r.u8().map_err(|e| bad(e.0))? {
+            0 => false,
+            1 => true,
+            v => return Err(bad(format!("bad stats-warm flag {v}"))),
+        };
+        tables.push(CatalogTable { name, columns, rows, root, indexes, stats_warm });
     }
     Ok(tables)
 }
@@ -247,6 +259,12 @@ pub(crate) fn load_snapshot(
             }
             verified += entries;
             let _ = table.eq_index(col);
+        }
+        // Re-warm planner statistics for tables that had them: they are
+        // a pure function of the recovered rows, so rebuilding here is
+        // always consistent, whatever instant the crash hit.
+        if entry.stats_warm {
+            let _ = table.stats();
         }
         db.add_table(table).map_err(|e| {
             RecoveryError::Corrupt(format!("duplicate table {} in catalog: {e}", entry.name))

@@ -8,6 +8,7 @@
 //! copy-on-write via `Arc`, and `PartialEq`/`Debug` ignore them.
 
 use crate::index::HashIndex;
+use crate::stats::TableStats;
 use crate::value::Value;
 use crate::{Result, SqlError};
 use std::collections::HashMap;
@@ -43,6 +44,15 @@ pub struct Table {
     /// generation workers. `Arc` makes probes lock-free after a cheap
     /// handle clone and makes `Table::clone` copy-on-write.
     indexes: RwLock<HashMap<usize, Arc<HashIndex>>>,
+    /// Lazily built optimizer statistics — same acceleration-state
+    /// pattern as `indexes`: built on first use by the read-only planner
+    /// path, folded incrementally on append, dropped wholesale by
+    /// in-place mutation, shared copy-on-write across clones.
+    stats: RwLock<Option<Arc<TableStats>>>,
+    /// Bumped on every row change (append *and* in-place mutation); the
+    /// generation recorded inside [`TableStats`] must match for the
+    /// cached statistics to be trusted.
+    stats_gen: u64,
 }
 
 impl Clone for Table {
@@ -54,6 +64,8 @@ impl Clone for Table {
             // Share built indexes; a later insert_row on either copy
             // updates via Arc::make_mut (copy-on-write).
             indexes: RwLock::new(self.indexes.read().expect("index lock").clone()),
+            stats: RwLock::new(self.stats.read().expect("stats lock").clone()),
+            stats_gen: self.stats_gen,
         }
     }
 }
@@ -89,6 +101,8 @@ impl Table {
                 .collect(),
             rows: Vec::new(),
             indexes: RwLock::new(HashMap::new()),
+            stats: RwLock::new(None),
+            stats_gen: 0,
         }
     }
 
@@ -113,9 +127,12 @@ impl Table {
     }
 
     /// Mutable rows (used by UPDATE/DELETE execution). In-place mutation
-    /// invalidates every index; the next equality probe rebuilds lazily.
+    /// invalidates every index and the statistics; the next probe or
+    /// plan rebuilds lazily.
     pub(crate) fn rows_mut(&mut self) -> &mut Vec<Vec<Value>> {
         self.indexes.get_mut().expect("index lock").clear();
+        *self.stats.get_mut().expect("stats lock") = None;
+        self.stats_gen += 1;
         &mut self.rows
     }
 
@@ -138,6 +155,54 @@ impl Table {
     /// for tests and EXPLAIN).
     pub fn indexed_columns(&self) -> usize {
         self.indexes.read().expect("index lock").len()
+    }
+
+    /// Whether `column` already carries a built hash index. The cost
+    /// model charges a full build for cold indexes and nothing for warm
+    /// ones.
+    pub fn has_eq_index(&self, column: usize) -> bool {
+        self.indexes.read().expect("index lock").contains_key(&column)
+    }
+
+    /// Optimizer statistics for this table, building them on first use.
+    /// Returns a cheap `Arc` handle.
+    pub fn stats(&self) -> Arc<TableStats> {
+        self.stats_with_info().0
+    }
+
+    /// [`stats`](Self::stats) plus whether this call performed a (re)build
+    /// — the `sql.opt.stats_builds` telemetry signal.
+    pub fn stats_with_info(&self) -> (Arc<TableStats>, bool) {
+        if let Some(ts) = self.stats.read().expect("stats lock").as_ref() {
+            if ts.generation == self.stats_gen && !ts.needs_rebuild() {
+                return (Arc::clone(ts), false);
+            }
+        }
+        let built = Arc::new(TableStats::build(&self.rows, self.columns.len(), self.stats_gen));
+        // Two threads may race to build from the same rows; both products
+        // are identical (the build is deterministic), keep the newest.
+        *self.stats.write().expect("stats lock") = Some(Arc::clone(&built));
+        (built, true)
+    }
+
+    /// Statistics if already built *and* current, without building.
+    pub fn stats_if_warm(&self) -> Option<Arc<TableStats>> {
+        let guard = self.stats.read().expect("stats lock");
+        let ts = guard.as_ref()?;
+        (ts.generation == self.stats_gen).then(|| Arc::clone(ts))
+    }
+
+    /// The stats-generation counter: bumped on every row change.
+    pub fn stats_generation(&self) -> u64 {
+        self.stats_gen
+    }
+
+    /// Size band for plan-cache hysteresis: `floor(log2(rows)) + 1` (0
+    /// for an empty table). Single-row inserts only cross a band at
+    /// powers of two, so cached plans survive steady-state trickle
+    /// inserts but a table growing 100× always re-plans.
+    pub fn stats_band(&self) -> u32 {
+        64 - (self.rows.len() as u64).leading_zeros()
     }
 
     /// Fold a freshly appended row (already in `self.rows`) into every
@@ -220,7 +285,24 @@ impl Table {
     /// [`stage_named`](Self::stage_named). Infallible by construction.
     pub(crate) fn append_staged(&mut self, row: Vec<Value>) {
         self.rows.push(row);
+        self.stats_gen += 1;
         self.index_appended_row();
+        self.fold_appended_into_stats();
+    }
+
+    /// Fold the just-appended row into cached statistics when they
+    /// describe exactly the previous generation; otherwise drop them (a
+    /// gap means they were already stale).
+    fn fold_appended_into_stats(&mut self) {
+        let row = self.rows.last().expect("just pushed");
+        let slot = self.stats.get_mut().expect("stats lock");
+        if let Some(ts) = slot {
+            if ts.generation + 1 == self.stats_gen {
+                Arc::make_mut(ts).fold_appended(row, self.stats_gen);
+            } else {
+                *slot = None;
+            }
+        }
     }
 
     /// Append a full-width row, coercing each value.

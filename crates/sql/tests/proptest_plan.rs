@@ -11,7 +11,7 @@
 //! `Value::sql_cmp` that make index probes supersets.
 
 use proptest::prelude::*;
-use rocks_sql::Database;
+use rocks_sql::{Database, JoinAlgo, PlannerConfig, PlannerMode};
 
 /// Rows: (id, name-ish tag, membership, rack, tricky text tag).
 type NodeRow = (i64, String, i64, i64, &'static str);
@@ -36,11 +36,22 @@ fn membership_rows() -> impl Strategy<Value = Vec<(i64, String)>> {
     proptest::collection::vec((0i64..5, "[a-z]{1,6}"), 0..6)
 }
 
-fn build_db(nodes: &[NodeRow], memberships: &[(i64, String)]) -> Database {
+/// Third table keyed by the same tricky text domain as `nodes.tag`, so
+/// text equi-joins hit the Int↔Text coercion corners on *both* sides.
+fn app_rows() -> impl Strategy<Value = Vec<(i64, &'static str)>> {
+    proptest::collection::vec((0i64..8, tag_strategy()), 0..10)
+}
+
+fn build_db(
+    nodes: &[NodeRow],
+    memberships: &[(i64, String)],
+    apps: &[(i64, &'static str)],
+) -> Database {
     let mut db = Database::new();
     db.execute("create table nodes (id int, name text, membership int, rack int, tag text)")
         .unwrap();
     db.execute("create table memberships (id int, name text)").unwrap();
+    db.execute("create table apps (aid int, tag text)").unwrap();
     for (id, name, membership, rack, tag) in nodes {
         db.execute(&format!(
             "insert into nodes values ({id}, '{}', {membership}, {rack}, {tag})",
@@ -54,6 +65,9 @@ fn build_db(nodes: &[NodeRow], memberships: &[(i64, String)]) -> Database {
             name.replace('\'', "''")
         ))
         .unwrap();
+    }
+    for (aid, tag) in apps {
+        db.execute(&format!("insert into apps values ({aid}, {tag})")).unwrap();
     }
     db
 }
@@ -111,6 +125,38 @@ fn query_strategy() -> impl Strategy<Value = String> {
              nodes.rack = 1 and memberships.id > 1"
                 .to_string()
         ),
+        // Text equi-joins: histogram keys and merge-join runs group
+        // '5'/'05'/' 5'/5 together and must re-verify with sql_cmp.
+        Just("select nodes.id, apps.aid from nodes, apps where nodes.tag = apps.tag".to_string()),
+        Just(
+            "select nodes.id from nodes, apps where \
+             apps.tag = nodes.tag and apps.aid < 4 and nodes.rack = 1"
+                .to_string()
+        ),
+        // Three-table joins: join-order enumeration (DP) with range
+        // predicates that stay residual on the reordered pipeline.
+        Just(
+            "select nodes.name from nodes, memberships, apps where \
+             nodes.membership = memberships.id and nodes.tag = apps.tag"
+                .to_string()
+        ),
+        (0i64..8).prop_map(|n| {
+            format!(
+                "select nodes.id, apps.aid from nodes, memberships, apps where \
+                 nodes.membership = memberships.id and nodes.tag = apps.tag \
+                 and apps.aid = {n} and nodes.rack < 2"
+            )
+        }),
+        Just(
+            "select count(*) from nodes, memberships, apps where \
+             nodes.membership = memberships.id and nodes.tag = apps.tag \
+             and memberships.id < apps.aid"
+                .to_string()
+        ),
+        // Range predicates over the planned row set.
+        (0i64..12, 0i64..12).prop_map(|(lo, hi)| {
+            format!("select id from nodes where id > {lo} and id < {hi} and rack >= 1")
+        }),
         // Constant predicates.
         Just("select id from nodes where 1 = 1 and rack = 0".to_string()),
         Just("select id from nodes where 1 = 2".to_string()),
@@ -143,20 +189,53 @@ fn mutation_strategy() -> impl Strategy<Value = String> {
                                             membership = {from}"
         )),
         (0i64..12).prop_map(|id| format!("delete from nodes where id = {id}")),
+        (0i64..8, tag_strategy())
+            .prop_map(|(aid, tag)| format!("insert into apps values ({aid}, {tag})")),
+        (0i64..8).prop_map(|aid| format!("delete from apps where aid = {aid}")),
     ]
 }
 
-/// Assert planned and scan execution agree exactly — result or error.
+/// Every planner configuration the engine exposes: the default
+/// cost-based planner, the PR2-era heuristic baseline, and both join
+/// algorithms forced — all must agree with the scan, byte for byte.
+const CONFIGS: [(&str, PlannerConfig); 3] = [
+    ("heuristic", PlannerConfig { mode: PlannerMode::Heuristic, force_join: None }),
+    (
+        "force-hash",
+        PlannerConfig { mode: PlannerMode::CostBased, force_join: Some(JoinAlgo::Hash) },
+    ),
+    (
+        "force-merge",
+        PlannerConfig { mode: PlannerMode::CostBased, force_join: Some(JoinAlgo::SortMerge) },
+    ),
+];
+
+/// Assert planned and scan execution agree exactly — result or error —
+/// for the cached cost-based path and every explicit configuration.
 fn assert_differential(db: &Database, sql: &str) {
-    match (db.query_ref(sql), db.query_ref_scan(sql)) {
+    let scanned = db.query_ref_scan(sql);
+    match (db.query_ref(sql), &scanned) {
         (Ok(planned), Ok(scanned)) => {
-            assert_eq!(planned, scanned, "planned rows diverged for {sql}");
+            assert_eq!(&planned, scanned, "planned rows diverged for {sql}");
         }
         (Err(planned), Err(scanned)) => {
-            assert_eq!(planned, scanned, "planned error diverged for {sql}");
+            assert_eq!(&planned, scanned, "planned error diverged for {sql}");
         }
         (planned, scanned) => {
             panic!("one path failed for {sql}: planned={planned:?} scanned={scanned:?}");
+        }
+    }
+    for (label, config) in &CONFIGS {
+        match (db.query_ref_config(sql, config), &scanned) {
+            (Ok(planned), Ok(scanned)) => {
+                assert_eq!(&planned, scanned, "{label} rows diverged for {sql}");
+            }
+            (Err(planned), Err(scanned)) => {
+                assert_eq!(&planned, scanned, "{label} error diverged for {sql}");
+            }
+            (planned, scanned) => {
+                panic!("{label}: one path failed for {sql}: {planned:?} vs {scanned:?}");
+            }
         }
     }
 }
@@ -166,9 +245,10 @@ proptest! {
     fn planned_equals_scan(
         nodes in node_rows(),
         memberships in membership_rows(),
+        apps in app_rows(),
         queries in proptest::collection::vec(query_strategy(), 1..8),
     ) {
-        let db = build_db(&nodes, &memberships);
+        let db = build_db(&nodes, &memberships, &apps);
         for sql in &queries {
             assert_differential(&db, sql);
         }
@@ -178,10 +258,11 @@ proptest! {
     fn planned_equals_scan_across_mutations(
         nodes in node_rows(),
         memberships in membership_rows(),
+        apps in app_rows(),
         queries in proptest::collection::vec(query_strategy(), 1..4),
         mutations in proptest::collection::vec(mutation_strategy(), 1..4),
     ) {
-        let mut db = build_db(&nodes, &memberships);
+        let mut db = build_db(&nodes, &memberships, &apps);
         // Warm the indexes and plan cache, then interleave writes with
         // re-checks: stale index or plan state would diverge here.
         for sql in &queries {
@@ -201,7 +282,7 @@ proptest! {
         memberships in membership_rows(),
         probe in 0i64..12,
     ) {
-        let db = build_db(&nodes, &memberships);
+        let db = build_db(&nodes, &memberships, &[]);
         let direct = db.lookup_eq("nodes", "id", &rocks_sql::Value::Int(probe)).unwrap();
         let sql = db.query_ref_scan(&format!("select * from nodes where id = {probe}")).unwrap();
         prop_assert_eq!(direct, sql);
