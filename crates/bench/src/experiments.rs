@@ -6,7 +6,8 @@ use rocks_netsim::cluster::{
     max_full_speed_concurrency, serial_download_benchmark, table1_sweep, ClusterSim,
 };
 use rocks_netsim::engine::{Engine, EngineMode, Wakeup};
-use rocks_netsim::SimConfig;
+use rocks_netsim::shard::FederatedSim;
+use rocks_netsim::{SimConfig, TierConfig};
 use rocks_rpm::{synth, Repository, UpdateStream};
 
 /// Paper values for Table I: (nodes, minutes).
@@ -930,6 +931,33 @@ pub struct SweepRow {
     pub wall_ms: f64,
 }
 
+/// One row of the federated (sharded multi-tier) scaling sweep.
+#[derive(Debug, Clone)]
+pub struct FederationRow {
+    /// Concurrent node count.
+    pub nodes: usize,
+    /// Cabinet sub-simulators the run sharded into.
+    pub shards: usize,
+    /// Worker threads driving the shards.
+    pub threads: usize,
+    /// Simulated whole-cluster reinstall time in minutes.
+    pub virtual_minutes: f64,
+    /// Host wall-clock milliseconds.
+    pub wall_ms: f64,
+    /// Events processed across shard + tier engines.
+    pub events: u64,
+    /// Events per wall-clock second.
+    pub events_per_sec: f64,
+    /// Bytes served straight from cabinet proxy caches.
+    pub proxy_hit_bytes: u64,
+    /// Bytes that waited on (or joined) a cabinet fill.
+    pub proxy_miss_bytes: u64,
+    /// Bytes delivered campus → cabinet (each package once per cabinet).
+    pub cabinet_fill_bytes: f64,
+    /// Bytes delivered root → campus (each package once per campus).
+    pub root_fill_bytes: f64,
+}
+
 /// Measurements from the engine-scaling experiment: event throughput of
 /// the heap + class-aggregated scheduler against the reference per-flow
 /// scan, a fast-vs-reference wall-clock comparison of one large
@@ -951,6 +979,27 @@ pub struct NetsimScaleSnapshot {
     /// Large-n sweep rows (fast scheduler only — the reference path is
     /// intractable at 8192 nodes, which is the point of the PR).
     pub sweep: Vec<SweepRow>,
+    /// Federated (sharded multi-tier) sweep rows: 65k nodes in quick
+    /// runs, up to ~1M in the release sweep.
+    pub tiers: Vec<FederationRow>,
+    /// Parallel efficiency of the sharded engine at the smallest
+    /// federated point: `t_serial / (threads × t_threaded)`. 1.0 on a
+    /// single-core host (the serial path *is* the threaded path).
+    pub shard_efficiency: f64,
+    /// Worker threads the federated rows ran with
+    /// (`min(8, available cores)`).
+    pub federation_threads: usize,
+    /// Flat (single-engine) fast-scheduler events/second at the smallest
+    /// federated node count — the baseline the federation is measured
+    /// against.
+    pub flat_events_per_sec: f64,
+}
+
+impl NetsimScaleSnapshot {
+    /// Federated-to-flat events/second ratio at the comparison point.
+    pub fn federated_speedup(&self) -> f64 {
+        self.tiers.first().map_or(0.0, |row| row.events_per_sec / self.flat_events_per_sec)
+    }
 }
 
 impl NetsimScaleSnapshot {
@@ -976,8 +1025,28 @@ impl NetsimScaleSnapshot {
                 row.variant, row.nodes, row.virtual_minutes, row.wall_ms,
             ));
         }
+        let mut tiers = String::new();
+        for (i, row) in self.tiers.iter().enumerate() {
+            if i > 0 {
+                tiers.push_str(",\n");
+            }
+            tiers.push_str(&format!(
+                "    {{\"nodes\": {}, \"shards\": {}, \"threads\": {}, \"virtual_minutes\": {:.1}, \"wall_ms\": {:.1}, \"events\": {}, \"events_per_sec\": {:.0}, \"proxy_hit_bytes\": {}, \"proxy_miss_bytes\": {}, \"cabinet_fill_bytes\": {:.0}, \"root_fill_bytes\": {:.0}}}",
+                row.nodes,
+                row.shards,
+                row.threads,
+                row.virtual_minutes,
+                row.wall_ms,
+                row.events,
+                row.events_per_sec,
+                row.proxy_hit_bytes,
+                row.proxy_miss_bytes,
+                row.cabinet_fill_bytes,
+                row.root_fill_bytes,
+            ));
+        }
         format!(
-            "{{\n  \"experiment\": \"netsim_scale\",\n  \"throughput_flows\": {},\n  \"fast_events_per_sec\": {:.0},\n  \"ref_events_per_sec\": {:.0},\n  \"speedup\": {:.1},\n  \"reinstall\": {{\"nodes\": {}, \"fast_s\": {:.3}, \"ref_s\": {:.3}, \"speedup\": {:.1}}},\n  \"sweep\": [\n{sweep}\n  ]\n}}\n",
+            "{{\n  \"experiment\": \"netsim_scale\",\n  \"throughput_flows\": {},\n  \"fast_events_per_sec\": {:.0},\n  \"ref_events_per_sec\": {:.0},\n  \"speedup\": {:.1},\n  \"reinstall\": {{\"nodes\": {}, \"fast_s\": {:.3}, \"ref_s\": {:.3}, \"speedup\": {:.1}}},\n  \"sweep\": [\n{sweep}\n  ],\n  \"tiers\": [\n{tiers}\n  ],\n  \"federation_threads\": {},\n  \"shard_efficiency\": {:.3},\n  \"flat_events_per_sec\": {:.0},\n  \"federated_speedup\": {:.2}\n}}\n",
             self.throughput_flows,
             self.fast_events_per_sec,
             self.ref_events_per_sec,
@@ -986,6 +1055,10 @@ impl NetsimScaleSnapshot {
             self.reinstall_fast_s,
             self.reinstall_ref_s,
             self.reinstall_speedup(),
+            self.federation_threads,
+            self.shard_efficiency,
+            self.flat_events_per_sec,
+            self.federated_speedup(),
         )
     }
 }
@@ -1025,6 +1098,38 @@ pub fn timed_reinstall(cfg: SimConfig, nodes: usize, mode: EngineMode) -> (f64, 
     (start.elapsed().as_secs_f64(), result.total_minutes())
 }
 
+/// Worker threads the federated sweep runs with: one per core, capped
+/// at 8 (the efficiency point the acceptance floor is stated at).
+pub fn federation_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get).min(8)
+}
+
+/// Run one federated (sharded multi-tier) reinstall of `nodes` machines
+/// across `threads` workers and report the row.
+pub fn timed_federated(nodes: usize, threads: usize) -> FederationRow {
+    let cfg = SimConfig::paper_testbed(1).bundled(12).without_node_logs();
+    let tiers = TierConfig::standard();
+    let mut sim = FederatedSim::new_tiered(cfg, tiers, nodes);
+    sim.set_threads(threads);
+    let start = std::time::Instant::now();
+    let result = sim.run_reinstall();
+    let wall_s = start.elapsed().as_secs_f64();
+    let report = sim.tier_report().expect("tiered run always has a tier report");
+    FederationRow {
+        nodes,
+        shards: sim.shard_count(),
+        threads,
+        virtual_minutes: result.total_minutes(),
+        wall_ms: wall_s * 1e3,
+        events: sim.events(),
+        events_per_sec: sim.events() as f64 / wall_s.max(1e-9),
+        proxy_hit_bytes: report.proxy_hit_bytes,
+        proxy_miss_bytes: report.proxy_miss_bytes,
+        cabinet_fill_bytes: report.cabinet_fill_bytes,
+        root_fill_bytes: report.root_fill_bytes,
+    }
+}
+
 /// Collect the full snapshot. `quick` shrinks every dimension so the CI
 /// debug build finishes in seconds; the release run covers the full
 /// n ∈ {64, 512, 2048, 8192} sweep.
@@ -1060,6 +1165,32 @@ pub fn measure_netsim_scale(quick: bool) -> NetsimScaleSnapshot {
         }
     }
 
+    // The federated sweep: 65k nodes in quick/debug runs, up to ~1M in
+    // the release sweep (8192 is where the flat engine tops out — the
+    // federation carries the remaining two orders of magnitude).
+    let threads = federation_threads();
+    let fed_ns: &[usize] = if quick { &[65_536] } else { &[65_536, 262_144, 1_048_576] };
+    let tiers: Vec<FederationRow> = fed_ns.iter().map(|&n| timed_federated(n, threads)).collect();
+
+    // Parallel efficiency at the smallest point. On a single-core host
+    // the threaded run *is* the serial run, so the ratio is 1 by
+    // definition and we skip the duplicate measurement.
+    let shard_efficiency = if threads > 1 {
+        let serial = timed_federated(fed_ns[0], 1);
+        (serial.wall_ms / tiers[0].wall_ms) / threads as f64
+    } else {
+        1.0
+    };
+
+    // Flat-engine baseline at the same node count and package load.
+    let flat_events_per_sec = {
+        let cfg = SimConfig::paper_testbed(1).bundled(12).without_node_logs();
+        let mut sim = ClusterSim::new_with_mode(cfg, fed_ns[0], EngineMode::Fast);
+        let start = std::time::Instant::now();
+        sim.run_reinstall();
+        sim.events() as f64 / start.elapsed().as_secs_f64().max(1e-9)
+    };
+
     NetsimScaleSnapshot {
         throughput_flows,
         fast_events_per_sec,
@@ -1068,6 +1199,10 @@ pub fn measure_netsim_scale(quick: bool) -> NetsimScaleSnapshot {
         reinstall_fast_s,
         reinstall_ref_s,
         sweep,
+        tiers,
+        shard_efficiency,
+        federation_threads: threads,
+        flat_events_per_sec,
     }
 }
 
@@ -1099,6 +1234,26 @@ pub fn netsim_scale(quick: bool) -> String {
         out.push_str(&format!(
             "{:<13} | {:>5} | {:>11.1} | {:>8.1}\n",
             row.variant, row.nodes, row.virtual_minutes, row.wall_ms,
+        ));
+    }
+    out.push_str(&format!(
+        "federated sweep ({} threads, shard efficiency {:.2}, {:.1}x flat at {} nodes):\n\
+         nodes    | shards | virtual min |  wall ms |      ev/s | root MB | cabinet MB\n",
+        snap.federation_threads,
+        snap.shard_efficiency,
+        snap.federated_speedup(),
+        snap.tiers.first().map_or(0, |r| r.nodes),
+    ));
+    for row in &snap.tiers {
+        out.push_str(&format!(
+            "{:>8} | {:>6} | {:>11.1} | {:>8.1} | {:>9.0} | {:>7.1} | {:>10.1}\n",
+            row.nodes,
+            row.shards,
+            row.virtual_minutes,
+            row.wall_ms,
+            row.events_per_sec,
+            row.root_fill_bytes / 1e6,
+            row.cabinet_fill_bytes / 1e6,
         ));
     }
     out.push_str(&written);
@@ -1803,6 +1958,22 @@ mod tests {
                 virtual_minutes: 10.0,
                 wall_ms: 5.0,
             }],
+            tiers: vec![FederationRow {
+                nodes: 65_536,
+                shards: 1024,
+                threads: 8,
+                virtual_minutes: 12.0,
+                wall_ms: 900.0,
+                events: 2_000_000,
+                events_per_sec: 2.2e6,
+                proxy_hit_bytes: 111,
+                proxy_miss_bytes: 222,
+                cabinet_fill_bytes: 333.0,
+                root_fill_bytes: 444.0,
+            }],
+            shard_efficiency: 0.75,
+            federation_threads: 8,
+            flat_events_per_sec: 0.5e6,
         };
         let json = snap.to_json();
         for key in [
@@ -1816,6 +1987,16 @@ mod tests {
             "\"nodes\": 64",
             "\"virtual_minutes\": 10.0",
             "\"wall_ms\": 5.0",
+            "\"tiers\"",
+            "\"nodes\": 65536",
+            "\"shards\": 1024",
+            "\"proxy_hit_bytes\": 111",
+            "\"proxy_miss_bytes\": 222",
+            "\"cabinet_fill_bytes\": 333",
+            "\"root_fill_bytes\": 444",
+            "\"shard_efficiency\": 0.750",
+            "\"federation_threads\": 8",
+            "\"federated_speedup\": 4.40",
         ] {
             assert!(json.contains(key), "missing {key} in\n{json}");
         }
@@ -1863,6 +2044,61 @@ mod tests {
         };
         assert!(minutes("gige", 512) < minutes("fast-ethernet", 512));
         assert!(minutes("replica-4", 512) < minutes("fast-ethernet", 512));
+        // The federated point: every cabinet's packages crossed the
+        // campus uplinks once, so cabinet fills stay a small multiple of
+        // (but strictly above) the root's one-per-campus deliveries.
+        assert_eq!(snap.tiers.len(), 1, "quick sweep runs the 65k point");
+        let fed = &snap.tiers[0];
+        assert_eq!(fed.nodes, 65_536);
+        assert_eq!(fed.shards, 1024);
+        assert!(fed.virtual_minutes > 0.0 && fed.events > 0);
+        assert!(fed.proxy_hit_bytes > 0, "later fetchers must hit the proxy cache");
+        assert!(fed.cabinet_fill_bytes > fed.root_fill_bytes);
+        assert!(snap.shard_efficiency > 0.0);
+        assert!(snap.flat_events_per_sec > 0.0);
+    }
+
+    /// The release floor the CI sweep enforces for the federated engine:
+    /// at 65k nodes the sharded run must beat the flat engine's
+    /// events/second — 4x with 8+ worker cores, scaled down on smaller
+    /// hosts (on one core the only win is smaller per-shard schedulers,
+    /// so the floor just guards against regression). Debug builds
+    /// measure at 8k nodes so the tier-1 run stays quick.
+    #[test]
+    fn netsim_federation_floor() {
+        let nodes = if cfg!(debug_assertions) { 8_192 } else { 65_536 };
+        let threads = federation_threads();
+        let fed = timed_federated(nodes, threads);
+        let flat_events_per_sec = {
+            let cfg = SimConfig::paper_testbed(1).bundled(12).without_node_logs();
+            let mut sim = ClusterSim::new_with_mode(cfg, nodes, EngineMode::Fast);
+            let start = std::time::Instant::now();
+            sim.run_reinstall();
+            sim.events() as f64 / start.elapsed().as_secs_f64().max(1e-9)
+        };
+        let speedup = fed.events_per_sec / flat_events_per_sec;
+        let floor = match threads {
+            8.. => 4.0,
+            4..=7 => 2.0,
+            _ => 0.5,
+        };
+        assert!(
+            speedup >= floor,
+            "federated only {speedup:.2}x flat at {nodes} nodes with {threads} threads \
+             (fed {:.0} ev/s, flat {flat_events_per_sec:.0} ev/s, floor {floor}x)",
+            fed.events_per_sec,
+        );
+        if threads > 1 {
+            let serial = timed_federated(nodes, 1);
+            let efficiency = (serial.wall_ms / fed.wall_ms) / threads as f64;
+            assert!(
+                efficiency >= 0.6,
+                "shard efficiency {efficiency:.2} below 0.6 at {threads} threads \
+                 (serial {:.0} ms, threaded {:.0} ms)",
+                serial.wall_ms,
+                fed.wall_ms,
+            );
+        }
     }
 
     #[test]

@@ -86,9 +86,17 @@ impl ClassTable {
         id: FlowId,
         bytes: f64,
     ) -> (ClassId, f64) {
-        let key = (route.to_vec(), demand_bps.to_bits());
-        let cid = match self.index.get(&key) {
-            Some(&cid) => cid,
+        // Linear scan instead of a keyed lookup: class counts stay tiny
+        // (distinct route × demand pairs), and this avoids allocating a
+        // key vector on every flow start — the hottest call in the
+        // federated sweep.
+        let bits = demand_bps.to_bits();
+        let found = self
+            .slots
+            .iter()
+            .position(|c| c.demand_bps.to_bits() == bits && c.route.as_slice() == route);
+        let cid = match found {
+            Some(cid) => cid,
             None => {
                 self.slots.push(Class {
                     route: route.to_vec(),
@@ -99,7 +107,7 @@ impl ClassTable {
                     marks: BinaryHeap::new(),
                 });
                 let cid = self.slots.len() - 1;
-                self.index.insert(key, cid);
+                self.index.insert((route.to_vec(), bits), cid);
                 cid
             }
         };
@@ -159,6 +167,14 @@ impl ClassTable {
     /// Number of class slots ever created (including currently empty ones).
     pub fn len(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Total live members across all classes. The engine asserts in
+    /// debug builds that this tracks its flow map exactly — the
+    /// invariant the federated shard engines lean on when they treat
+    /// class membership as the count of in-flight transfers.
+    pub fn live_members(&self) -> usize {
+        self.slots.iter().map(|c| c.members).sum()
     }
 
     /// Class ids in deterministic (route, demand-bits) key order.

@@ -39,7 +39,9 @@ pub enum Fault {
 }
 
 /// Engine tags at or above this value address control events, not nodes.
-const CONTROL_TAG_BASE: usize = 1 << 32;
+/// Shared with the federated driver so flat and federated runs dispatch
+/// faults through the same tag space.
+pub(crate) const CONTROL_TAG_BASE: usize = 1 << 32;
 
 /// Outcome of one whole-cluster reinstallation.
 #[derive(Debug, Clone)]
@@ -108,6 +110,51 @@ impl ReinstallResult {
 
 /// Alias kept for API clarity at call sites that only care about success.
 pub type ReinstallOutcome = ReinstallResult;
+
+/// Build the flat (non-federated) topology: one engine holding the
+/// server links plus optional cabinet uplinks, and the node array wired
+/// round-robin across servers. Shared by [`ClusterSim`] and the
+/// federated driver's single-shard flat mode, so the two construct
+/// byte-identical simulations by definition.
+pub(crate) fn build_flat_topology(
+    cfg: &SimConfig,
+    n_nodes: usize,
+    mode: EngineMode,
+) -> (Engine, Vec<SimNode>, Vec<f64>) {
+    let mut engine = Engine::new_with_mode(vec![cfg.server_capacity_bps; cfg.n_servers], mode);
+    let mut link_base = vec![cfg.server_capacity_bps; cfg.n_servers];
+    let mut cabinet_links = Vec::new();
+    if let Some(k) = cfg.cabinet_size {
+        let n_cabinets = n_nodes.div_ceil(k);
+        for _ in 0..n_cabinets {
+            cabinet_links.push(engine.add_link(cfg.cabinet_uplink_bps));
+            link_base.push(cfg.cabinet_uplink_bps);
+        }
+    }
+    let nodes = (0..n_nodes)
+        .map(|i| {
+            // Home server first, then the remaining replicas in ring
+            // order — the failover rotation the retrying install
+            // protocol walks.
+            let servers: Vec<usize> = (0..cfg.n_servers).map(|s| (i + s) % cfg.n_servers).collect();
+            let mut extra = Vec::new();
+            if let Some(k) = cfg.cabinet_size {
+                extra.push(cabinet_links[i / k]);
+            }
+            let cabinet = cfg.cabinet_size.map_or(0, |k| i / k);
+            let mut node = SimNode::with_failover(
+                i,
+                &format!("compute-{cabinet}-{i}"),
+                servers,
+                extra,
+                cfg.seed,
+            );
+            node.set_quiet(!cfg.node_logs);
+            node
+        })
+        .collect();
+    (engine, nodes, link_base)
+}
 
 /// Pre-resolved metric handles, built once in
 /// [`ClusterSim::set_tracer`]. The hot path (`step_once`) only bumps
@@ -188,37 +235,7 @@ impl ClusterSim {
     /// differential tests and the fast-vs-reference benchmark drive the
     /// same cluster through both paths.
     pub fn new_with_mode(cfg: SimConfig, n_nodes: usize, mode: EngineMode) -> ClusterSim {
-        let mut engine = Engine::new_with_mode(vec![cfg.server_capacity_bps; cfg.n_servers], mode);
-        let mut link_base = vec![cfg.server_capacity_bps; cfg.n_servers];
-        let mut cabinet_links = Vec::new();
-        if let Some(k) = cfg.cabinet_size {
-            let n_cabinets = n_nodes.div_ceil(k);
-            for _ in 0..n_cabinets {
-                cabinet_links.push(engine.add_link(cfg.cabinet_uplink_bps));
-                link_base.push(cfg.cabinet_uplink_bps);
-            }
-        }
-        let nodes = (0..n_nodes)
-            .map(|i| {
-                // Home server first, then the remaining replicas in ring
-                // order — the failover rotation the retrying install
-                // protocol walks.
-                let servers: Vec<usize> =
-                    (0..cfg.n_servers).map(|s| (i + s) % cfg.n_servers).collect();
-                let mut extra = Vec::new();
-                if let Some(k) = cfg.cabinet_size {
-                    extra.push(cabinet_links[i / k]);
-                }
-                let cabinet = cfg.cabinet_size.map_or(0, |k| i / k);
-                SimNode::with_failover(
-                    i,
-                    &format!("compute-{cabinet}-{i}"),
-                    servers,
-                    extra,
-                    cfg.seed,
-                )
-            })
-            .collect();
+        let (engine, nodes, link_base) = build_flat_topology(&cfg, n_nodes, mode);
         let n_links = link_base.len();
         ClusterSim {
             cfg,
@@ -286,6 +303,13 @@ impl ClusterSim {
     /// Current virtual time in seconds.
     pub fn now_seconds(&self) -> f64 {
         seconds(self.engine.now())
+    }
+
+    /// Engine wakeups processed so far (flow completions, timers, and
+    /// control events) — the denominator of events/second comparisons
+    /// against the federated engine.
+    pub fn events(&self) -> u64 {
+        self.events.flows + self.events.timers + self.events.faults
     }
 
     /// Power on every node simultaneously and run until the cluster
@@ -384,7 +408,7 @@ impl ClusterSim {
                 // spin on Idle forever.
                 let active = self.engine.active_flows();
                 if active > 0 {
-                    return Err(SimError::Stalled { active_flows: active });
+                    return Err(SimError::Stalled { active_flows: active, shard: None });
                 }
                 return Ok(false);
             }
@@ -882,8 +906,9 @@ mod tests {
         let mut sim = ClusterSim::new(small_cfg(1), 4);
         sim.inject_fault_at(120.0, Fault::ServerDown(0));
         match sim.try_run_reinstall() {
-            Err(ReinstallError::Sim(SimError::Stalled { active_flows })) => {
-                assert!(active_flows > 0)
+            Err(ReinstallError::Sim(SimError::Stalled { active_flows, shard })) => {
+                assert!(active_flows > 0);
+                assert_eq!(shard, None, "a flat ClusterSim run has no shard to blame");
             }
             other => panic!("expected a stall, got {other:?}"),
         }

@@ -146,6 +146,9 @@ pub struct SimConfig {
     /// behaviour exactly: a fetch with no bandwidth waits forever (and a
     /// permanently dead server stalls the simulation).
     pub retry: Option<RetryPolicy>,
+    /// Keep per-node eKV logs. Million-node federated sweeps turn this
+    /// off: per-event string formatting would dominate the run.
+    pub node_logs: bool,
     /// RNG seed for phase jitter.
     pub seed: u64,
 }
@@ -191,8 +194,15 @@ impl SimConfig {
             cabinet_size: None,
             cabinet_uplink_bps: FAST_ETHERNET_SERVER_BPS,
             retry: None,
+            node_logs: true,
             seed,
         }
+    }
+
+    /// Drop per-node eKV logs (large federated sweeps).
+    pub fn without_node_logs(mut self) -> SimConfig {
+        self.node_logs = false;
+        self
     }
 
     /// Enable the retrying install protocol.
@@ -251,6 +261,100 @@ impl SimConfig {
     /// Total CPU seconds one node spends unpacking.
     pub fn node_install_seconds(&self) -> f64 {
         self.packages.iter().map(|p| p.installed_bytes).sum::<u64>() as f64 / self.install_bps
+    }
+}
+
+/// Topology of the multi-tier distribution fabric (§6.2's vendor →
+/// NPACI → campus → department hierarchy, mapped onto a cluster as
+/// root → campus distribution servers → cabinet caching proxies →
+/// nodes).
+///
+/// Each cabinet of [`cabinet_size`](TierConfig::cabinet_size) nodes
+/// sits behind a caching HTTP proxy; each group of
+/// [`cabinets_per_campus`](TierConfig::cabinets_per_campus) cabinets
+/// shares a campus distribution server (itself a cache fed from the
+/// root). A cacheable package byte-range therefore crosses each uplink
+/// exactly once; only the per-node kickstart CGI files cross the
+/// cabinet uplinks once per request (they originate at the campus
+/// frontend, which generates them).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TierConfig {
+    /// Nodes per cabinet — also the shard granularity of the federated
+    /// engine (one sub-simulator per cabinet).
+    pub cabinet_size: usize,
+    /// Cabinets per campus distribution server.
+    pub cabinets_per_campus: usize,
+    /// Aggregate serve capacity of one cabinet proxy toward its nodes,
+    /// bytes/s.
+    pub proxy_serve_bps: f64,
+    /// Capacity of the uplink one cabinet fill consumes from its campus
+    /// server, bytes/s (a demand cap on the campus serve link).
+    pub cabinet_uplink_bps: f64,
+    /// Aggregate serve capacity of one campus distribution server
+    /// toward its cabinets, bytes/s.
+    pub campus_serve_bps: f64,
+    /// Capacity of the uplink one campus fill consumes from the root,
+    /// bytes/s (a demand cap on the root link).
+    pub campus_uplink_bps: f64,
+    /// Root (vendor/master mirror) serve capacity, bytes/s.
+    pub root_bps: f64,
+    /// Store-and-forward latency of a tier hop, seconds: the delay
+    /// between a fill completing at a proxy and the proxy serving it
+    /// downstream. This is also the conservative sync window (lookahead)
+    /// of the federated engine, so it must be positive.
+    pub fill_latency_s: f64,
+}
+
+impl TierConfig {
+    /// A plausible hierarchy for commodity racks: 64-node cabinets on
+    /// GigE proxies fed over Fast-Ethernet-class uplinks, 64 cabinets
+    /// per campus server, 250 ms store-and-forward per hop.
+    pub fn standard() -> TierConfig {
+        TierConfig {
+            cabinet_size: 64,
+            cabinets_per_campus: 64,
+            proxy_serve_bps: GIGE_SERVER_BPS,
+            cabinet_uplink_bps: FAST_ETHERNET_SERVER_BPS,
+            campus_serve_bps: 4.0 * GIGE_SERVER_BPS,
+            campus_uplink_bps: GIGE_SERVER_BPS,
+            root_bps: 10.0 * GIGE_SERVER_BPS,
+            fill_latency_s: 0.25,
+        }
+    }
+
+    /// Number of cabinets needed for `n` nodes (last cabinet may be
+    /// partial).
+    pub fn n_cabinets(&self, n_nodes: usize) -> usize {
+        n_nodes.div_ceil(self.cabinet_size)
+    }
+
+    /// Number of campus servers needed for `n` nodes.
+    pub fn n_campuses(&self, n_nodes: usize) -> usize {
+        self.n_cabinets(n_nodes).div_ceil(self.cabinets_per_campus)
+    }
+
+    /// Campus index of a cabinet.
+    pub fn campus_of(&self, cabinet: usize) -> usize {
+        cabinet / self.cabinets_per_campus
+    }
+}
+
+#[cfg(test)]
+mod tier_tests {
+    use super::*;
+
+    #[test]
+    fn standard_tiers_partition_a_million_nodes() {
+        let t = TierConfig::standard();
+        assert!(t.fill_latency_s > 0.0);
+        assert_eq!(t.n_cabinets(1_048_576), 16_384);
+        assert_eq!(t.n_campuses(1_048_576), 256);
+        assert_eq!(t.campus_of(0), 0);
+        assert_eq!(t.campus_of(63), 0);
+        assert_eq!(t.campus_of(64), 1);
+        // A partial last cabinet still gets its own shard.
+        assert_eq!(t.n_cabinets(65), 2);
+        assert_eq!(t.n_campuses(65), 1);
     }
 }
 

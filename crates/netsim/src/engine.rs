@@ -33,8 +33,9 @@
 //! simultaneous timers fire in arm order.
 
 use crate::classes::{ClassId, ClassTable};
+use crate::hash::IntMap;
 use crate::queue::TimerQueue;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Virtual time in microseconds since simulation start.
@@ -74,13 +75,21 @@ pub enum SimError {
     Stalled {
         /// Number of flows stuck with zero rate.
         active_flows: usize,
+        /// Which cabinet sub-simulator stalled, for federated runs;
+        /// `None` for the flat single-engine driver.
+        shard: Option<usize>,
     },
 }
 
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::Stalled { active_flows } => write!(
+            SimError::Stalled { active_flows, shard: Some(shard) } => write!(
+                f,
+                "simulation stalled in shard {shard}: {active_flows} active flow(s) have \
+                 no bandwidth and no timer is armed"
+            ),
+            SimError::Stalled { active_flows, shard: None } => write!(
                 f,
                 "simulation stalled: {active_flows} active flow(s) have no bandwidth \
                  and no timer is armed"
@@ -100,16 +109,15 @@ pub struct Flow {
     pub remaining: f64,
     /// Demand cap in bytes/s (NIC or single-stream limit).
     pub demand_bps: f64,
-    /// Links this flow traverses (server uplink, and optionally a
-    /// cabinet-switch uplink — Figure 1's two-tier Ethernet). Delivered
-    /// bytes are credited to every link on the route.
-    pub route: Vec<usize>,
     /// Opaque tag the owner uses to route the completion (node id).
     pub tag: usize,
     /// Currently allocated rate (reference path; the fast path reads the
     /// class rate instead).
     rate_bps: f64,
-    /// Equivalence class this flow belongs to.
+    /// Equivalence class this flow belongs to. The links the flow
+    /// traverses (server uplink, and optionally a cabinet-switch uplink —
+    /// Figure 1's two-tier Ethernet) live on the class: every member
+    /// shares the same route by construction, so flows don't own a copy.
     class: ClassId,
     /// Class service level at which this flow completes (fast path).
     finish_service: f64,
@@ -143,8 +151,10 @@ pub struct Engine {
     next_flow_id: FlowId,
     mode: EngineMode,
     flows: BTreeMap<FlowId, Flow>,
-    /// Live flow ids per tag, for O(k) tagged cancellation.
-    flows_by_tag: HashMap<usize, Vec<FlowId>>,
+    /// Live flow ids per tag, for O(k) tagged cancellation. Entries
+    /// outlive their flows (an emptied vector keeps its capacity for the
+    /// tag's next flow) so the per-flow path never allocates here.
+    flows_by_tag: IntMap<usize, Vec<FlowId>>,
     classes: ClassTable,
     timers: TimerQueue,
     /// Per-link capacity in bytes/s.
@@ -170,7 +180,7 @@ impl Engine {
             next_flow_id: 1,
             mode,
             flows: BTreeMap::new(),
-            flows_by_tag: HashMap::new(),
+            flows_by_tag: IntMap::default(),
             classes: ClassTable::default(),
             timers: TimerQueue::default(),
             link_capacity,
@@ -218,36 +228,30 @@ impl Engine {
 
     /// Start a transfer over a single link. Returns its id.
     pub fn start_flow(&mut self, link: usize, tag: usize, bytes: u64, demand_bps: f64) -> FlowId {
-        self.start_flow_routed(vec![link], tag, bytes, demand_bps)
+        self.start_flow_routed(&[link], tag, bytes, demand_bps)
     }
 
     /// Start a transfer crossing every link in `route` (e.g. server
-    /// uplink then cabinet uplink). Returns its id.
+    /// uplink then cabinet uplink). Returns its id. The route is
+    /// borrowed: it is interned on the flow's (route, demand) class, so
+    /// starting a flow never allocates for an already-seen route.
     pub fn start_flow_routed(
         &mut self,
-        route: Vec<usize>,
+        route: &[usize],
         tag: usize,
         bytes: u64,
         demand_bps: f64,
     ) -> FlowId {
         assert!(!route.is_empty(), "a flow needs at least one link");
-        for &link in &route {
+        for &link in route {
             assert!(link < self.link_capacity.len(), "unknown link {link}");
         }
         let id = self.next_flow_id;
         self.next_flow_id += 1;
-        let (class, finish_service) = self.classes.join(&route, demand_bps, id, bytes as f64);
+        let (class, finish_service) = self.classes.join(route, demand_bps, id, bytes as f64);
         self.flows.insert(
             id,
-            Flow {
-                remaining: bytes as f64,
-                demand_bps,
-                route,
-                tag,
-                rate_bps: 0.0,
-                class,
-                finish_service,
-            },
+            Flow { remaining: bytes as f64, demand_bps, tag, rate_bps: 0.0, class, finish_service },
         );
         self.flows_by_tag.entry(tag).or_default().push(id);
         self.dirty = true;
@@ -260,9 +264,6 @@ impl Engine {
             if let Some(pos) = ids.iter().position(|&f| f == id) {
                 ids.swap_remove(pos);
             }
-            if ids.is_empty() {
-                self.flows_by_tag.remove(&tag);
-            }
         }
     }
 
@@ -272,9 +273,10 @@ impl Engine {
     /// very microsecond), claw the overshoot back. On the reference path
     /// class service never advances, so this is a no-op.
     fn settle_cancelled(&mut self, flow: &Flow) {
-        let over = self.classes.get(flow.class).service - flow.finish_service;
+        let class = self.classes.get(flow.class);
+        let over = class.service - flow.finish_service;
         if over > 0.0 {
-            for &link in &flow.route {
+            for &link in &class.route {
                 self.link_bytes[link] -= over;
             }
         }
@@ -344,7 +346,7 @@ impl Engine {
         let mut residual = self.link_capacity.clone();
         let mut unfrozen_count = vec![0usize; residual.len()];
         for flow in self.flows.values() {
-            for &link in &flow.route {
+            for &link in &self.classes.get(flow.class).route {
                 unfrozen_count[link] += 1;
             }
         }
@@ -356,7 +358,9 @@ impl Engine {
                 .enumerate()
                 .map(|(pos, id)| {
                     let flow = &self.flows[id];
-                    let share = flow
+                    let share = self
+                        .classes
+                        .get(flow.class)
                         .route
                         .iter()
                         .map(|&link| residual[link] / unfrozen_count[link] as f64)
@@ -368,9 +372,9 @@ impl Engine {
             let id = unfrozen.swap_remove(pos);
             let flow = self.flows.get_mut(&id).expect("flow exists");
             flow.rate_bps = rate.max(0.0);
-            for i in 0..flow.route.len() {
-                let link = flow.route[i];
-                residual[link] = (residual[link] - flow.rate_bps).max(0.0);
+            let frozen = flow.rate_bps;
+            for &link in &self.classes.get(flow.class).route {
+                residual[link] = (residual[link] - frozen).max(0.0);
                 unfrozen_count[link] -= 1;
             }
         }
@@ -440,18 +444,32 @@ impl Engine {
         })
     }
 
+    /// True while any flow is active or any timer is armed. An engine
+    /// with work that still peeks `None` is starved (every flow rate is
+    /// zero with no timer to change that); federated drivers use this
+    /// to tell quiescence from a stall.
+    pub fn has_work(&self) -> bool {
+        !self.flows.is_empty() || !self.timers.is_empty()
+    }
+
     /// Advance to the next event and return it. Advances the clock,
     /// credits delivered bytes, and removes finished flows/timers.
     pub fn step(&mut self) -> Wakeup {
+        debug_assert_eq!(
+            self.flows.len(),
+            self.classes.live_members(),
+            "class membership tracks the flow map"
+        );
         match self.mode {
             EngineMode::Fast => self.step_fast(),
             EngineMode::Reference => self.step_ref(),
         }
     }
 
-    /// The original per-flow scheduler: linear scan for the earliest
-    /// completion, per-flow byte debit on every event.
-    fn step_ref(&mut self) -> Wakeup {
+    /// Earliest pending flow completion and timer on the reference path.
+    /// Recomputes rates if dirty; does not consume anything.
+    #[allow(clippy::type_complexity)]
+    fn next_ref(&mut self) -> (Option<(SimTime, FlowId)>, Option<(SimTime, u64, usize)>) {
         if self.dirty {
             self.recompute_rates_ref();
         }
@@ -471,7 +489,13 @@ impl Engine {
         }
 
         // Earliest timer (armed-first wins a timestamp tie).
-        let timer = self.timers.earliest_scan();
+        (flow_done, self.timers.earliest_scan())
+    }
+
+    /// The original per-flow scheduler: linear scan for the earliest
+    /// completion, per-flow byte debit on every event.
+    fn step_ref(&mut self) -> Wakeup {
+        let (flow_done, timer) = self.next_ref();
 
         let (advance_to, is_timer) = match (flow_done, timer) {
             (Some((ft, _)), Some((tt, _, _))) => {
@@ -494,7 +518,7 @@ impl Engine {
         for flow in self.flows.values_mut() {
             let moved = (flow.rate_bps * dt_s).min(flow.remaining);
             flow.remaining -= moved;
-            for &link in &flow.route {
+            for &link in &self.classes.get(flow.class).route {
                 self.link_bytes[link] += moved;
             }
         }
@@ -510,7 +534,7 @@ impl Engine {
             self.detach_tag(id, flow.tag);
             // Completion may land half a microsecond early after
             // rounding; credit the residue so bytes are conserved.
-            for &link in &flow.route {
+            for &link in &self.classes.get(flow.class).route {
                 self.link_bytes[link] += flow.remaining;
             }
             self.classes.leave(flow.class);
@@ -519,9 +543,11 @@ impl Engine {
         }
     }
 
-    /// The fast scheduler: per-class completion heads, O(C) service
-    /// advance, lazy-deletion timer heap.
-    fn step_fast(&mut self) -> Wakeup {
+    /// Earliest pending flow completion and timer on the fast path.
+    /// Recomputes rates if dirty and prunes stale heap heads — both
+    /// idempotent — but does not consume anything.
+    #[allow(clippy::type_complexity)]
+    fn next_fast(&mut self) -> (Option<(SimTime, FlowId, ClassId)>, Option<(SimTime, u64, usize)>) {
         if self.dirty {
             self.recompute_rates_fast();
         }
@@ -558,8 +584,80 @@ impl Engine {
         }
 
         // Earliest timer (lazy heap; armed-first wins a timestamp tie).
-        let timer = self.timers.peek_earliest();
+        (flow_done, self.timers.peek_earliest())
+    }
 
+    /// Absolute virtual time of the next event (flow completion or
+    /// timer), or `None` when the engine is idle — possibly with starved
+    /// flows, which callers detect via [`Engine::active_flows`].
+    ///
+    /// This is the lookahead probe for the federated driver: a cabinet
+    /// shard whose `peek_next_at` lies beyond the current conservative
+    /// window can be skipped without stepping it. May recompute rates
+    /// and prune stale heap heads; both are semantically idempotent, so
+    /// interleaving peeks with [`Engine::step`] does not perturb the
+    /// event sequence.
+    pub fn peek_next_at(&mut self) -> Option<SimTime> {
+        let (flow_at, timer_at) = match self.mode {
+            EngineMode::Fast => {
+                let (f, t) = self.next_fast();
+                (f.map(|(at, _, _)| at), t.map(|(at, _, _)| at))
+            }
+            EngineMode::Reference => {
+                let (f, t) = self.next_ref();
+                (f.map(|(at, _)| at), t.map(|(at, _, _)| at))
+            }
+        };
+        match (flow_at, timer_at) {
+            (Some(f), Some(t)) => Some(f.min(t)),
+            (Some(f), None) => Some(f),
+            (None, Some(t)) => Some(t),
+            (None, None) => None,
+        }
+    }
+
+    /// Execute the next event only if it occurs strictly before `end`:
+    /// `Ok(wakeup)` when an event ran, `Err(Some(at))` when the next
+    /// event is at or past `end` (nothing executed), `Err(None)` when
+    /// the engine is idle. This is the windowed driver's inner step —
+    /// fused so the lookahead probe and the dispatch share one
+    /// next-event computation instead of two.
+    pub fn step_if_before(&mut self, end: SimTime) -> Result<Wakeup, Option<SimTime>> {
+        match self.mode {
+            EngineMode::Fast => {
+                let (flow_done, timer) = self.next_fast();
+                let at = match (flow_done, timer) {
+                    (None, None) => return Err(None),
+                    (Some((ft, _, _)), None) => ft,
+                    (None, Some((tt, _, _))) => tt,
+                    (Some((ft, _, _)), Some((tt, _, _))) => ft.min(tt),
+                };
+                if at >= end {
+                    return Err(Some(at));
+                }
+                Ok(self.commit_fast(flow_done, timer))
+            }
+            EngineMode::Reference => match self.peek_next_at() {
+                None => Err(None),
+                Some(at) if at >= end => Err(Some(at)),
+                Some(_) => Ok(self.step()),
+            },
+        }
+    }
+
+    /// The fast scheduler: per-class completion heads, O(C) service
+    /// advance, lazy-deletion timer heap.
+    fn step_fast(&mut self) -> Wakeup {
+        let (flow_done, timer) = self.next_fast();
+        self.commit_fast(flow_done, timer)
+    }
+
+    /// Execute the event `next_fast` selected.
+    fn commit_fast(
+        &mut self,
+        flow_done: Option<(SimTime, FlowId, ClassId)>,
+        timer: Option<(SimTime, u64, usize)>,
+    ) -> Wakeup {
         let (advance_to, is_timer) = match (flow_done, timer) {
             (Some((ft, _, _)), Some((tt, _, _))) => {
                 if tt <= ft {
@@ -596,8 +694,9 @@ impl Engine {
             // difference settles both the sub-microsecond rounding
             // residue (positive) and any completion-tie overshoot
             // (negative).
-            let settle = flow.finish_service - self.classes.get(cid).service;
-            for &link in &flow.route {
+            let class = self.classes.get(cid);
+            let settle = flow.finish_service - class.service;
+            for &link in &class.route {
                 self.link_bytes[link] += settle;
             }
             self.classes.leave(cid);
@@ -621,11 +720,17 @@ mod tests {
         }
     }
 
+    /// A live flow's allocated rate, with the scenario named in the
+    /// panic message so a failing sweep is diagnosable at a glance.
+    fn rate(engine: &mut Engine, id: FlowId, scenario: &str) -> f64 {
+        engine.flow_rate(id).unwrap_or_else(|| panic!("{scenario}: flow {id} should still be live"))
+    }
+
     #[test]
     fn single_flow_runs_at_demand_cap() {
         both_modes(vec![8.5 * MB], |engine| {
             let id = engine.start_flow(0, 7, 8_000_000, 8.0 * MB);
-            assert!((engine.flow_rate(id).unwrap() - 8.0 * MB).abs() < 1.0);
+            assert!((rate(engine, id, "single flow at demand cap") - 8.0 * MB).abs() < 1.0);
             let wakeup = engine.step();
             assert_eq!(wakeup, Wakeup::FlowDone { tag: 7 });
             assert!((seconds(engine.now()) - 1.0).abs() < 1e-3);
@@ -637,8 +742,8 @@ mod tests {
         both_modes(vec![8.0 * MB], |engine| {
             let a = engine.start_flow(0, 1, 1_000_000, 8.0 * MB);
             let b = engine.start_flow(0, 2, 1_000_000, 8.0 * MB);
-            assert!((engine.flow_rate(a).unwrap() - 4.0 * MB).abs() < 1.0);
-            assert!((engine.flow_rate(b).unwrap() - 4.0 * MB).abs() < 1.0);
+            assert!((rate(engine, a, "two flows split capacity") - 4.0 * MB).abs() < 1.0);
+            assert!((rate(engine, b, "two flows split capacity") - 4.0 * MB).abs() < 1.0);
         });
     }
 
@@ -648,8 +753,8 @@ mod tests {
         both_modes(vec![8.0 * MB], |engine| {
             let slow = engine.start_flow(0, 1, 1_000_000, 1.0 * MB);
             let fast = engine.start_flow(0, 2, 1_000_000, 12.0 * MB);
-            assert!((engine.flow_rate(slow).unwrap() - 1.0 * MB).abs() < 1.0);
-            assert!((engine.flow_rate(fast).unwrap() - 7.0 * MB).abs() < 1.0);
+            assert!((rate(engine, slow, "low-demand flow leaves capacity") - 1.0 * MB).abs() < 1.0);
+            assert!((rate(engine, fast, "low-demand flow leaves capacity") - 7.0 * MB).abs() < 1.0);
         });
     }
 
@@ -658,8 +763,8 @@ mod tests {
         both_modes(vec![8.0 * MB, 8.0 * MB], |engine| {
             let a = engine.start_flow(0, 1, 1_000_000, 10.0 * MB);
             let b = engine.start_flow(1, 2, 1_000_000, 10.0 * MB);
-            assert!((engine.flow_rate(a).unwrap() - 8.0 * MB).abs() < 1.0);
-            assert!((engine.flow_rate(b).unwrap() - 8.0 * MB).abs() < 1.0);
+            assert!((rate(engine, a, "independent servers") - 8.0 * MB).abs() < 1.0);
+            assert!((rate(engine, b, "independent servers") - 8.0 * MB).abs() < 1.0);
         });
     }
 
@@ -712,7 +817,7 @@ mod tests {
             assert!(engine.cancel_flow(a));
             assert!(!engine.cancel_flow(a));
             // b now gets full capacity.
-            assert!((engine.flow_rate(b).unwrap() - 10.0 * MB).abs() < 1.0);
+            assert!((rate(engine, b, "survivor after cancel_flow") - 10.0 * MB).abs() < 1.0);
             assert_eq!(engine.active_flows(), 1);
         });
     }
@@ -738,8 +843,8 @@ mod tests {
     fn two_link_flow_limited_by_tighter_link() {
         both_modes(vec![10.0 * MB], |engine| {
             let cabinet = engine.add_link(3.0 * MB);
-            let id = engine.start_flow_routed(vec![0, cabinet], 1, 3_000_000, 8.0 * MB);
-            assert!((engine.flow_rate(id).unwrap() - 3.0 * MB).abs() < 1.0);
+            let id = engine.start_flow_routed(&[0, cabinet], 1, 3_000_000, 8.0 * MB);
+            assert!((rate(engine, id, "two-link flow tight-link cap") - 3.0 * MB).abs() < 1.0);
             engine.step();
             assert!((seconds(engine.now()) - 1.0).abs() < 1e-3);
         });
@@ -751,7 +856,7 @@ mod tests {
         // cabinet-uplink utilization always read zero.
         both_modes(vec![10.0 * MB], |engine| {
             let cabinet = engine.add_link(3.0 * MB);
-            engine.start_flow_routed(vec![0, cabinet], 1, 3_000_000, 8.0 * MB);
+            engine.start_flow_routed(&[0, cabinet], 1, 3_000_000, 8.0 * MB);
             while engine.step() != Wakeup::Idle {}
             assert!((engine.link_bytes()[0] - 3_000_000.0).abs() < 1.0, "server link");
             assert!((engine.link_bytes()[cabinet] - 3_000_000.0).abs() < 1.0, "cabinet link");
@@ -767,13 +872,15 @@ mod tests {
             let cab_a = engine.add_link(4.0 * MB);
             let cab_b = engine.add_link(4.0 * MB);
             let a: Vec<_> = (0..3)
-                .map(|i| engine.start_flow_routed(vec![0, cab_a], i, 1_000_000, 8.0 * MB))
+                .map(|i| engine.start_flow_routed(&[0, cab_a], i, 1_000_000, 8.0 * MB))
                 .collect();
-            let b = engine.start_flow_routed(vec![0, cab_b], 9, 1_000_000, 8.0 * MB);
+            let b = engine.start_flow_routed(&[0, cab_b], 9, 1_000_000, 8.0 * MB);
             for id in &a {
-                assert!((engine.flow_rate(*id).unwrap() - 4.0 * MB / 3.0).abs() < 1.0);
+                assert!(
+                    (rate(engine, *id, "cabinet-local contention") - 4.0 * MB / 3.0).abs() < 1.0
+                );
             }
-            assert!((engine.flow_rate(b).unwrap() - 4.0 * MB).abs() < 1.0);
+            assert!((rate(engine, b, "cabinet-local contention") - 4.0 * MB).abs() < 1.0);
         });
     }
 
@@ -783,10 +890,10 @@ mod tests {
         // soaks up the server's remaining capacity.
         both_modes(vec![10.0 * MB], |engine| {
             let slow_cab = engine.add_link(1.0 * MB);
-            let slow = engine.start_flow_routed(vec![0, slow_cab], 1, 1_000_000, 8.0 * MB);
+            let slow = engine.start_flow_routed(&[0, slow_cab], 1, 1_000_000, 8.0 * MB);
             let fast = engine.start_flow(0, 2, 1_000_000, 12.0 * MB);
-            assert!((engine.flow_rate(slow).unwrap() - 1.0 * MB).abs() < 1.0);
-            assert!((engine.flow_rate(fast).unwrap() - 9.0 * MB).abs() < 1.0);
+            assert!((rate(engine, slow, "max-min leftover") - 1.0 * MB).abs() < 1.0);
+            assert!((rate(engine, fast, "max-min leftover") - 9.0 * MB).abs() < 1.0);
         });
     }
 
@@ -798,7 +905,8 @@ mod tests {
             let ids: Vec<_> = (0..13)
                 .map(|i| engine.start_flow(0, i, 1_000_000, (1 + i as u64) as f64 * 0.4 * MB))
                 .collect();
-            let rates: Vec<f64> = ids.iter().map(|id| engine.flow_rate(*id).unwrap()).collect();
+            let rates: Vec<f64> =
+                ids.iter().map(|id| rate(engine, *id, "fairness conservation")).collect();
             let total: f64 = rates.iter().sum();
             assert!(total <= 7.0 * MB + 1.0, "total {total}");
             for (i, r) in rates.iter().enumerate() {
@@ -826,7 +934,7 @@ mod tests {
             let keep = engine.start_flow(0, 2, 1_000_000, 10.0 * MB);
             engine.cancel_flows_tagged(1);
             assert_eq!(engine.active_flows(), 1);
-            assert!((engine.flow_rate(keep).unwrap() - 10.0 * MB).abs() < 1.0);
+            assert!((rate(engine, keep, "survivor after tagged cancel") - 10.0 * MB).abs() < 1.0);
         });
     }
 
@@ -852,7 +960,7 @@ mod tests {
             engine.start_flow(0, 1, 4_000_000, 8.0 * MB);
             engine.start_flow(0, 2, 4_000_000, 8.0 * MB);
             engine.start_flow(0, 3, 1_000_000, 1.0 * MB);
-            engine.start_flow_routed(vec![1, cab], 4, 3_000_000, 8.0 * MB);
+            engine.start_flow_routed(&[1, cab], 4, 3_000_000, 8.0 * MB);
             engine.start_timer(9, micros(0.25));
             engine.start_timer(8, micros(0.25));
             let mut events = Vec::new();

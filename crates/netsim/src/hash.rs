@@ -1,0 +1,61 @@
+//! A deterministic multiplicative hasher for integer keys.
+//!
+//! The engine's hot maps are keyed by small integers (flow tags, timer
+//! tags) and sit on the per-event path of the federated sweep, where the
+//! default SipHash showed up as several percent of total CPU. This
+//! hasher is a single multiply plus a murmur-style finalizer — more than
+//! enough mixing for sequential integer keys — and, unlike
+//! `RandomState`, is deterministic across runs, which the reproduction
+//! benchmarks rely on.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative hasher for integer keys (see module docs).
+#[derive(Default)]
+pub(crate) struct IntHasher(u64);
+
+impl Hasher for IntHasher {
+    fn finish(&self) -> u64 {
+        // murmur3 finalizer: spreads entropy into the high bits the
+        // hashbrown control bytes are taken from.
+        let mut h = self.0;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        h ^= h >> 33;
+        h
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    fn write_u64(&mut self, i: u64) {
+        self.0 = (self.0 ^ i).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    fn write_usize(&mut self, i: usize) {
+        self.write_u64(i as u64);
+    }
+}
+
+/// A `HashMap` over integer keys using [`IntHasher`].
+pub(crate) type IntMap<K, V> = HashMap<K, V, BuildHasherDefault<IntHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_keys_spread() {
+        let mut m: IntMap<u64, u64> = IntMap::default();
+        for i in 0..10_000u64 {
+            m.insert(i, i * 2);
+        }
+        for i in 0..10_000u64 {
+            assert_eq!(m.get(&i), Some(&(i * 2)));
+        }
+    }
+}

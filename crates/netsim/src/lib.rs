@@ -35,16 +35,23 @@ mod classes;
 pub mod cluster;
 pub mod config;
 pub mod engine;
+mod hash;
 pub mod node;
 mod queue;
 pub mod reinstall;
+pub mod shard;
+pub mod tier;
 
 pub use chaos::{
     run_chaos, run_plan, standard_invariants, ChaosPlan, ChaosRecord, ChaosReport, Invariant,
     Violation,
 };
 pub use cluster::{ClusterSim, ReinstallOutcome, ReinstallResult};
-pub use config::{PackageWork, RetryPolicy, SimConfig};
+pub use config::{PackageWork, RetryPolicy, SimConfig, TierConfig};
 pub use engine::{micros, seconds, EngineMode, SimError, SimTime};
-pub use node::{NodeEvent, NodeLogLine, NodeState};
+pub use node::{
+    DirectFetch, FetchBackend, FetchStart, FetchTarget, NodeEvent, NodeLogLine, NodeState,
+};
 pub use reinstall::{mass_reinstall, provision_cluster, MassReinstallReport, ReinstallError};
+pub use shard::FederatedSim;
+pub use tier::{FillDone, MissRequest, ProxyCache, TierNet, TierReport};

@@ -92,11 +92,84 @@ pub enum NodeEvent {
     TimerFired,
 }
 
-/// The fetch target a retry is waiting to re-request.
+/// What an HTTP fetch is asking for. Public so fetch backends (the
+/// cabinet proxy in [`crate::shard`]) can key their caches on it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum FetchTarget {
+pub enum FetchTarget {
+    /// The per-node generated Kickstart file (frontend CGI; never
+    /// cacheable — every node's file is different).
     Kickstart,
+    /// Package `i` of the configured package set (cacheable byte-range).
     Package(usize),
+}
+
+/// How a backend answered a fetch request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchStart {
+    /// A transfer flow tagged with the node's id is now running; a
+    /// `FlowDone` wakeup will follow.
+    Started,
+    /// The request is parked (cabinet proxy cache miss): the backend
+    /// will start the flow once the bytes arrive from the upper tier.
+    /// The watchdog, if configured, still guards the whole wait.
+    Parked,
+}
+
+/// Where a node's HTTP fetches are served from. [`DirectFetch`] starts
+/// a flow straight to the install server (the flat topology);
+/// the federated path substitutes a cabinet caching proxy that may park
+/// the request on a cache miss.
+pub trait FetchBackend {
+    /// Begin serving `target` (`bytes` long) for the node tagged `tag`
+    /// whose downloads traverse `route`.
+    fn start_fetch(
+        &mut self,
+        engine: &mut Engine,
+        tag: usize,
+        route: &[usize],
+        target: FetchTarget,
+        bytes: u64,
+        demand_bps: f64,
+    ) -> FetchStart;
+
+    /// Drop any parked request for `tag` (the node timed out, hung, or
+    /// power-cycled while waiting on a cache fill).
+    fn cancel_wait(&mut self, engine: &mut Engine, tag: usize);
+}
+
+/// The flat backend: every fetch is a flow straight over the node's
+/// route. Byte-identical to the pre-federation behavior.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DirectFetch;
+
+impl FetchBackend for DirectFetch {
+    fn start_fetch(
+        &mut self,
+        engine: &mut Engine,
+        tag: usize,
+        route: &[usize],
+        _target: FetchTarget,
+        bytes: u64,
+        demand_bps: f64,
+    ) -> FetchStart {
+        engine.start_flow_routed(route, tag, bytes, demand_bps);
+        FetchStart::Started
+    }
+
+    fn cancel_wait(&mut self, _engine: &mut Engine, _tag: usize) {}
+}
+
+/// Push an eKV log line unless the node is quiet. A macro rather than
+/// a method so quiet nodes skip the `format!` entirely (per-event
+/// string building dominates million-node sweeps) without fighting the
+/// borrow checker over closure captures of `self`.
+macro_rules! log_line {
+    ($node:expr, $at:expr, $($fmt:tt)*) => {
+        if !$node.quiet {
+            let text = format!($($fmt)*);
+            $node.log.push(NodeLogLine { at: $at, text });
+        }
+    };
 }
 
 /// One eKV progress line with its timestamp.
@@ -155,6 +228,10 @@ pub struct SimNode {
     /// Kickstart CGI requests issued (first attempt plus refetches) —
     /// the frontend-side load the generation service would have seen.
     pub kickstart_requests: u32,
+    /// Suppress eKV log lines. Million-node federated sweeps set this:
+    /// per-event `String` formatting would dominate both time and
+    /// memory at that scale.
+    quiet: bool,
 }
 
 impl SimNode {
@@ -200,7 +277,13 @@ impl SimNode {
             failovers: 0,
             backoff_seconds: 0.0,
             kickstart_requests: 0,
+            quiet: false,
         }
+    }
+
+    /// Turn eKV logging off (or back on). Large sweeps run quiet.
+    pub fn set_quiet(&mut self, quiet: bool) {
+        self.quiet = quiet;
     }
 
     /// The install-server link the node is currently fetching from.
@@ -211,10 +294,6 @@ impl SimNode {
     fn jittered(&mut self, (mean, jitter): (f64, f64)) -> SimTime {
         let factor = 1.0 + self.rng.gen_range(-jitter..=jitter);
         micros(mean * factor)
-    }
-
-    fn log_line(&mut self, at: SimTime, text: String) {
-        self.log.push(NodeLogLine { at, text });
     }
 
     /// Power the node on into installation mode (what a hard power cycle
@@ -234,7 +313,7 @@ impl SimNode {
         self.target_attempts = 0;
         self.lives += 1;
         let at = engine.now();
-        self.log_line(at, format!("{}: power on, POST", self.name));
+        log_line!(self, at, "{}: power on, POST", self.name);
         let delay = self.jittered(cfg.post_s);
         engine.start_timer(self.id, delay);
     }
@@ -246,7 +325,7 @@ impl SimNode {
         engine.cancel_timers_tagged(self.id);
         self.state = NodeState::Hung;
         let at = engine.now();
-        self.log_line(at, format!("{}: hung (no response on Ethernet)", self.name));
+        log_line!(self, at, "{}: hung (no response on Ethernet)", self.name);
     }
 
     /// Seconds the last completed install took, if any.
@@ -257,11 +336,25 @@ impl SimNode {
         }
     }
 
+    /// Advance the FSM after a wakeup, fetching through [`DirectFetch`]
+    /// (the flat topology). See [`SimNode::on_wakeup_with`].
+    pub fn on_wakeup(&mut self, engine: &mut Engine, cfg: &SimConfig, event: NodeEvent) {
+        self.on_wakeup_with(engine, cfg, event, &mut DirectFetch);
+    }
+
     /// Advance the FSM after a wakeup. The caller guarantees the wakeup
     /// was tagged with this node's id; `event` says whether it was a
     /// completed transfer or a fired timer — with the retrying install
     /// protocol a timer during a fetch is the watchdog expiring.
-    pub fn on_wakeup(&mut self, engine: &mut Engine, cfg: &SimConfig, event: NodeEvent) {
+    /// Fetches are served through `backend` (install server or cabinet
+    /// proxy).
+    pub fn on_wakeup_with(
+        &mut self,
+        engine: &mut Engine,
+        cfg: &SimConfig,
+        event: NodeEvent,
+        backend: &mut impl FetchBackend,
+    ) {
         let now = engine.now();
         match self.state {
             NodeState::Off | NodeState::Up | NodeState::Hung | NodeState::Failed => {
@@ -269,23 +362,25 @@ impl SimNode {
             }
             NodeState::Post => {
                 self.state = NodeState::Dhcp;
-                self.log_line(now, format!("{}: DHCP discover", self.name));
+                log_line!(self, now, "{}: DHCP discover", self.name);
                 let delay = self.jittered(cfg.dhcp_s);
                 engine.start_timer(self.id, delay);
             }
             NodeState::Dhcp => {
-                self.begin_fetch(engine, cfg, FetchTarget::Kickstart);
+                self.begin_fetch(engine, cfg, FetchTarget::Kickstart, backend);
             }
             NodeState::KickstartFetch => match event {
                 NodeEvent::TimerFired => {
-                    self.handle_fetch_timeout(engine, cfg, FetchTarget::Kickstart)
+                    self.handle_fetch_timeout(engine, cfg, FetchTarget::Kickstart, backend)
                 }
                 NodeEvent::FlowDone => {
                     self.fetch_succeeded(engine, cfg);
                     self.state = NodeState::Format;
-                    self.log_line(
+                    log_line!(
+                        self,
                         now,
-                        format!("{}: formatting / (non-root partitions preserved)", self.name),
+                        "{}: formatting / (non-root partitions preserved)",
+                        self.name
                     );
                     let delay = self.jittered(cfg.format_s);
                     engine.start_timer(self.id, delay);
@@ -293,31 +388,30 @@ impl SimNode {
             },
             NodeState::KickstartBackoff => {
                 if event == NodeEvent::TimerFired {
-                    self.begin_fetch(engine, cfg, FetchTarget::Kickstart);
+                    self.begin_fetch(engine, cfg, FetchTarget::Kickstart, backend);
                 }
             }
             NodeState::Format => {
-                self.begin_fetch(engine, cfg, FetchTarget::Package(0));
+                self.begin_fetch(engine, cfg, FetchTarget::Package(0), backend);
             }
             NodeState::Fetch(i) => match event {
                 NodeEvent::TimerFired => {
-                    self.handle_fetch_timeout(engine, cfg, FetchTarget::Package(i))
+                    self.handle_fetch_timeout(engine, cfg, FetchTarget::Package(i), backend)
                 }
                 NodeEvent::FlowDone => {
                     // Package downloaded; unpack it.
                     self.fetch_succeeded(engine, cfg);
                     let pkg = &cfg.packages[i];
                     self.state = NodeState::Install(i);
-                    self.log_line(
+                    log_line!(
+                        self,
                         now,
-                        format!(
-                            "{}: installing {} ({}k) [{}/{}]",
-                            self.name,
-                            pkg.name,
-                            pkg.transfer_bytes / 1024,
-                            i + 1,
-                            cfg.packages.len()
-                        ),
+                        "{}: installing {} ({}k) [{}/{}]",
+                        self.name,
+                        pkg.name,
+                        pkg.transfer_bytes / 1024,
+                        i + 1,
+                        cfg.packages.len()
                     );
                     let delay = micros(pkg.installed_bytes as f64 / cfg.install_bps);
                     engine.start_timer(self.id, delay);
@@ -325,15 +419,15 @@ impl SimNode {
             },
             NodeState::FetchBackoff(i) => {
                 if event == NodeEvent::TimerFired {
-                    self.begin_fetch(engine, cfg, FetchTarget::Package(i));
+                    self.begin_fetch(engine, cfg, FetchTarget::Package(i), backend);
                 }
             }
             NodeState::Install(i) => {
                 if i + 1 < cfg.packages.len() {
-                    self.begin_fetch(engine, cfg, FetchTarget::Package(i + 1));
+                    self.begin_fetch(engine, cfg, FetchTarget::Package(i + 1), backend);
                 } else {
                     self.state = NodeState::PostConfig;
-                    self.log_line(now, format!("{}: running %post configuration", self.name));
+                    log_line!(self, now, "{}: running %post configuration", self.name);
                     let delay = self.jittered(cfg.postconfig_s);
                     engine.start_timer(self.id, delay);
                 }
@@ -341,10 +435,7 @@ impl SimNode {
             NodeState::PostConfig => {
                 if cfg.with_myrinet {
                     self.state = NodeState::MyrinetBuild;
-                    self.log_line(
-                        now,
-                        format!("{}: rebuilding Myrinet gm driver from source", self.name),
-                    );
+                    log_line!(self, now, "{}: rebuilding Myrinet gm driver from source", self.name);
                     let delay = self.jittered(cfg.myrinet_s);
                     engine.start_timer(self.id, delay);
                 } else {
@@ -359,14 +450,23 @@ impl SimNode {
                 self.state = NodeState::Up;
                 self.install_finished = Some(now);
                 self.installs_completed += 1;
-                self.log_line(now, format!("{}: up (install complete)", self.name));
+                log_line!(self, now, "{}: up (install complete)", self.name);
             }
         }
     }
 
-    /// Start (or retry) an HTTP fetch, arming the watchdog deadline when
-    /// the retrying install protocol is configured.
-    fn begin_fetch(&mut self, engine: &mut Engine, cfg: &SimConfig, target: FetchTarget) {
+    /// Start (or retry) an HTTP fetch through `backend`, arming the
+    /// watchdog deadline when the retrying install protocol is
+    /// configured. The watchdog guards the whole request — including
+    /// time spent parked on a proxy cache miss — so a dead tier still
+    /// times out instead of wedging the node forever.
+    fn begin_fetch(
+        &mut self,
+        engine: &mut Engine,
+        cfg: &SimConfig,
+        target: FetchTarget,
+        backend: &mut impl FetchBackend,
+    ) {
         let now = engine.now();
         self.fetch_attempts += 1;
         self.target_attempts += 1;
@@ -375,7 +475,7 @@ impl SimNode {
                 self.kickstart_requests += 1;
                 self.state = NodeState::KickstartFetch;
                 if self.target_attempts == 1 {
-                    self.log_line(now, format!("{}: requesting kickstart via HTTP CGI", self.name));
+                    log_line!(self, now, "{}: requesting kickstart via HTTP CGI", self.name);
                 }
                 cfg.kickstart_bytes
             }
@@ -389,18 +489,17 @@ impl SimNode {
                 FetchTarget::Kickstart => "kickstart".to_string(),
                 FetchTarget::Package(i) => cfg.packages[i].name.clone(),
             };
-            self.log_line(
+            log_line!(
+                self,
                 now,
-                format!(
-                    "{}: retrying {} (attempt {}) via server link {}",
-                    self.name,
-                    what,
-                    self.target_attempts,
-                    self.current_server()
-                ),
+                "{}: retrying {} (attempt {}) via server link {}",
+                self.name,
+                what,
+                self.target_attempts,
+                self.current_server()
             );
         }
-        engine.start_flow_routed(self.route.clone(), self.id, bytes, cfg.per_stream_bps);
+        backend.start_fetch(engine, self.id, &self.route, target, bytes, cfg.per_stream_bps);
         if let Some(policy) = cfg.retry {
             engine.start_timer(self.id, micros(policy.fetch_timeout_s));
         }
@@ -417,10 +516,17 @@ impl SimNode {
         self.target_attempts = 0;
     }
 
-    /// The watchdog expired mid-fetch: cancel the transfer, rotate to the
-    /// next install server, and back off — or give up once every server
-    /// has exhausted its attempt budget.
-    fn handle_fetch_timeout(&mut self, engine: &mut Engine, cfg: &SimConfig, target: FetchTarget) {
+    /// The watchdog expired mid-fetch: cancel the transfer (or the
+    /// parked proxy wait), rotate to the next install server, and back
+    /// off — or give up once every server has exhausted its attempt
+    /// budget.
+    fn handle_fetch_timeout(
+        &mut self,
+        engine: &mut Engine,
+        cfg: &SimConfig,
+        target: FetchTarget,
+        backend: &mut impl FetchBackend,
+    ) {
         let Some(policy) = cfg.retry else {
             // No watchdog was ever armed; a timer here is a stale event
             // from a cancelled life.
@@ -428,15 +534,16 @@ impl SimNode {
         };
         let now = engine.now();
         engine.cancel_flows_tagged(self.id);
+        backend.cancel_wait(engine, self.id);
         let max = policy.max_attempts(self.servers.len());
         if self.target_attempts >= max {
             self.state = NodeState::Failed;
-            self.log_line(
+            log_line!(
+                self,
                 now,
-                format!(
-                    "{}: giving up after {} attempts (all install servers exhausted)",
-                    self.name, self.target_attempts
-                ),
+                "{}: giving up after {} attempts (all install servers exhausted)",
+                self.name,
+                self.target_attempts
             );
             return;
         }
@@ -452,23 +559,22 @@ impl SimNode {
             FetchTarget::Kickstart => NodeState::KickstartBackoff,
             FetchTarget::Package(i) => NodeState::FetchBackoff(i),
         };
-        self.log_line(
+        log_line!(
+            self,
             now,
-            format!(
-                "{}: fetch timed out (attempt {}/{}); backing off {:.1}s, next server link {}",
-                self.name,
-                self.target_attempts,
-                max,
-                delay_s,
-                self.current_server()
-            ),
+            "{}: fetch timed out (attempt {}/{}); backing off {:.1}s, next server link {}",
+            self.name,
+            self.target_attempts,
+            max,
+            delay_s,
+            self.current_server()
         );
         engine.start_timer(self.id, micros(delay_s));
     }
 
     fn begin_reboot(&mut self, engine: &mut Engine, cfg: &SimConfig, now: SimTime) {
         self.state = NodeState::Reboot;
-        self.log_line(now, format!("{}: rebooting into installed system", self.name));
+        log_line!(self, now, "{}: rebooting into installed system", self.name);
         let delay = self.jittered(cfg.reboot_s);
         engine.start_timer(self.id, delay);
     }

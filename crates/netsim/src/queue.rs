@@ -5,37 +5,52 @@
 //! `retain` over every armed timer — O(T) per cancel, O(T²) across a
 //! mass reinstall. This queue keeps every armed timer in a binary heap
 //! keyed on (fire time, arm sequence) and *marks* cancellations instead
-//! of removing them: a cancelled or fired entry simply disappears from
-//! the `live` table, and the heap discards stale entries lazily when
-//! they surface at the top.
+//! of removing them, by bumping a per-tag epoch: a heap entry is live
+//! exactly when the epoch it was armed under is still the tag's current
+//! epoch, and stale entries are discarded lazily when they surface at
+//! the top.
+//!
+//! The epoch scheme replaced an earlier per-sequence live table: arming
+//! and retiring a timer is now a heap push/pop plus a counter update in
+//! the bounded per-tag state map — no per-timer hashing or allocation —
+//! which matters because the federated sweep retires tens of millions of
+//! timers per run.
 //!
 //! Both engine paths share this queue so their timer semantics are
 //! identical by construction: the earliest live timer wins, and timers
 //! armed earlier fire first on equal timestamps (FIFO by arm sequence).
 
 use crate::engine::SimTime;
+use crate::hash::IntMap;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
-/// A live timer's payload.
-#[derive(Debug, Clone, Copy)]
-struct TimerRec {
-    at: SimTime,
-    tag: usize,
+/// Cancellation state for one tag. Entries are never removed — the tag
+/// set of an engine is bounded (its nodes plus a few control tags), so
+/// the map reaches a fixed size and stops allocating.
+#[derive(Debug, Default, Clone, Copy)]
+struct TagState {
+    /// Bumped on `cancel_tag`; heap entries armed under older epochs are
+    /// dead.
+    epoch: u64,
+    /// Live timers currently armed with this tag.
+    live: u32,
 }
 
-/// The timer queue: heap for the fast path, live table for cancellation
-/// and for the reference path's linear scan.
+/// A heap entry: (fire time, arm sequence, tag, epoch at arm time).
+/// Ordering is by (fire time, arm sequence); sequence is unique so the
+/// trailing fields never tie-break.
+type Entry = Reverse<(SimTime, u64, usize, u64)>;
+
+/// The timer queue: heap for the fast path, per-tag epochs for
+/// cancellation, and a lazy sweep for the reference path's linear scan.
 #[derive(Debug, Default)]
 pub(crate) struct TimerQueue {
-    /// Every timer that is armed and not yet fired or cancelled,
-    /// keyed by arm sequence.
-    live: HashMap<u64, TimerRec>,
-    /// Arm sequences per tag, for O(k) tagged cancellation.
-    by_tag: HashMap<usize, Vec<u64>>,
-    /// All entries ever armed, including stale ones awaiting lazy
-    /// removal. Ordered by (fire time, arm sequence).
-    heap: BinaryHeap<Reverse<(SimTime, u64)>>,
+    /// All entries armed and not yet retired, including stale ones
+    /// awaiting lazy removal.
+    heap: BinaryHeap<Entry>,
+    tags: IntMap<usize, TagState>,
+    live_count: usize,
     next_seq: u64,
 }
 
@@ -44,45 +59,55 @@ impl TimerQueue {
     pub fn arm(&mut self, tag: usize, at: SimTime) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.live.insert(seq, TimerRec { at, tag });
-        self.by_tag.entry(tag).or_default().push(seq);
-        self.heap.push(Reverse((at, seq)));
+        let st = self.tags.entry(tag).or_default();
+        st.live += 1;
+        self.live_count += 1;
+        self.heap.push(Reverse((at, seq, tag, st.epoch)));
     }
 
     /// Cancel every live timer with `tag`. The heap entries stay behind
     /// as stale markers and are discarded when they reach the top.
     pub fn cancel_tag(&mut self, tag: usize) {
-        if let Some(seqs) = self.by_tag.remove(&tag) {
-            for seq in seqs {
-                self.live.remove(&seq);
-            }
+        if let Some(st) = self.tags.get_mut(&tag) {
+            self.live_count -= st.live as usize;
+            st.live = 0;
+            st.epoch += 1;
         }
     }
 
-    /// Retire a fired timer.
+    fn is_live(&self, tag: usize, epoch: u64) -> bool {
+        self.tags.get(&tag).is_some_and(|st| st.epoch == epoch)
+    }
+
+    /// Retire the fired timer `seq`. Only the earliest live timer can
+    /// fire (both engine paths pick it via [`peek_earliest`](Self::peek_earliest)
+    /// or [`earliest_scan`](Self::earliest_scan)), so after discarding
+    /// stale heads it is the top of the heap; firing anything else is a
+    /// tolerated no-op, matching a timer cancelled in between.
     pub fn fire(&mut self, seq: u64) {
-        if let Some(rec) = self.live.remove(&seq) {
-            if let Some(seqs) = self.by_tag.get_mut(&rec.tag) {
-                if let Some(pos) = seqs.iter().position(|&s| s == seq) {
-                    seqs.swap_remove(pos);
-                }
-                if seqs.is_empty() {
-                    self.by_tag.remove(&rec.tag);
-                }
+        while let Some(&Reverse((_, s, tag, epoch))) = self.heap.peek() {
+            if !self.is_live(tag, epoch) {
+                self.heap.pop();
+                continue;
             }
+            if s == seq {
+                self.heap.pop();
+                let st = self.tags.get_mut(&tag).expect("live entry has tag state");
+                st.live -= 1;
+                self.live_count -= 1;
+            }
+            return;
         }
     }
 
     /// Fast path: the earliest live timer via the heap, popping stale
-    /// (cancelled or already-fired) entries encountered on the way up.
+    /// (cancelled) entries encountered on the way up.
     pub fn peek_earliest(&mut self) -> Option<(SimTime, u64, usize)> {
-        while let Some(&Reverse((at, seq))) = self.heap.peek() {
-            match self.live.get(&seq) {
-                Some(rec) => return Some((at, seq, rec.tag)),
-                None => {
-                    self.heap.pop();
-                }
+        while let Some(&Reverse((at, seq, tag, epoch))) = self.heap.peek() {
+            if self.is_live(tag, epoch) {
+                return Some((at, seq, tag));
             }
+            self.heap.pop();
         }
         None
     }
@@ -91,15 +116,23 @@ impl TimerQueue {
     /// (fire time, arm sequence) order as the heap, so both paths agree
     /// on ties.
     pub fn earliest_scan(&self) -> Option<(SimTime, u64, usize)> {
-        self.live
+        self.heap
             .iter()
-            .map(|(&seq, rec)| (rec.at, seq, rec.tag))
+            .filter(|&&Reverse((_, _, tag, epoch))| self.is_live(tag, epoch))
+            .map(|&Reverse((at, seq, tag, _))| (at, seq, tag))
             .min_by_key(|&(at, seq, _)| (at, seq))
     }
 
     /// Number of live (armed, unfired, uncancelled) timers.
     pub fn len(&self) -> usize {
-        self.live.len()
+        self.live_count
+    }
+
+    /// True when no live timers are armed. Cheaper than `len() == 0`
+    /// for the federated driver's has-work probe, which runs per shard
+    /// per window.
+    pub fn is_empty(&self) -> bool {
+        self.live_count == 0
     }
 }
 

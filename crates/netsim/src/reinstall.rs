@@ -254,8 +254,13 @@ mod tests {
         let mut sim = ClusterSim::new(cfg, 6);
         sim.set_tracer(tracer.clone());
         sim.inject_fault_at(5.0, crate::cluster::Fault::ServerDown(0));
-        let result = sim.try_run_reinstall().unwrap();
-        let snap = tracer.registry().unwrap().snapshot();
+        let result = sim
+            .try_run_reinstall()
+            .expect("failover scenario: second replica must carry the cluster to completion");
+        let snap = tracer
+            .registry()
+            .expect("failover scenario: ring_sim tracer is built with a registry")
+            .snapshot();
         assert!(result.total_failovers() > 0, "fault must force failovers");
         assert_eq!(snap.counter("netsim.failovers"), result.total_failovers());
         assert_eq!(snap.counter("netsim.fetch.attempts"), result.total_attempts());

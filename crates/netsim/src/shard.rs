@@ -1,0 +1,973 @@
+//! The federated simulation engine: one sub-simulator per cabinet.
+//!
+//! A flat [`ClusterSim`](crate::cluster::ClusterSim) runs every node in
+//! one engine; past ~10⁴ nodes the single event loop (and the single
+//! thread driving it) becomes the bottleneck. This module shards the
+//! cluster at cabinet granularity: each cabinet's nodes, serve link,
+//! and caching proxy live in their own [`Engine`] (a *shard*), and the
+//! shards couple to the campus/root tiers of [`crate::tier`] only
+//! through cache-miss requests flowing up and fill completions flowing
+//! down.
+//!
+//! Synchronization is conservative windowing. Every upward request is
+//! answered no earlier than one store-and-forward latency `W`
+//! ([`TierConfig::fill_latency_s`]) after the tier serves it, so a
+//! shard that has run to time `end` can never receive an event before
+//! `end` as long as every fill the tier completed before `end − W` has
+//! already been delivered. The driver therefore repeats: pick `end =
+//! (t_all / W + 1) · W` where `t_all` is the earliest pending event
+//! anywhere (shards, tiers, undelivered fills); run every shard to
+//! `end`; inject the batched miss requests into the tier; advance the
+//! tier to `end`; deliver completed fills back into shards as timers at
+//! `fill time + W`. The window sequence — and hence every engine's
+//! event sequence — is a pure function of the configuration, so runs
+//! are bit-identical regardless of worker thread count, and a
+//! single-shard flat federation is byte-identical to `ClusterSim`.
+
+use crate::cluster::{build_flat_topology, Fault, ReinstallResult, CONTROL_TAG_BASE};
+use crate::config::{SimConfig, TierConfig};
+use crate::engine::{micros, seconds, Engine, EngineMode, SimError, SimTime, Wakeup};
+use crate::node::{
+    DirectFetch, FetchBackend, FetchStart, FetchTarget, NodeEvent, NodeState, SimNode,
+};
+use crate::reinstall::ReinstallError;
+use crate::tier::{FillDone, MissRequest, ProxyCache, TierNet, TierReport};
+use rocks_trace::{Counter, Gauge, Tracer};
+use std::sync::mpsc;
+
+/// Engine tags at or above this value are fill-delivery timers; the
+/// target index is `tag - FILL_TAG_BASE`. Sits above
+/// [`CONTROL_TAG_BASE`] so the three tag spaces (nodes, control
+/// events, fills) never collide.
+const FILL_TAG_BASE: usize = 1 << 33;
+
+/// The cabinet proxy as seen by its nodes' fetch path: cache hits are
+/// served immediately from the shard's serve link; misses park the
+/// node and (for cacheable targets, at most once) escalate upstream.
+struct ProxyBroker<'a> {
+    proxy: &'a mut ProxyCache,
+    outbox: &'a mut Vec<MissRequest>,
+    cabinet: usize,
+    kick_id: usize,
+}
+
+impl FetchBackend for ProxyBroker<'_> {
+    fn start_fetch(
+        &mut self,
+        engine: &mut Engine,
+        tag: usize,
+        route: &[usize],
+        target: FetchTarget,
+        bytes: u64,
+        demand_bps: f64,
+    ) -> FetchStart {
+        let tid = match target {
+            FetchTarget::Kickstart => self.kick_id,
+            FetchTarget::Package(i) => i,
+        };
+        if self.proxy.is_cached(tid) {
+            self.proxy.hits += 1;
+            self.proxy.hit_bytes += bytes;
+            engine.start_flow_routed(route, tag, bytes, demand_bps);
+            FetchStart::Started
+        } else {
+            self.proxy.misses += 1;
+            self.proxy.miss_bytes += bytes;
+            self.proxy.park(tag, tid);
+            // Kickstarts are per-node CGI output: every request is its
+            // own fill. Packages share one in-flight fill per cabinet.
+            if tid == self.kick_id || !self.proxy.is_requested(tid) {
+                if tid != self.kick_id {
+                    self.proxy.mark_requested(tid);
+                }
+                self.outbox.push(MissRequest {
+                    at: engine.now(),
+                    cabinet: self.cabinet,
+                    target: tid,
+                });
+            }
+            FetchStart::Parked
+        }
+    }
+
+    fn cancel_wait(&mut self, _engine: &mut Engine, tag: usize) {
+        self.proxy.unpark(tag);
+    }
+}
+
+/// One cabinet's sub-simulator: its engine, nodes, proxy cache, and
+/// fault table.
+#[derive(Debug)]
+struct Shard {
+    /// Cabinet index (global).
+    id: usize,
+    /// Global node id of this shard's first node.
+    base: usize,
+    engine: Engine,
+    nodes: Vec<SimNode>,
+    /// `Some` in tiered mode; `None` for the flat single-shard mode.
+    proxy: Option<ProxyCache>,
+    /// Misses accumulated during the current window.
+    outbox: Vec<MissRequest>,
+    /// Cached earliest pending event; refreshed by
+    /// [`run_window`](Shard::run_window) and lowered by fill delivery.
+    next_at: Option<SimTime>,
+    /// Events processed (flow completions + timers).
+    events: u64,
+    /// Control events scheduled into this shard.
+    faults: Vec<Fault>,
+    /// Server links local to this shard (flat mode: `cfg.n_servers`;
+    /// tiered: 0, so server faults are no-ops).
+    n_servers: usize,
+    link_base: Vec<f64>,
+    link_factor: Vec<f64>,
+    link_down: Vec<bool>,
+    /// Bytes per fill target (tiered mode only).
+    target_bytes: Vec<u64>,
+    kick_id: usize,
+}
+
+impl Shard {
+    /// Whether this shard can run ahead of the global window: nothing is
+    /// parked on its proxy, so no tier event can ever reach it until it
+    /// emits a miss of its own (fills only answer this cabinet's own
+    /// requests). Flat shards have no upstream at all.
+    fn can_run_ahead(&self) -> bool {
+        self.proxy.as_ref().is_none_or(|p| p.parked() == 0)
+    }
+
+    /// Run this shard's engine up to (but excluding) `horizon`, appending
+    /// emitted miss requests to `out`. Leaves `next_at` holding the
+    /// earliest remaining event (or `None` when drained). A
+    /// `SimTime::MAX` horizon means the shard is running ahead of the
+    /// window (see [`can_run_ahead`](Shard::can_run_ahead)); it then
+    /// stops at the first miss it emits, because the response time of
+    /// that miss depends on tier contention it cannot know locally.
+    fn run_window(&mut self, cfg: &SimConfig, horizon: SimTime, out: &mut Vec<MissRequest>) {
+        loop {
+            if horizon == SimTime::MAX && !self.outbox.is_empty() {
+                self.next_at = self.engine.peek_next_at();
+                break;
+            }
+            let (tag, event) = match self.engine.step_if_before(horizon) {
+                Err(next) => {
+                    self.next_at = next;
+                    break;
+                }
+                Ok(Wakeup::Idle) => {
+                    self.next_at = None;
+                    break;
+                }
+                Ok(Wakeup::FlowDone { tag }) => (tag, NodeEvent::FlowDone),
+                Ok(Wakeup::TimerFired { tag }) => (tag, NodeEvent::TimerFired),
+            };
+            self.events += 1;
+            if tag >= FILL_TAG_BASE {
+                self.on_fill(cfg, tag - FILL_TAG_BASE);
+            } else if tag >= CONTROL_TAG_BASE {
+                self.apply_fault(cfg, tag - CONTROL_TAG_BASE);
+            } else {
+                let local = tag - self.base;
+                match self.proxy.as_mut() {
+                    Some(proxy) => {
+                        let mut broker = ProxyBroker {
+                            proxy,
+                            outbox: &mut self.outbox,
+                            cabinet: self.id,
+                            kick_id: self.kick_id,
+                        };
+                        self.nodes[local].on_wakeup_with(&mut self.engine, cfg, event, &mut broker);
+                    }
+                    None => self.nodes[local].on_wakeup_with(
+                        &mut self.engine,
+                        cfg,
+                        event,
+                        &mut DirectFetch,
+                    ),
+                }
+            }
+        }
+        out.append(&mut self.outbox);
+    }
+
+    /// A fill landed at the proxy: start serve flows for the released
+    /// waiters.
+    fn on_fill(&mut self, cfg: &SimConfig, target: usize) {
+        let bytes = self.target_bytes[target];
+        let kick_id = self.kick_id;
+        let proxy = self.proxy.as_mut().expect("fill timers only exist in tiered mode");
+        proxy.fills += 1;
+        proxy.fill_bytes += bytes;
+        let released = proxy.fill_landed(target, kick_id);
+        for tag in released {
+            let route = &self.nodes[tag - self.base].route;
+            self.engine.start_flow_routed(route, tag, bytes, cfg.per_stream_bps);
+        }
+    }
+
+    /// Arm the delivery timer for a completed fill: it becomes visible
+    /// to this shard one store-and-forward latency after it finished.
+    fn deliver_fill(&mut self, fill: &FillDone, window: SimTime) {
+        let t_eff = fill.at + window;
+        let delay = t_eff.saturating_sub(self.engine.now());
+        self.engine.start_timer(FILL_TAG_BASE + fill.target, delay);
+        self.next_at = Some(self.next_at.map_or(t_eff, |t| t.min(t_eff)));
+    }
+
+    fn refresh_link(&mut self, link: usize) {
+        let bps =
+            if self.link_down[link] { 0.0 } else { self.link_base[link] * self.link_factor[link] };
+        self.engine.set_link_capacity(link, bps);
+    }
+
+    /// Mirror of `ClusterSim::apply_fault`, against this shard's local
+    /// links and nodes (node ids in faults are global).
+    fn apply_fault(&mut self, cfg: &SimConfig, idx: usize) {
+        match self.faults[idx].clone() {
+            Fault::ServerDown(id) => {
+                if id < self.n_servers && !self.link_down[id] {
+                    self.link_down[id] = true;
+                    self.refresh_link(id);
+                }
+            }
+            Fault::ServerUp(id) => {
+                if id < self.n_servers && self.link_down[id] {
+                    self.link_down[id] = false;
+                    self.refresh_link(id);
+                }
+            }
+            Fault::NodeHang(id) => {
+                if let Some(proxy) = self.proxy.as_mut() {
+                    proxy.unpark(id);
+                }
+                self.nodes[id - self.base].hang(&mut self.engine);
+            }
+            Fault::PowerCycle(id) => {
+                if let Some(proxy) = self.proxy.as_mut() {
+                    proxy.unpark(id);
+                }
+                self.nodes[id - self.base].power_on(&mut self.engine, cfg);
+            }
+            Fault::LinkDegrade { link, factor } => {
+                if link < self.link_base.len() {
+                    self.link_factor[link] = factor.clamp(0.0, 1.0);
+                    self.refresh_link(link);
+                }
+            }
+        }
+    }
+
+    /// Work that can never finish on its own: live flows (possibly
+    /// starved) plus requests parked on the proxy.
+    fn wedged_work(&self) -> usize {
+        self.engine.active_flows() + self.proxy.as_ref().map_or(0, ProxyCache::parked)
+    }
+}
+
+fn min_opt(a: Option<SimTime>, b: Option<SimTime>) -> Option<SimTime> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+/// Pre-resolved tier metric handles (see `NetsimTelemetry` in
+/// [`crate::cluster`] for the flush-once pattern).
+#[derive(Debug)]
+struct FederatedTelemetry {
+    proxy_hits: Counter,
+    proxy_misses: Counter,
+    campus_hits: Counter,
+    campus_misses: Counter,
+    proxy_hit_bytes: Gauge,
+    proxy_miss_bytes: Gauge,
+    proxy_fill_bytes: Gauge,
+    cabinet_fill_bytes: Gauge,
+    root_fill_bytes: Gauge,
+    /// (proxy hits, proxy misses, campus hits, campus misses) already
+    /// published.
+    flushed: std::cell::Cell<(u64, u64, u64, u64)>,
+}
+
+/// The federated cluster simulation: per-cabinet shards under the
+/// multi-tier distribution fabric, driven in conservative time windows
+/// across a configurable worker-thread pool.
+#[derive(Debug)]
+pub struct FederatedSim {
+    cfg: SimConfig,
+    tiers: Option<TierConfig>,
+    shards: Vec<Shard>,
+    tier: Option<TierNet>,
+    /// Conservative lookahead window, µs (= the tier fill latency in
+    /// tiered mode).
+    window: SimTime,
+    threads: usize,
+    trace: Tracer,
+    telemetry: Option<FederatedTelemetry>,
+}
+
+impl FederatedSim {
+    /// A single-shard federation over the flat topology — the same
+    /// engine, node wiring, and event sequence as
+    /// [`ClusterSim`](crate::cluster::ClusterSim) running the fast
+    /// scheduler, just driven through the windowed loop. Byte-identical
+    /// results to `ClusterSim` by construction (the window only
+    /// partitions the identical step sequence).
+    pub fn new_flat(cfg: SimConfig, n_nodes: usize) -> FederatedSim {
+        let (engine, nodes, link_base) = build_flat_topology(&cfg, n_nodes, EngineMode::Fast);
+        let n_links = link_base.len();
+        let shard = Shard {
+            id: 0,
+            base: 0,
+            engine,
+            nodes,
+            proxy: None,
+            outbox: Vec::new(),
+            next_at: None,
+            events: 0,
+            faults: Vec::new(),
+            n_servers: cfg.n_servers,
+            link_base,
+            link_factor: vec![1.0; n_links],
+            link_down: vec![false; n_links],
+            target_bytes: Vec::new(),
+            kick_id: 0,
+        };
+        FederatedSim {
+            cfg,
+            tiers: None,
+            shards: vec![shard],
+            tier: None,
+            window: 1 << 20, // ~1 s; any positive window partitions the same sequence
+            threads: 1,
+            trace: Tracer::disabled(),
+            telemetry: None,
+        }
+    }
+
+    /// Build the tiered federation: `n_nodes` nodes in cabinets of
+    /// [`TierConfig::cabinet_size`], each cabinet a shard behind its
+    /// caching proxy, cabinets grouped under campus servers fed from
+    /// the root. `cfg` supplies the node state machine and package set;
+    /// the topology comes entirely from `tiers` (`cfg.n_servers` and
+    /// `cfg.cabinet_size` are ignored).
+    pub fn new_tiered(cfg: SimConfig, tiers: TierConfig, n_nodes: usize) -> FederatedSim {
+        assert!(tiers.fill_latency_s > 0.0, "the fill latency is the sync window; it must be > 0");
+        let window = micros(tiers.fill_latency_s);
+        assert!(window > 0, "fill latency must round to at least 1 µs");
+        let mut target_bytes: Vec<u64> = cfg.packages.iter().map(|p| p.transfer_bytes).collect();
+        let kick_id = target_bytes.len();
+        target_bytes.push(cfg.kickstart_bytes);
+        let n_cabinets = tiers.n_cabinets(n_nodes);
+        let tier = TierNet::new(&cfg, tiers, n_cabinets);
+        let shards = (0..n_cabinets)
+            .map(|c| {
+                let base = c * tiers.cabinet_size;
+                let top = ((c + 1) * tiers.cabinet_size).min(n_nodes);
+                let nodes = (base..top)
+                    .map(|i| {
+                        let mut node = SimNode::with_failover(
+                            i,
+                            &format!("compute-{c}-{i}"),
+                            vec![0],
+                            Vec::new(),
+                            cfg.seed,
+                        );
+                        node.set_quiet(!cfg.node_logs);
+                        node
+                    })
+                    .collect();
+                Shard {
+                    id: c,
+                    base,
+                    engine: Engine::new(vec![tiers.proxy_serve_bps]),
+                    nodes,
+                    proxy: Some(ProxyCache::new(target_bytes.len())),
+                    outbox: Vec::new(),
+                    next_at: None,
+                    events: 0,
+                    faults: Vec::new(),
+                    n_servers: 0,
+                    link_base: vec![tiers.proxy_serve_bps],
+                    link_factor: vec![1.0],
+                    link_down: vec![false],
+                    target_bytes: target_bytes.clone(),
+                    kick_id,
+                }
+            })
+            .collect();
+        FederatedSim {
+            cfg,
+            tiers: Some(tiers),
+            shards,
+            tier: Some(tier),
+            window,
+            threads: 1,
+            trace: Tracer::disabled(),
+            telemetry: None,
+        }
+    }
+
+    /// Worker threads for the shard loop (default 1 = serial). The
+    /// result is bit-identical for every value — threads only change
+    /// wall-clock time.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Route tier counters through `tracer`'s registry (see
+    /// [`ClusterSim::set_tracer`](crate::cluster::ClusterSim::set_tracer)).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.telemetry = tracer.registry().map(|reg| FederatedTelemetry {
+            proxy_hits: reg.counter("netsim.tier.proxy.hits"),
+            proxy_misses: reg.counter("netsim.tier.proxy.misses"),
+            campus_hits: reg.counter("netsim.tier.campus.hits"),
+            campus_misses: reg.counter("netsim.tier.campus.misses"),
+            proxy_hit_bytes: reg.gauge("netsim.tier.proxy.hit_bytes"),
+            proxy_miss_bytes: reg.gauge("netsim.tier.proxy.miss_bytes"),
+            proxy_fill_bytes: reg.gauge("netsim.tier.proxy.fill_bytes"),
+            cabinet_fill_bytes: reg.gauge("netsim.tier.cabinet.fill_bytes"),
+            root_fill_bytes: reg.gauge("netsim.tier.root.fill_bytes"),
+            flushed: std::cell::Cell::new((0, 0, 0, 0)),
+        });
+        self.trace = tracer;
+    }
+
+    /// Schedule a fault at an absolute virtual time (seconds), routed
+    /// to the owning shard. In tiered mode `NodeHang`/`PowerCycle`
+    /// address global node ids and `LinkDegrade`'s `link` is a cabinet
+    /// index (degrading that cabinet's serve link); `ServerDown`/`Up`
+    /// have no tiered counterpart and are ignored.
+    pub fn inject_fault_at(&mut self, at_seconds: f64, fault: Fault) {
+        let (shard_idx, fault) = match (&self.tiers, fault) {
+            (None, f) => (0, f),
+            (Some(t), f @ (Fault::NodeHang(id) | Fault::PowerCycle(id))) => {
+                (id / t.cabinet_size, f)
+            }
+            (Some(_), Fault::LinkDegrade { link, factor }) => {
+                if link >= self.shards.len() {
+                    return;
+                }
+                (link, Fault::LinkDegrade { link: 0, factor })
+            }
+            (Some(_), Fault::ServerDown(_) | Fault::ServerUp(_)) => return,
+        };
+        let shard = &mut self.shards[shard_idx];
+        let idx = shard.faults.len();
+        shard.faults.push(fault);
+        shard.engine.start_timer(CONTROL_TAG_BASE + idx, micros(at_seconds));
+    }
+
+    /// Total nodes across all shards.
+    pub fn n_nodes(&self) -> usize {
+        self.shards.iter().map(|s| s.nodes.len()).sum()
+    }
+
+    /// Number of shards (cabinets; 1 in flat mode).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Events processed across shard engines and tier engines.
+    pub fn events(&self) -> u64 {
+        self.shards.iter().map(|s| s.events).sum::<u64>()
+            + self.tier.as_ref().map_or(0, |t| t.events)
+    }
+
+    /// A node by global id.
+    pub fn node(&self, id: usize) -> &SimNode {
+        match &self.tiers {
+            None => &self.shards[0].nodes[id],
+            Some(t) => {
+                let shard = &self.shards[id / t.cabinet_size];
+                &shard.nodes[id - shard.base]
+            }
+        }
+    }
+
+    /// All nodes in global id order.
+    pub fn nodes(&self) -> impl Iterator<Item = &SimNode> {
+        self.shards.iter().flat_map(|s| s.nodes.iter())
+    }
+
+    /// Per-shard engine byte ledgers (link 0 is the serve link of a
+    /// tiered shard; flat mode exposes the usual servers-then-cabinets
+    /// layout of its single shard).
+    pub fn shard_link_bytes(&self) -> Vec<Vec<f64>> {
+        self.shards.iter().map(|s| s.engine.link_bytes().to_vec()).collect()
+    }
+
+    /// Power on every node and run to quiescence across all shards and
+    /// tiers. Fails with [`SimError::Stalled`] — carrying the wedged
+    /// shard's id — when some sub-simulator holds flows or parked
+    /// requests that can never complete, and with
+    /// [`ReinstallError::AllServersDown`] when a node exhausted its
+    /// retry budget.
+    pub fn try_run_reinstall(&mut self) -> Result<ReinstallResult, ReinstallError> {
+        let _run = self.trace.span("netsim.run");
+        for shard in &mut self.shards {
+            for i in 0..shard.nodes.len() {
+                shard.nodes[i].power_on(&mut shard.engine, &self.cfg);
+            }
+            shard.next_at = shard.engine.peek_next_at();
+        }
+        let threads = self.threads.min(self.shards.len());
+        if threads <= 1 {
+            self.run_serial();
+        } else {
+            self.run_parallel(threads);
+        }
+        // The loop only exits when no engine holds a runnable event, so
+        // leftover work is wedged forever: starved flows or parked
+        // cache waits inside a shard, or an inconsistent tier.
+        if let Some(shard) = self.shards.iter().find(|s| s.wedged_work() > 0) {
+            return Err(ReinstallError::Sim(SimError::Stalled {
+                active_flows: shard.wedged_work(),
+                shard: Some(shard.id),
+            }));
+        }
+        if self.tier.as_ref().is_some_and(TierNet::busy) {
+            return Err(ReinstallError::Sim(SimError::Stalled { active_flows: 0, shard: None }));
+        }
+        if let Some(node) = self.nodes().find(|n| n.state == NodeState::Failed) {
+            return Err(ReinstallError::AllServersDown {
+                node: node.name.clone(),
+                attempts: node.target_attempts,
+            });
+        }
+        Ok(self.collect_result())
+    }
+
+    /// Infallible [`try_run_reinstall`](Self::try_run_reinstall);
+    /// panics on stall or exhausted retries.
+    pub fn run_reinstall(&mut self) -> ReinstallResult {
+        self.try_run_reinstall().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn run_serial(&mut self) {
+        let window = self.window;
+        // Requests emitted by run-ahead shards beyond the current window
+        // wait here; the tier must ingest misses in global time order,
+        // so only the prefix below each window boundary is injected.
+        let mut pool: Vec<MissRequest> = Vec::new();
+        let mut fills: Vec<FillDone> = Vec::new();
+        // Dense mirrors of each shard's horizon and run-ahead
+        // eligibility: the per-round scans touch these cache-resident
+        // arrays instead of 16k scattered shard structs.
+        let mut next: Vec<Option<SimTime>> = self.shards.iter().map(|s| s.next_at).collect();
+        let mut ahead: Vec<bool> = self.shards.iter().map(Shard::can_run_ahead).collect();
+        loop {
+            let mut t_all: Option<SimTime> = None;
+            for &at in &next {
+                t_all = min_opt(t_all, at);
+            }
+            t_all = min_opt(t_all, pool.first().map(|r| r.at));
+            if let Some(tier) = self.tier.as_mut() {
+                t_all = min_opt(t_all, tier.next_event_at());
+            }
+            let Some(t) = t_all else { break };
+            let end = (t / window + 1) * window;
+            for i in 0..self.shards.len() {
+                let run =
+                    if ahead[i] { next[i].is_some() } else { next[i].is_some_and(|at| at < end) };
+                if run {
+                    let shard = &mut self.shards[i];
+                    let horizon = if ahead[i] { SimTime::MAX } else { end };
+                    shard.run_window(&self.cfg, horizon, &mut pool);
+                    next[i] = shard.next_at;
+                    ahead[i] = shard.can_run_ahead();
+                }
+            }
+            if let Some(tier) = self.tier.as_mut() {
+                pool.sort_by_key(|r| (r.at, r.cabinet));
+                let cut = pool.partition_point(|r| r.at < end);
+                tier.inject(&pool[..cut]);
+                pool.drain(..cut);
+                fills.clear();
+                tier.advance_to(end, &mut fills);
+                for fill in &fills {
+                    let shard = &mut self.shards[fill.cabinet];
+                    shard.deliver_fill(fill, window);
+                    next[fill.cabinet] = shard.next_at;
+                    ahead[fill.cabinet] = shard.can_run_ahead();
+                }
+            } else {
+                debug_assert!(pool.is_empty(), "flat shards fetch directly");
+            }
+        }
+    }
+
+    /// The same window loop with shards partitioned into contiguous
+    /// chunks across persistent worker threads. The coordinator owns
+    /// the tier; fills complete on its side of the barrier and are
+    /// delivered by the owning worker at the start of the next window,
+    /// which is equivalent to the serial ordering because a delivery
+    /// timer never lands inside an already-executed window. On stall
+    /// the global event horizon simply empties — workers are released
+    /// by dropping their command channels, never blocked on a barrier —
+    /// so the error surfaces through
+    /// [`try_run_reinstall`](Self::try_run_reinstall) like any other.
+    fn run_parallel(&mut self, threads: usize) {
+        let window = self.window;
+        let chunk_size = self.shards.len().div_ceil(threads);
+        let cfg = &self.cfg;
+        let tier = self.tier.as_mut().expect("multiple shards imply the tiered topology");
+        let mut worker_next: Vec<Option<SimTime>> = self
+            .shards
+            .chunks(chunk_size)
+            .map(|chunk| chunk.iter().filter_map(|s| s.next_at).min())
+            .collect();
+        let n_workers = worker_next.len();
+        std::thread::scope(|scope| {
+            let (res_tx, res_rx) = mpsc::channel::<(usize, Vec<MissRequest>, Option<SimTime>)>();
+            let mut cmd_txs = Vec::with_capacity(n_workers);
+            for (w, chunk) in self.shards.chunks_mut(chunk_size).enumerate() {
+                let (cmd_tx, cmd_rx) = mpsc::channel::<(SimTime, Vec<FillDone>)>();
+                cmd_txs.push(cmd_tx);
+                let res_tx = res_tx.clone();
+                scope.spawn(move || {
+                    // Same dense horizon/eligibility mirrors as the
+                    // serial loop, scoped to this worker's chunk.
+                    let mut next: Vec<Option<SimTime>> = chunk.iter().map(|s| s.next_at).collect();
+                    let mut ahead: Vec<bool> = chunk.iter().map(Shard::can_run_ahead).collect();
+                    while let Ok((end, fills)) = cmd_rx.recv() {
+                        for fill in &fills {
+                            let i = fill.cabinet - w * chunk_size;
+                            chunk[i].deliver_fill(fill, window);
+                            next[i] = chunk[i].next_at;
+                            ahead[i] = chunk[i].can_run_ahead();
+                        }
+                        let mut requests = Vec::new();
+                        for i in 0..chunk.len() {
+                            let run = if ahead[i] {
+                                next[i].is_some()
+                            } else {
+                                next[i].is_some_and(|at| at < end)
+                            };
+                            if run {
+                                let horizon = if ahead[i] { SimTime::MAX } else { end };
+                                chunk[i].run_window(cfg, horizon, &mut requests);
+                                next[i] = chunk[i].next_at;
+                                ahead[i] = chunk[i].can_run_ahead();
+                            }
+                        }
+                        let min_next = next.iter().copied().flatten().min();
+                        if res_tx.send((w, requests, min_next)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(res_tx);
+            let mut pending: Vec<Vec<FillDone>> = vec![Vec::new(); n_workers];
+            // Run-ahead requests past the window boundary, exactly as in
+            // the serial loop.
+            let mut pool: Vec<MissRequest> = Vec::new();
+            loop {
+                let mut t_all: Option<SimTime> = None;
+                for &next in &worker_next {
+                    t_all = min_opt(t_all, next);
+                }
+                t_all = min_opt(t_all, pool.first().map(|r| r.at));
+                t_all = min_opt(t_all, tier.next_event_at());
+                for fills in &pending {
+                    for fill in fills {
+                        t_all = min_opt(t_all, Some(fill.at + window));
+                    }
+                }
+                let Some(t) = t_all else { break };
+                let end = (t / window + 1) * window;
+                for (w, cmd_tx) in cmd_txs.iter().enumerate() {
+                    let _ = cmd_tx.send((end, std::mem::take(&mut pending[w])));
+                }
+                let mut gathered: Vec<Vec<MissRequest>> = vec![Vec::new(); n_workers];
+                for _ in 0..n_workers {
+                    let (w, requests, next) = res_rx.recv().expect("a shard worker exited mid-run");
+                    gathered[w] = requests;
+                    worker_next[w] = next;
+                }
+                // Concatenating in worker order is shard order (chunks
+                // are contiguous); the stable sort then matches the
+                // serial path exactly.
+                pool.extend(gathered.into_iter().flatten());
+                pool.sort_by_key(|r| (r.at, r.cabinet));
+                let cut = pool.partition_point(|r| r.at < end);
+                tier.inject(&pool[..cut]);
+                pool.drain(..cut);
+                let mut fills = Vec::new();
+                tier.advance_to(end, &mut fills);
+                for fill in fills {
+                    pending[fill.cabinet / chunk_size].push(fill);
+                }
+            }
+            drop(cmd_txs); // releases the workers; scope joins them
+        });
+    }
+
+    /// Aggregate cache behaviour across the tiers (tiered mode only).
+    pub fn tier_report(&self) -> Option<TierReport> {
+        let tier = self.tier.as_ref()?;
+        let mut report = TierReport {
+            n_cabinets: self.shards.len(),
+            n_campuses: tier.n_campuses(),
+            proxy_hits: 0,
+            proxy_misses: 0,
+            proxy_hit_bytes: 0,
+            proxy_miss_bytes: 0,
+            proxy_fills: 0,
+            proxy_fill_bytes: 0,
+            proxy_serve_bytes: 0.0,
+            campus_hits: tier.campus_hits,
+            campus_misses: tier.campus_misses,
+            cabinet_fill_bytes: tier.cabinet_fill_bytes(),
+            root_fill_bytes: tier.root_fill_bytes(),
+        };
+        for shard in &self.shards {
+            let proxy = shard.proxy.as_ref().expect("tiered shards carry proxies");
+            report.proxy_hits += proxy.hits;
+            report.proxy_misses += proxy.misses;
+            report.proxy_hit_bytes += proxy.hit_bytes;
+            report.proxy_miss_bytes += proxy.miss_bytes;
+            report.proxy_fills += proxy.fills;
+            report.proxy_fill_bytes += proxy.fill_bytes;
+            report.proxy_serve_bytes += shard.engine.link_bytes()[0];
+        }
+        Some(report)
+    }
+
+    /// Snapshot the run outcome (same shape as
+    /// [`ClusterSim::collect_result`](crate::cluster::ClusterSim::collect_result)).
+    /// In tiered mode `server_bytes` holds the root mirror's delivered
+    /// bytes; per-tier ledgers live in [`tier_report`](Self::tier_report).
+    pub fn collect_result(&self) -> ReinstallResult {
+        if let (Some(t), Some(report)) = (&self.telemetry, self.tier_report()) {
+            let now =
+                (report.proxy_hits, report.proxy_misses, report.campus_hits, report.campus_misses);
+            let prev = t.flushed.replace(now);
+            t.proxy_hits.add(now.0 - prev.0);
+            t.proxy_misses.add(now.1 - prev.1);
+            t.campus_hits.add(now.2 - prev.2);
+            t.campus_misses.add(now.3 - prev.3);
+            t.proxy_hit_bytes.set(report.proxy_hit_bytes as f64);
+            t.proxy_miss_bytes.set(report.proxy_miss_bytes as f64);
+            t.proxy_fill_bytes.set(report.proxy_fill_bytes as f64);
+            t.cabinet_fill_bytes.set(report.cabinet_fill_bytes);
+            t.root_fill_bytes.set(report.root_fill_bytes);
+        }
+        // The cluster is done when the last node came up, which the
+        // shard clocks bound (tier engines can idle slightly behind —
+        // their last fill predates its delivery timer by the latency).
+        let total_at: SimTime = self.shards.iter().map(|s| s.engine.now()).max().unwrap_or(0);
+        let server_bytes = match &self.tier {
+            None => self.shards[0].engine.link_bytes()[..self.cfg.n_servers].to_vec(),
+            Some(tier) => vec![tier.root_fill_bytes()],
+        };
+        ReinstallResult {
+            per_node_seconds: self.nodes().map(|n| n.last_install_seconds()).collect(),
+            total_seconds: seconds(total_at),
+            server_bytes,
+            per_node_attempts: self.nodes().map(|n| n.fetch_attempts).collect(),
+            per_node_failovers: self.nodes().map(|n| n.failovers).collect(),
+            per_node_backoff_seconds: self.nodes().map(|n| n.backoff_seconds).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterSim;
+    use crate::engine::SimTime;
+
+    fn small_cfg(seed: u64) -> SimConfig {
+        SimConfig::paper_testbed(seed).bundled(12)
+    }
+
+    fn tiny_tiers() -> TierConfig {
+        TierConfig { cabinet_size: 4, cabinets_per_campus: 2, ..TierConfig::standard() }
+    }
+
+    fn logs_of<'a>(nodes: impl Iterator<Item = &'a SimNode>) -> Vec<(SimTime, String)> {
+        nodes.flat_map(|n| n.log.iter().map(|l| (l.at, l.text.clone()))).collect()
+    }
+
+    #[test]
+    fn flat_federation_is_byte_identical_to_cluster_sim() {
+        let mut cfg = small_cfg(5);
+        cfg.n_servers = 2;
+        let mut flat = ClusterSim::new(cfg.clone(), 12);
+        flat.inject_fault_at(100.0, Fault::ServerDown(1));
+        flat.inject_fault_at(260.0, Fault::ServerUp(1));
+        flat.inject_fault_at(150.0, Fault::PowerCycle(3));
+        let expect = flat.try_run_reinstall().expect("flat completes");
+
+        let mut fed = FederatedSim::new_flat(cfg, 12);
+        fed.inject_fault_at(100.0, Fault::ServerDown(1));
+        fed.inject_fault_at(260.0, Fault::ServerUp(1));
+        fed.inject_fault_at(150.0, Fault::PowerCycle(3));
+        let got = fed.try_run_reinstall().expect("federated completes");
+
+        // Byte-identical: the exact same event sequence ran, so even the
+        // floating-point ledgers match bit for bit.
+        assert_eq!(got.total_seconds.to_bits(), expect.total_seconds.to_bits());
+        assert_eq!(got.per_node_seconds, expect.per_node_seconds);
+        let got_bits: Vec<u64> = got.server_bytes.iter().map(|b| b.to_bits()).collect();
+        let expect_bits: Vec<u64> = expect.server_bytes.iter().map(|b| b.to_bits()).collect();
+        assert_eq!(got_bits, expect_bits);
+        assert_eq!(got.per_node_attempts, expect.per_node_attempts);
+        assert_eq!(logs_of(fed.nodes()), logs_of(flat.nodes().iter()));
+    }
+
+    #[test]
+    fn tiered_cluster_installs_every_node() {
+        let mut sim = FederatedSim::new_tiered(small_cfg(1), tiny_tiers(), 10);
+        let result = sim.run_reinstall();
+        assert_eq!(result.completed(), 10);
+        assert!(result.total_seconds > 0.0);
+        let report = sim.tier_report().expect("tiered run has a report");
+        assert_eq!(report.n_cabinets, 3);
+        assert!(report.proxy_hits > 0, "second fetcher in a cabinet must hit the cache");
+    }
+
+    #[test]
+    fn package_crosses_campus_uplink_once_per_cabinet() {
+        // Two nodes in ONE cabinet: every package crosses the cabinet
+        // uplink exactly once (the kickstart, uncacheable, crosses once
+        // per node) and the root serves each package exactly once.
+        let cfg = small_cfg(1);
+        let pkg_bytes: u64 = cfg.packages.iter().map(|p| p.transfer_bytes).sum();
+        let kick = cfg.kickstart_bytes;
+        let mut sim = FederatedSim::new_tiered(cfg, tiny_tiers(), 2);
+        let result = sim.run_reinstall();
+        assert_eq!(result.completed(), 2);
+        let report = sim.tier_report().unwrap();
+        let expect_cabinet = (pkg_bytes + 2 * kick) as f64;
+        assert!(
+            (report.cabinet_fill_bytes - expect_cabinet).abs() < 64.0,
+            "cabinet fills {} vs {expect_cabinet}",
+            report.cabinet_fill_bytes
+        );
+        assert!(
+            (report.root_fill_bytes - pkg_bytes as f64).abs() < 64.0,
+            "root fills {} vs {pkg_bytes}",
+            report.root_fill_bytes
+        );
+        // Every request is a hit or a miss; a "miss" includes joining a
+        // fill already in flight (the nodes run near-lockstep), which is
+        // exactly what keeps the uplink crossings at one per package.
+        let n_pkgs = sim.cfg.packages.len() as u64;
+        assert_eq!(report.proxy_hits + report.proxy_misses, 2 * n_pkgs + 2);
+        assert!(report.proxy_misses >= n_pkgs + 2, "first fetcher always misses");
+        // Fills: one per package + one per kickstart request.
+        assert_eq!(report.proxy_fills, n_pkgs + 2);
+    }
+
+    #[test]
+    fn proxy_counters_reconcile_with_link_ledgers() {
+        let mut sim = FederatedSim::new_tiered(small_cfg(3), tiny_tiers(), 12);
+        sim.run_reinstall();
+        let report = sim.tier_report().unwrap();
+        // Every byte a node received was either a cache hit or a miss
+        // wait — and all of them left the proxy's serve link.
+        let served = (report.proxy_hit_bytes + report.proxy_miss_bytes) as f64;
+        assert!(
+            (report.proxy_serve_bytes - served).abs() / served < 1e-6,
+            "serve ledger {} vs counters {served}",
+            report.proxy_serve_bytes
+        );
+        // Every fill the proxies counted arrived over a campus link.
+        let fills = report.proxy_fill_bytes as f64;
+        assert!(
+            (report.cabinet_fill_bytes - fills).abs() / fills < 1e-6,
+            "campus ledger {} vs proxy fills {fills}",
+            report.cabinet_fill_bytes
+        );
+        // The root served each distinct package at most once per campus.
+        assert!(report.root_fill_bytes <= report.cabinet_fill_bytes);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let run = |threads: usize| {
+            let mut sim = FederatedSim::new_tiered(small_cfg(7), tiny_tiers(), 16);
+            sim.set_threads(threads);
+            let result = sim.run_reinstall();
+            let report = sim.tier_report().unwrap();
+            (
+                result.per_node_seconds.clone(),
+                result.total_seconds.to_bits(),
+                sim.shard_link_bytes().into_iter().flatten().map(f64::to_bits).collect::<Vec<_>>(),
+                (report.proxy_hits, report.proxy_misses, report.campus_hits, report.campus_misses),
+                logs_of(sim.nodes()),
+            )
+        };
+        let serial = run(1);
+        assert_eq!(run(2), serial, "2 workers must match serial bit for bit");
+        assert_eq!(run(8), serial, "8 workers must match serial bit for bit");
+    }
+
+    #[test]
+    fn dead_cabinet_serve_link_stalls_with_shard_id() {
+        let mut sim = FederatedSim::new_tiered(small_cfg(1), tiny_tiers(), 8);
+        // Cabinet 1's proxy serve link dies early: its nodes' transfers
+        // starve forever while cabinet 0 completes.
+        sim.inject_fault_at(50.0, Fault::LinkDegrade { link: 1, factor: 0.0 });
+        match sim.try_run_reinstall() {
+            Err(ReinstallError::Sim(SimError::Stalled { active_flows, shard })) => {
+                assert!(active_flows > 0);
+                assert_eq!(shard, Some(1), "the stall must name the wedged cabinet");
+            }
+            other => panic!("expected a shard stall, got {other:?}"),
+        }
+        // The healthy cabinet still finished.
+        assert!(sim.node(0).state == NodeState::Up);
+        assert!(sim.node(4).state != NodeState::Up);
+    }
+
+    #[test]
+    fn stall_error_is_reported_identically_across_thread_counts() {
+        let run = |threads: usize| {
+            let mut sim = FederatedSim::new_tiered(small_cfg(1), tiny_tiers(), 8);
+            sim.set_threads(threads);
+            sim.inject_fault_at(50.0, Fault::LinkDegrade { link: 1, factor: 0.0 });
+            format!("{:?}", sim.try_run_reinstall().unwrap_err())
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn tier_counters_reach_the_trace_registry() {
+        let tracer = rocks_trace::Tracer::ring_sim(1 << 12);
+        let mut sim = FederatedSim::new_tiered(small_cfg(1), tiny_tiers(), 6);
+        sim.set_tracer(tracer.clone());
+        sim.run_reinstall();
+        let report = sim.tier_report().unwrap();
+        let snap = tracer.registry().expect("ring_sim carries a registry").snapshot();
+        assert_eq!(snap.counter("netsim.tier.proxy.hits"), report.proxy_hits);
+        assert_eq!(snap.counter("netsim.tier.proxy.misses"), report.proxy_misses);
+        assert_eq!(snap.counter("netsim.tier.campus.misses"), report.campus_misses);
+        assert_eq!(snap.gauge("netsim.tier.proxy.hit_bytes"), report.proxy_hit_bytes as f64);
+        assert_eq!(snap.gauge("netsim.tier.root.fill_bytes"), report.root_fill_bytes);
+        // Collecting twice must not double-count the counters.
+        sim.collect_result();
+        let again = tracer.registry().unwrap().snapshot();
+        assert_eq!(again.counter("netsim.tier.proxy.hits"), report.proxy_hits);
+    }
+
+    #[test]
+    fn power_cycle_routes_to_the_owning_shard() {
+        let mut sim = FederatedSim::new_tiered(small_cfg(2), tiny_tiers(), 8);
+        sim.inject_fault_at(200.0, Fault::PowerCycle(5));
+        let result = sim.run_reinstall();
+        assert_eq!(result.completed(), 8);
+        // Node 5 (cabinet 1) restarted and reinstalled; its neighbours
+        // in cabinet 0 kept their single life.
+        assert_eq!(sim.node(5).lives, 2);
+        assert_eq!(sim.node(0).lives, 1);
+        assert!(
+            sim.node(5).install_finished.unwrap() > micros(200.0),
+            "the restarted node finishes after the fault"
+        );
+    }
+}

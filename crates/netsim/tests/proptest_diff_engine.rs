@@ -9,7 +9,8 @@
 use proptest::prelude::*;
 use rocks_netsim::cluster::{ClusterSim, Fault};
 use rocks_netsim::engine::{Engine, EngineMode, Wakeup};
-use rocks_netsim::SimConfig;
+use rocks_netsim::shard::FederatedSim;
+use rocks_netsim::{SimConfig, TierConfig};
 
 const MB: f64 = 1e6;
 
@@ -76,7 +77,7 @@ fn run_script(ops: &[Op], mode: EngineMode) -> (Vec<Event>, Vec<f64>, u64, usize
     for &op in ops {
         match op {
             Op::StartFlow { route, tag, bytes, demand_bps } => {
-                engine.start_flow_routed(ROUTES[route].to_vec(), tag, bytes, demand_bps);
+                engine.start_flow_routed(ROUTES[route], tag, bytes, demand_bps);
             }
             Op::StartTimer { tag, delay_us } => engine.start_timer(tag, delay_us),
             Op::CancelFlowsTagged { tag } => engine.cancel_flows_tagged(tag),
@@ -226,5 +227,106 @@ proptest! {
             prop_assert_eq!(ftext, rtext);
             prop_assert!(fat.abs_diff(*rat) <= 1, "{} vs {} for {}", fat, rat, ftext);
         }
+    }
+}
+
+/// Everything observable about one federated run: the install profile,
+/// per-link byte ledgers of every shard (bit patterns — we demand exact
+/// equality, not tolerance), the ordered per-node event logs, and the
+/// telemetry snapshot.
+#[derive(Debug, PartialEq)]
+struct FederatedObservation {
+    per_node_seconds: Vec<Option<f64>>,
+    total_bits: u64,
+    link_byte_bits: Vec<Vec<u64>>,
+    logs: Vec<(u64, String)>,
+    counters: rocks_trace::Snapshot,
+    events: u64,
+}
+
+fn observe_federated(
+    seed: u64,
+    n: usize,
+    threads: usize,
+    fault: Option<(f64, Fault)>,
+) -> FederatedObservation {
+    let cfg = SimConfig::paper_testbed(seed).bundled(6);
+    let tiers = TierConfig { cabinet_size: 4, cabinets_per_campus: 2, ..TierConfig::standard() };
+    let tracer = rocks_trace::Tracer::ring_sim(1 << 12);
+    let mut sim = FederatedSim::new_tiered(cfg, tiers, n);
+    sim.set_threads(threads);
+    sim.set_tracer(tracer.clone());
+    if let Some((at, fault)) = fault {
+        sim.inject_fault_at(at, fault);
+    }
+    // Faults here never wedge the cluster, so the run must complete.
+    let result = sim.try_run_reinstall().expect("federated run completes");
+    FederatedObservation {
+        per_node_seconds: result.per_node_seconds,
+        total_bits: result.total_seconds.to_bits(),
+        link_byte_bits: sim
+            .shard_link_bytes()
+            .into_iter()
+            .map(|links| links.into_iter().map(f64::to_bits).collect())
+            .collect(),
+        logs: sim.nodes().flat_map(|nd| nd.log.iter().map(|l| (l.at, l.text.clone()))).collect(),
+        counters: tracer.registry().expect("ring_sim carries a registry").snapshot(),
+        events: sim.events(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Worker-thread count must be invisible: 1, 2, and 8 threads give
+    /// the same event order (per-node logs), the same per-link byte
+    /// totals bit for bit, and the same trace snapshot for one seed.
+    #[test]
+    fn federated_run_is_thread_count_invariant(
+        seed in 0u64..1000,
+        n in 4usize..24,
+        fault_kind in 0usize..3,
+        fault_at in 30.0f64..240.0,
+    ) {
+        let fault = match fault_kind {
+            0 => None,
+            1 => Some((fault_at, Fault::PowerCycle(n / 2))),
+            _ => Some((fault_at, Fault::NodeHang(n - 1))),
+        };
+        let serial = observe_federated(seed, n, 1, fault.clone());
+        prop_assert!(!serial.logs.is_empty(), "nodes must log their install");
+        for threads in [2usize, 8] {
+            let threaded = observe_federated(seed, n, threads, fault.clone());
+            prop_assert_eq!(&threaded, &serial, "{} workers diverged from serial", threads);
+        }
+    }
+
+    /// A single-shard flat federation is the fast engine driven through
+    /// the windowed loop: results must match `ClusterSim` bit for bit.
+    #[test]
+    fn flat_federation_equals_cluster_sim(
+        seed in 0u64..1000,
+        n in 1usize..16,
+        down_at in 40.0f64..200.0,
+    ) {
+        let cfg = {
+            let mut cfg = SimConfig::paper_testbed(seed).bundled(6);
+            cfg.n_servers = 2;
+            cfg
+        };
+        let mut flat = ClusterSim::new(cfg.clone(), n);
+        flat.inject_fault_at(down_at, Fault::ServerDown(1));
+        flat.inject_fault_at(down_at + 30.0, Fault::ServerUp(1));
+        let expect = flat.try_run_reinstall().expect("replica carries the load");
+        let mut fed = FederatedSim::new_flat(cfg, n);
+        fed.inject_fault_at(down_at, Fault::ServerDown(1));
+        fed.inject_fault_at(down_at + 30.0, Fault::ServerUp(1));
+        let got = fed.try_run_reinstall().expect("federated flat run completes");
+        prop_assert_eq!(got.total_seconds.to_bits(), expect.total_seconds.to_bits());
+        prop_assert_eq!(got.per_node_seconds, expect.per_node_seconds);
+        prop_assert_eq!(got.per_node_attempts, expect.per_node_attempts);
+        let got_bits: Vec<u64> = got.server_bytes.iter().map(|b| b.to_bits()).collect();
+        let expect_bits: Vec<u64> = expect.server_bytes.iter().map(|b| b.to_bits()).collect();
+        prop_assert_eq!(got_bits, expect_bits);
     }
 }
