@@ -18,6 +18,7 @@
 //! reproduce chaos [--quick]         # seeded chaos sweep (writes BENCH_chaos.json)
 //! reproduce trace [--quick]         # telemetry overhead (writes BENCH_trace.json)
 //! reproduce db [--quick]            # durable DB: WAL throughput, recovery, crash sweep (writes BENCH_db.json)
+//! reproduce rollout [--quick]       # rolling reinstall under batch load (writes BENCH_rollout.json)
 //! ```
 
 use rocks_bench::*;
@@ -50,6 +51,7 @@ fn main() {
         ("chaos", chaos_full),
         ("trace", trace_overhead_full),
         ("db", db_durability_full),
+        ("rollout", rollout_full),
     ];
 
     // `netsim-scale --quick` shrinks the sweep so the CI debug build
@@ -76,6 +78,11 @@ fn main() {
     // `db --quick` samples 10k rows only and sweeps 2 crash seeds.
     if arg == "db" && quick {
         println!("{}", db_durability(true));
+        return;
+    }
+    // `rollout --quick` rolls 32 nodes and sweeps 500 invariant seeds.
+    if arg == "rollout" && quick {
+        println!("{}", rollout(true));
         return;
     }
 

@@ -7,7 +7,12 @@ use rocks_netsim::cluster::{
 };
 use rocks_netsim::engine::{Engine, EngineMode, Wakeup};
 use rocks_netsim::shard::FederatedSim;
-use rocks_netsim::{SimConfig, TierConfig};
+use rocks_netsim::{NetsimInstallBackend, SimConfig, TierConfig};
+use rocks_pbs::rollout::run_rollout_sweep;
+use rocks_pbs::scheduler::schedule;
+use rocks_pbs::{
+    run_rollout, standard_rollout_invariants, JobArrival, NodeState, PbsServer, RolloutConfig,
+};
 use rocks_rpm::{synth, Repository, UpdateStream};
 
 /// Paper values for Table I: (nodes, minutes).
@@ -1708,6 +1713,348 @@ pub fn db_durability_full() -> String {
     db_durability(false)
 }
 
+// ---------------------------------------------------------------------
+// Rolling reinstall under live batch load (`reproduce rollout`,
+// BENCH_rollout.json)
+// ---------------------------------------------------------------------
+
+/// One measured rollout policy: a capacity cap, its cluster makespan,
+/// per-node install cost at that width, and how much batch throughput
+/// the cluster retained while the wave rolled through.
+#[derive(Debug, Clone)]
+pub struct RolloutRun {
+    /// Concurrent-install cap this run used (`n` for the naive mass path).
+    pub capacity: usize,
+    /// Wall time from first drain to last re-admit, minutes.
+    pub makespan_minutes: f64,
+    /// Mean install-leg duration per node, minutes.
+    pub install_minutes_per_node: f64,
+    /// Busy node-seconds delivered during the rollout divided by what the
+    /// same workload delivers over the same window with no rollout.
+    pub throughput_retention: f64,
+    /// Batch jobs that ran to completion while the rollout was in flight.
+    pub jobs_completed: usize,
+}
+
+impl RolloutRun {
+    /// Fraction of batch throughput lost to the rollout.
+    pub fn throughput_loss(&self) -> f64 {
+        (1.0 - self.throughput_retention).max(0.0)
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{ \"capacity\": {}, \"makespan_minutes\": {:.2}, \
+             \"install_minutes_per_node\": {:.2}, \"throughput_retention\": {:.4}, \
+             \"throughput_loss\": {:.4}, \"jobs_completed\": {} }}",
+            self.capacity,
+            self.makespan_minutes,
+            self.install_minutes_per_node,
+            self.throughput_retention,
+            self.throughput_loss(),
+            self.jobs_completed,
+        )
+    }
+}
+
+/// What one rollout benchmark measured, renderable as `BENCH_rollout.json`.
+#[derive(Debug, Clone)]
+pub struct RolloutSnapshot {
+    /// Quick (CI) scale or full scale.
+    pub quick: bool,
+    /// Cluster size.
+    pub nodes: usize,
+    /// The rolling policy at the paper's ~7-node knee capacity.
+    pub rolling: RolloutRun,
+    /// The naive mass path: drain everything, reinstall everything at once.
+    pub naive: RolloutRun,
+    /// Makespan of the knee-capacity rollout when install legs route
+    /// through the federated tiered engine instead of the flat one.
+    pub tiered_makespan_minutes: f64,
+    /// The capacity sweep (1/4/7/16) showing Table I's contention knee.
+    pub capacity_sweep: Vec<RolloutRun>,
+    /// Largest swept capacity whose per-node install time stays within
+    /// 5% of the sweep minimum — the measured knee.
+    pub knee_capacity: usize,
+    /// Seeds in the invariant sweep folded into this run.
+    pub invariant_seeds: usize,
+    /// Violations across that sweep (must be 0).
+    pub invariant_violations: usize,
+    /// Wall-clock milliseconds for the whole benchmark.
+    pub wall_ms: f64,
+}
+
+impl RolloutSnapshot {
+    /// How much better the rolling policy retains batch throughput than
+    /// the naive mass reinstall. The release gate holds this at >= 1.5.
+    pub fn retention_ratio(&self) -> f64 {
+        self.rolling.throughput_retention / self.naive.throughput_retention.max(1e-9)
+    }
+
+    /// Render as the `BENCH_rollout.json` document.
+    pub fn to_json(&self) -> String {
+        let sweep = self
+            .capacity_sweep
+            .iter()
+            .map(|r| format!("    {}", r.to_json()))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!(
+            "{{\n  \"experiment\": \"rollout\",\n  \"quick\": {},\n  \"nodes\": {},\n  \
+             \"rolling\": {},\n  \"naive\": {},\n  \"retention_ratio\": {:.3},\n  \
+             \"tiered_makespan_minutes\": {:.2},\n  \"capacity_sweep\": [\n{}\n  ],\n  \
+             \"knee_capacity\": {},\n  \"invariant_seeds\": {},\n  \
+             \"invariant_violations\": {},\n  \"wall_ms\": {:.1}\n}}\n",
+            self.quick,
+            self.nodes,
+            self.rolling.to_json(),
+            self.naive.to_json(),
+            self.retention_ratio(),
+            self.tiered_makespan_minutes,
+            sweep,
+            self.knee_capacity,
+            self.invariant_seeds,
+            self.invariant_violations,
+            self.wall_ms,
+        )
+    }
+}
+
+/// The synthetic production workload: enough initial 4-node jobs to start
+/// the cluster busy, then a steady arrival stream sized to ~50% demand so
+/// the queue stays bounded over even the slowest (capacity-1) rollout.
+fn rollout_workload(n: usize, horizon: f64) -> (Vec<(usize, f64)>, Vec<JobArrival>) {
+    let initial: Vec<(usize, f64)> =
+        (0..n / 8).map(|i| (4, 1200.0 + (i % 5) as f64 * 180.0)).collect();
+    // 4-node, 1500 s jobs every `spacing` seconds => 6000/spacing node-s/s.
+    let spacing = 12_000.0 / n as f64;
+    let mut arrivals = Vec::new();
+    let mut i = 0usize;
+    loop {
+        let at = 45.0 + i as f64 * spacing;
+        if at >= horizon {
+            break;
+        }
+        arrivals.push(JobArrival { at, name: format!("batch-{i}"), nodes: 4, walltime_s: 1500.0 });
+        i += 1;
+    }
+    (initial, arrivals)
+}
+
+fn rollout_server(n: usize, initial: &[(usize, f64)]) -> PbsServer {
+    let mut server = PbsServer::new();
+    for i in 0..n {
+        server.add_node(&format!("compute-0-{i}"));
+    }
+    for (i, (nodes, walltime_s)) in initial.iter().enumerate() {
+        let _ = server.qsub(&format!("initial-{i}"), *nodes, *walltime_s);
+    }
+    schedule(&mut server);
+    server
+}
+
+/// Busy node-seconds the same workload delivers over `[0, t_end]` on an
+/// undisturbed cluster — the denominator of throughput retention.
+fn baseline_busy_node_seconds(
+    n: usize,
+    initial: &[(usize, f64)],
+    arrivals: &[JobArrival],
+    t_end: f64,
+) -> f64 {
+    let mut server = rollout_server(n, initial);
+    let mut busy = 0.0;
+    let mut next_arrival = 0usize;
+    loop {
+        let now = server.now();
+        if now >= t_end - 1e-9 {
+            break;
+        }
+        if let Some(a) = arrivals.get(next_arrival) {
+            if a.at <= now + 1e-9 {
+                let _ = server.qsub(&a.name, a.nodes, a.walltime_s);
+                next_arrival += 1;
+                schedule(&mut server);
+                continue;
+            }
+        }
+        let mut t_next = t_end;
+        if let Some(a) = arrivals.get(next_arrival) {
+            t_next = t_next.min(a.at);
+        }
+        if let Some(tc) = server.next_completion() {
+            if tc > now + 1e-9 {
+                t_next = t_next.min(tc);
+            }
+        }
+        let width = server.nodes_in_state(NodeState::Busy).len() as f64;
+        server.advance_to(t_next);
+        busy += width * (t_next - now);
+        schedule(&mut server);
+    }
+    busy
+}
+
+/// Run one rollout policy against the shared workload and score it
+/// against the undisturbed baseline over the same window.
+fn measure_rollout_run(
+    n: usize,
+    cfg: &RolloutConfig,
+    backend: &mut NetsimInstallBackend,
+    initial: &[(usize, f64)],
+    arrivals: &[JobArrival],
+) -> RolloutRun {
+    let mut server = rollout_server(n, initial);
+    let outcome = run_rollout(
+        &mut server,
+        backend,
+        cfg,
+        arrivals,
+        &[],
+        &mut standard_rollout_invariants(1e9),
+        &rocks_trace::Tracer::disabled(),
+    )
+    .expect("benchmark rollout completes");
+    assert!(outcome.violations.is_empty(), "{:#?}", outcome.violations);
+    let report = outcome.report;
+    let baseline = baseline_busy_node_seconds(n, initial, arrivals, report.makespan_seconds);
+    RolloutRun {
+        capacity: cfg.capacity,
+        makespan_minutes: report.makespan_seconds / 60.0,
+        install_minutes_per_node: report.mean_install_seconds() / 60.0,
+        throughput_retention: (report.busy_node_seconds / baseline.max(1e-9)).min(1.0),
+        jobs_completed: report.jobs_completed_during as usize,
+    }
+}
+
+/// Measure the rolling-vs-naive comparison, the 1/4/7/16 capacity sweep,
+/// the tiered-engine variant, and the invariant sweep at one scale.
+pub fn measure_rollout(quick: bool) -> RolloutSnapshot {
+    let start = std::time::Instant::now();
+    let n = if quick || cfg!(debug_assertions) { 32 } else { 128 };
+    let horizon = n as f64 * 700.0 + 3600.0;
+    let (initial, arrivals) = rollout_workload(n, horizon);
+
+    let mut backend = NetsimInstallBackend::new(SimConfig::paper_testbed(1).bundled(12));
+    let sweep_caps = [1usize, 4, 7, 16];
+    let capacity_sweep: Vec<RolloutRun> = sweep_caps
+        .iter()
+        .map(|&cap| {
+            measure_rollout_run(
+                n,
+                &RolloutConfig::with_capacity(cap.min(n)),
+                &mut backend,
+                &initial,
+                &arrivals,
+            )
+        })
+        .collect();
+    let rolling = capacity_sweep
+        .iter()
+        .find(|r| r.capacity == 7)
+        .expect("sweep includes the knee capacity")
+        .clone();
+    let naive = measure_rollout_run(n, &RolloutConfig::mass(n), &mut backend, &initial, &arrivals);
+
+    let min_install =
+        capacity_sweep.iter().map(|r| r.install_minutes_per_node).fold(f64::INFINITY, f64::min);
+    let knee_capacity = capacity_sweep
+        .iter()
+        .filter(|r| r.install_minutes_per_node <= min_install * 1.05)
+        .map(|r| r.capacity)
+        .max()
+        .unwrap_or(1);
+
+    let mut tiered = NetsimInstallBackend::tiered(
+        SimConfig::paper_testbed(1).bundled(12),
+        TierConfig::standard(),
+    );
+    let tiered_run = measure_rollout_run(
+        n,
+        &RolloutConfig::with_capacity(7.min(n)),
+        &mut tiered,
+        &initial,
+        &arrivals,
+    );
+
+    let invariant_seeds = if quick { 500 } else { 1000 };
+    let violations = run_rollout_sweep(0..invariant_seeds as u64);
+
+    RolloutSnapshot {
+        quick,
+        nodes: n,
+        rolling,
+        naive,
+        tiered_makespan_minutes: tiered_run.makespan_minutes,
+        capacity_sweep,
+        knee_capacity,
+        invariant_seeds,
+        invariant_violations: violations.len(),
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+/// The rolling-reinstall benchmark: drain/reinstall/re-admit a live
+/// cluster at the Table I knee capacity vs the naive mass path, writing
+/// `BENCH_rollout.json`.
+pub fn rollout(quick: bool) -> String {
+    let snap = measure_rollout(quick);
+    let json = snap.to_json();
+    let written = match std::fs::write("BENCH_rollout.json", &json) {
+        Ok(()) => "snapshot written to BENCH_rollout.json".to_string(),
+        Err(e) => format!("snapshot NOT written: {e}"),
+    };
+    let verdict = if snap.invariant_violations == 0 {
+        "all invariants held".to_string()
+    } else {
+        format!("*** {} INVARIANT VIOLATION(S) ***", snap.invariant_violations)
+    };
+    let sweep = snap
+        .capacity_sweep
+        .iter()
+        .map(|r| {
+            format!(
+                "  cap {:>3}: {:>6.1} min makespan, {:>4.1} min/node install, {:>5.1}% retained",
+                r.capacity,
+                r.makespan_minutes,
+                r.install_minutes_per_node,
+                r.throughput_retention * 100.0,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    format!(
+        "rolling reinstall under live batch load ({} nodes)\n\
+         rolling (cap 7): {:.1} min makespan, {:.1}% throughput retained, {} jobs finished\n\
+         naive (mass):    {:.1} min makespan, {:.1}% throughput retained, {} jobs finished\n\
+         retention ratio rolling/naive: {:.2}x (release gate: >= 1.5x)\n\
+         tiered engine (cap 7): {:.1} min makespan\n\
+         capacity sweep (knee at {}):\n{}\n\
+         invariant sweep: {} seeds — {}\n\
+         wall: {:.0} ms\n\
+         {}\n",
+        snap.nodes,
+        snap.rolling.makespan_minutes,
+        snap.rolling.throughput_retention * 100.0,
+        snap.rolling.jobs_completed,
+        snap.naive.makespan_minutes,
+        snap.naive.throughput_retention * 100.0,
+        snap.naive.jobs_completed,
+        snap.retention_ratio(),
+        snap.tiered_makespan_minutes,
+        snap.knee_capacity,
+        sweep,
+        snap.invariant_seeds,
+        verdict,
+        snap.wall_ms,
+        written,
+    )
+}
+
+/// `reproduce rollout` without `--quick`: the full 128-node measurement.
+pub fn rollout_full() -> String {
+    rollout(false)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2192,6 +2539,49 @@ mod tests {
             "\"crash_sweep\"",
             "\"crash_points\"",
             "\"violations\": 0",
+        ] {
+            assert!(json.contains(key), "missing {key} in\n{json}");
+        }
+    }
+
+    /// The release gate for the rollout benchmark: a capacity-7 rolling
+    /// reinstall must retain at least 1.5x the batch throughput of the
+    /// naive drain-everything mass path, the sweep must surface the
+    /// Table I knee, and the folded-in invariant sweep must be clean.
+    #[test]
+    fn rollout_makespan_floor() {
+        // Debug builds gate the 32-node quick scale; release CI gates the
+        // full 128-node claim. Both are fully deterministic.
+        let snap = measure_rollout(cfg!(debug_assertions));
+        assert_eq!(snap.invariant_violations, 0, "invariant sweep violated");
+        let ratio = snap.retention_ratio();
+        assert!(
+            ratio >= 1.5,
+            "rolling retained only {ratio:.2}x the naive path's throughput \
+             (rolling {:.3}, naive {:.3})",
+            snap.rolling.throughput_retention,
+            snap.naive.throughput_retention,
+        );
+        // Rolling trades makespan for availability: it must take longer
+        // than the mass path but keep the cluster mostly productive.
+        assert!(snap.rolling.makespan_minutes > snap.naive.makespan_minutes);
+        assert!(snap.rolling.throughput_retention > 0.8, "{snap:#?}");
+        // The sweep shows the knee: the widest capacity pays visibly more
+        // per node than the knee does, and the knee sits in [4, 16).
+        assert!((4..16).contains(&snap.knee_capacity), "knee {}", snap.knee_capacity);
+        let json = snap.to_json();
+        for key in [
+            "\"experiment\": \"rollout\"",
+            "\"nodes\"",
+            "\"rolling\"",
+            "\"naive\"",
+            "\"retention_ratio\"",
+            "\"tiered_makespan_minutes\"",
+            "\"capacity_sweep\"",
+            "\"throughput_retention\"",
+            "\"throughput_loss\"",
+            "\"knee_capacity\"",
+            "\"invariant_violations\": 0",
         ] {
             assert!(json.contains(key), "missing {key} in\n{json}");
         }

@@ -39,6 +39,7 @@ mod hash;
 pub mod node;
 mod queue;
 pub mod reinstall;
+pub mod rollout_backend;
 pub mod shard;
 pub mod tier;
 
@@ -53,5 +54,6 @@ pub use node::{
     DirectFetch, FetchBackend, FetchStart, FetchTarget, NodeEvent, NodeLogLine, NodeState,
 };
 pub use reinstall::{mass_reinstall, provision_cluster, MassReinstallReport, ReinstallError};
+pub use rollout_backend::NetsimInstallBackend;
 pub use shard::FederatedSim;
 pub use tier::{FillDone, MissRequest, ProxyCache, TierNet, TierReport};

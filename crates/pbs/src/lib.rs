@@ -22,10 +22,16 @@
 //! composes with the `rocks-netsim` virtual clock.
 
 pub mod reinstall;
+pub mod rollout;
 pub mod scheduler;
 pub mod server;
 
 pub use reinstall::ReinstallJob;
+pub use rollout::{
+    run_rollout, standard_rollout_invariants, FixedInstall, InstallBackend, InstallLeg, JobArrival,
+    RolloutConfig, RolloutFault, RolloutInvariant, RolloutOutcome, RolloutPlan, RolloutRecord,
+    RolloutReport, RolloutView, RolloutViolation,
+};
 pub use server::{Job, JobId, JobState, NodeState, PbsServer};
 
 /// Errors from workload-manager operations.
@@ -44,6 +50,13 @@ pub enum PbsError {
     },
     /// Job is not in a state where the operation applies.
     BadState(&'static str),
+    /// A draining node was still occupied past the drain timeout — the
+    /// job on it never finished, so the reinstall cannot proceed without
+    /// either killing work (which we refuse to do) or operator action.
+    DrainTimeout {
+        /// The node whose drain never completed.
+        node: String,
+    },
 }
 
 impl std::fmt::Display for PbsError {
@@ -55,6 +68,9 @@ impl std::fmt::Display for PbsError {
                 write!(f, "job requests {requested} nodes but the cluster has {cluster}")
             }
             PbsError::BadState(m) => write!(f, "operation invalid in current state: {m}"),
+            PbsError::DrainTimeout { node } => {
+                write!(f, "drain timed out: node {node} never came free")
+            }
         }
     }
 }

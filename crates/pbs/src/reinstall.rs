@@ -35,18 +35,48 @@ pub struct ReinstallJob {
     done: Vec<String>,
     /// Seconds one reinstall takes (from the netsim calibration).
     reinstall_seconds: f64,
+    /// When the mass drain began (all pending nodes drain from here).
+    started_at: f64,
+    /// If set, a pending node still not drained this many seconds after
+    /// `started_at` turns into a typed [`PbsError::DrainTimeout`] instead
+    /// of stalling the reinstall silently.
+    drain_timeout_s: Option<f64>,
 }
 
 impl ReinstallJob {
     /// Begin a rolling reinstall of every node. Idle nodes are taken
     /// immediately; busy nodes are marked `Offline` so the scheduler
-    /// stops giving them new work.
+    /// stops giving them new work. No drain timeout: a node that never
+    /// comes free stalls the reinstall (see [`ReinstallJob::start_with_timeout`]).
     pub fn start(server: &mut PbsServer, reinstall_seconds: f64) -> Result<ReinstallJob> {
+        Self::start_inner(server, reinstall_seconds, None)
+    }
+
+    /// Like [`ReinstallJob::start`], but a node whose drain has not
+    /// completed `drain_timeout_s` seconds in surfaces as
+    /// [`PbsError::DrainTimeout`] from [`ReinstallJob::tick`] — stuck-job
+    /// detection, so an operator learns *which* node is wedged instead of
+    /// watching the reinstall hang.
+    pub fn start_with_timeout(
+        server: &mut PbsServer,
+        reinstall_seconds: f64,
+        drain_timeout_s: f64,
+    ) -> Result<ReinstallJob> {
+        Self::start_inner(server, reinstall_seconds, Some(drain_timeout_s))
+    }
+
+    fn start_inner(
+        server: &mut PbsServer,
+        reinstall_seconds: f64,
+        drain_timeout_s: Option<f64>,
+    ) -> Result<ReinstallJob> {
         let mut job = ReinstallJob {
             pending: Vec::new(),
             installing: BTreeMap::new(),
             done: Vec::new(),
             reinstall_seconds,
+            started_at: server.now(),
+            drain_timeout_s,
         };
         for name in server.node_names() {
             match server.node_state(&name)? {
@@ -103,6 +133,18 @@ impl ReinstallJob {
             self.begin_node(server, &name)?;
         }
 
+        // Stuck-job detection: a node still pending past the drain
+        // deadline will never come free on its own (its job overran, or
+        // it was already `Down` when the reinstall started). Surface a
+        // typed error naming the node instead of stalling silently.
+        if let Some(timeout) = self.drain_timeout_s {
+            if now >= self.started_at + timeout - 1e-9 {
+                if let Some(stuck) = self.pending.first() {
+                    return Err(PbsError::DrainTimeout { node: stuck.clone() });
+                }
+            }
+        }
+
         Ok(if self.pending.is_empty() && self.installing.is_empty() {
             ReinstallPhase::Complete
         } else {
@@ -115,6 +157,22 @@ impl ReinstallJob {
         self.installing.values().copied().min_by(|a, b| a.partial_cmp(b).expect("finite"))
     }
 
+    /// Earliest event the reinstall itself will produce: an install
+    /// completion, or — when a drain timeout is set and nodes are still
+    /// pending — the drain deadline. Event loops must advance to this
+    /// time (not just [`ReinstallJob::next_completion`]) or a stuck drain
+    /// never reaches its deadline and the typed error never fires.
+    pub fn next_event(&self) -> Option<f64> {
+        let deadline = match (&self.drain_timeout_s, self.pending.is_empty()) {
+            (Some(t), false) => Some(self.started_at + t),
+            _ => None,
+        };
+        match (self.next_completion(), deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
     /// Nodes already reinstalled.
     pub fn completed_nodes(&self) -> &[String] {
         &self.done
@@ -125,13 +183,36 @@ impl ReinstallJob {
 /// letting running jobs finish undisturbed. Returns the time the last
 /// node returned to service.
 pub fn roll_cluster(server: &mut PbsServer, reinstall_seconds: f64) -> Result<f64> {
-    let mut job = ReinstallJob::start(server, reinstall_seconds)?;
+    roll_cluster_inner(server, reinstall_seconds, None)
+}
+
+/// [`roll_cluster`] with stuck-drain detection: if any node is still not
+/// drained `drain_timeout_s` seconds in, the roll fails with
+/// [`PbsError::DrainTimeout`] naming the node.
+pub fn roll_cluster_with_timeout(
+    server: &mut PbsServer,
+    reinstall_seconds: f64,
+    drain_timeout_s: f64,
+) -> Result<f64> {
+    roll_cluster_inner(server, reinstall_seconds, Some(drain_timeout_s))
+}
+
+fn roll_cluster_inner(
+    server: &mut PbsServer,
+    reinstall_seconds: f64,
+    drain_timeout_s: Option<f64>,
+) -> Result<f64> {
+    let mut job = match drain_timeout_s {
+        Some(t) => ReinstallJob::start_with_timeout(server, reinstall_seconds, t)?,
+        None => ReinstallJob::start(server, reinstall_seconds)?,
+    };
     loop {
         if job.tick(server)? == ReinstallPhase::Complete {
             return Ok(server.now());
         }
-        // Next event: a job completion or a reinstall completion.
-        let next = match (server.next_completion(), job.next_completion()) {
+        // Next event: a job completion, a reinstall completion, or the
+        // drain deadline.
+        let next = match (server.next_completion(), job.next_event()) {
             (Some(a), Some(b)) => a.min(b),
             (Some(a), None) => a,
             (None, Some(b)) => b,
@@ -211,5 +292,55 @@ mod tests {
         let mut s = server(1);
         let job = ReinstallJob::start(&mut s, 42.0).unwrap();
         assert_eq!(job.next_completion(), Some(42.0));
+    }
+
+    #[test]
+    fn stuck_drain_surfaces_typed_error_with_timeout() {
+        // compute-0-3 is already Down (failed hardware): its "drain"
+        // can never complete because no job will ever release it.
+        let mut s = server(4);
+        s.set_node_state("compute-0-3", NodeState::Down).unwrap();
+        let err = roll_cluster_with_timeout(&mut s, 600.0, 900.0).unwrap_err();
+        assert_eq!(err, PbsError::DrainTimeout { node: "compute-0-3".into() });
+        // The deadline is an event: the clock advanced to it rather than
+        // erroring at t=0 or spinning forever.
+        assert!((s.now() - 900.0).abs() < 1e-6, "now {}", s.now());
+    }
+
+    #[test]
+    fn stuck_drain_without_timeout_keeps_legacy_stall_error() {
+        // Regression guard for the pre-timeout behaviour: without a
+        // deadline the same situation still fails (generic stall), it
+        // just cannot name the node.
+        let mut s = server(2);
+        s.set_node_state("compute-0-1", NodeState::Down).unwrap();
+        let err = roll_cluster(&mut s, 600.0).unwrap_err();
+        assert!(matches!(err, PbsError::BadState(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn timeout_does_not_fire_when_drains_complete_in_time() {
+        let mut s = server(4);
+        let job = s.qsub("science", 2, 500.0).unwrap();
+        schedule(&mut s);
+        // Jobs finish at t=500, well inside the 800 s deadline.
+        let end = roll_cluster_with_timeout(&mut s, 600.0, 800.0).unwrap();
+        assert!((end - 1100.0).abs() < 1e-6, "end {end}");
+        assert!(matches!(s.job(job).unwrap().state, JobState::Done { .. }));
+        assert_eq!(s.nodes_in_state(NodeState::Free).len(), 4);
+    }
+
+    #[test]
+    fn tick_reports_deadline_via_next_event() {
+        let mut s = server(2);
+        let j = s.qsub("long", 2, 10_000.0).unwrap();
+        schedule(&mut s);
+        assert!(matches!(s.job(j).unwrap().state, JobState::Running { .. }));
+        let mut job = ReinstallJob::start_with_timeout(&mut s, 600.0, 50.0).unwrap();
+        // Nothing is installing yet, so the only event is the deadline.
+        assert_eq!(job.next_event(), Some(50.0));
+        s.advance_to(50.0);
+        let err = job.tick(&mut s).unwrap_err();
+        assert!(matches!(err, PbsError::DrainTimeout { .. }), "got {err:?}");
     }
 }

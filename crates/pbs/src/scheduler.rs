@@ -88,6 +88,34 @@ fn reservation_time(server: &PbsServer, wanted: usize) -> Option<f64> {
     None
 }
 
+/// Rank `among` by how soon each node can be handed to the installer and
+/// return up to `k` names: idle nodes first (they drain instantly), then
+/// busy nodes by their running job's finish time, then nodes already out
+/// of scheduling (`Offline`/`Down`) last. Ties break by name so drain
+/// selection is deterministic. This is the rollout orchestrator's
+/// drain-target policy: it minimizes the time reinstall capacity sits
+/// idle waiting for jobs to finish.
+pub fn drain_candidates(server: &PbsServer, among: &[String], k: usize) -> Vec<String> {
+    let mut ranked: Vec<(f64, String)> = among
+        .iter()
+        .filter_map(|name| {
+            let release = match server.node_state(name).ok()? {
+                NodeState::Free => server.now(),
+                NodeState::Busy => {
+                    server.job_on_node(name).and_then(|j| j.finish_time()).unwrap_or(f64::INFINITY)
+                }
+                NodeState::Offline | NodeState::Down => f64::INFINITY,
+            };
+            Some((release, name.clone()))
+        })
+        .collect();
+    ranked.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal).then_with(|| a.1.cmp(&b.1))
+    });
+    ranked.truncate(k);
+    ranked.into_iter().map(|(_, name)| name).collect()
+}
+
 /// Run the cluster forward: repeatedly schedule, then jump to the next
 /// job completion, until the queue drains or nothing can make progress.
 /// Returns the time the last job finished.
@@ -177,6 +205,23 @@ mod tests {
         let started = schedule(&mut s);
         assert!(started.is_empty());
         assert!(matches!(s.job(head).unwrap().state, JobState::Queued));
+    }
+
+    #[test]
+    fn drain_candidates_prefer_idle_then_earliest_finish() {
+        let mut s = server(4);
+        // compute-0-0 busy until t=100, compute-0-1 busy until t=30,
+        // compute-0-2 free, compute-0-3 already down.
+        let long = s.qsub("long", 1, 100.0).unwrap();
+        s.start_job(long, vec!["compute-0-0".into()]).unwrap();
+        let short = s.qsub("short", 1, 30.0).unwrap();
+        s.start_job(short, vec!["compute-0-1".into()]).unwrap();
+        s.set_node_state("compute-0-3", NodeState::Down).unwrap();
+        let among = s.node_names();
+        let picks = drain_candidates(&s, &among, 3);
+        assert_eq!(picks, vec!["compute-0-2", "compute-0-1", "compute-0-0"]);
+        // k larger than the candidate set returns everything, ranked.
+        assert_eq!(drain_candidates(&s, &among, 10).len(), 4);
     }
 
     #[test]

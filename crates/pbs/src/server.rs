@@ -255,13 +255,19 @@ impl PbsServer {
         finished
     }
 
+    /// The running job currently occupying `name`, if any. Lets the
+    /// rollout orchestrator rank drain candidates by when they come free.
+    pub fn job_on_node(&self, name: &str) -> Option<&Job> {
+        self.jobs.values().find(|j| {
+            matches!(&j.state, JobState::Running { nodes, .. } if nodes.iter().any(|n| n == name))
+        })
+    }
+
     /// Whether any running job currently occupies `name`. Needed because
     /// a draining node keeps running its job: `Offline` state alone does
     /// not mean the node is idle.
     pub fn node_running_job(&self, name: &str) -> bool {
-        self.jobs.values().any(|j| {
-            matches!(&j.state, JobState::Running { nodes, .. } if nodes.iter().any(|n| n == name))
-        })
+        self.job_on_node(name).is_some()
     }
 
     /// Earliest finish time among running jobs, if any — the scheduler's

@@ -282,3 +282,197 @@ fn unharmed_reinstall_wave_marks_every_node() {
     let nodes = db.compute_nodes().unwrap();
     assert_eq!(nodes.iter().filter(|n| n.comment.as_deref() == Some("wave-1")).count(), 6);
 }
+
+// ---------------------------------------------------------------------------
+// Rolling-reinstall orchestrator under chaos.
+//
+// Pinned scenarios for the §5 rollout: the orchestrator drains nodes
+// through the scheduler, installs in capacity-capped waves, and readmits
+// — here with the install server flapping mid-wave, job bursts landing
+// mid-drain, and straggler nodes hitting the watchdog failover, exactly
+// the operational storms the Fermilab/CERN cluster-ops papers describe.
+// Every scenario also asserts zero standard-invariant violations.
+// ---------------------------------------------------------------------------
+
+fn rollout_server(n: usize) -> rocks::pbs::PbsServer {
+    let mut s = rocks::pbs::PbsServer::new();
+    for i in 0..n {
+        s.add_node(&format!("compute-0-{i}"));
+    }
+    s
+}
+
+fn run_rollout_scenario(
+    server: &mut rocks::pbs::PbsServer,
+    backend: &mut dyn rocks::pbs::InstallBackend,
+    cfg: &rocks::pbs::RolloutConfig,
+    arrivals: &[rocks::pbs::JobArrival],
+    faults: &[rocks::pbs::RolloutFault],
+) -> rocks::pbs::RolloutOutcome {
+    let bound = 1e9;
+    let out = rocks::pbs::run_rollout(
+        server,
+        backend,
+        cfg,
+        arrivals,
+        faults,
+        &mut rocks::pbs::standard_rollout_invariants(bound),
+        &rocks::trace::Tracer::disabled(),
+    )
+    .expect("scenario completes");
+    assert!(out.violations.is_empty(), "invariants violated: {:#?}", out.violations);
+    out
+}
+
+#[test]
+fn rollout_server_flap_mid_wave_pauses_exactly_the_outage() {
+    // 16 nodes, capacity 4, six 2-node/400 s jobs running at drain time.
+    // The install server drops out 700→1000 s — squarely inside the
+    // second wave — and every in-flight leg freezes for those 300 s.
+    let mut s = rollout_server(16);
+    for i in 0..6 {
+        s.qsub(&format!("j{i}"), 2, 400.0).unwrap();
+    }
+    rocks::pbs::scheduler::schedule(&mut s);
+    let mut backend = rocks::pbs::FixedInstall { seconds: 600.0, bytes: 5_000 };
+    let out = run_rollout_scenario(
+        &mut s,
+        &mut backend,
+        &rocks::pbs::RolloutConfig::with_capacity(4),
+        &[],
+        &[rocks::pbs::RolloutFault::ServerFlap { down_at: 700.0, up_at: 1000.0 }],
+    );
+    assert!((out.report.flap_pause_seconds - 300.0).abs() < 1e-6);
+    assert!((out.report.makespan_seconds - 2700.0).abs() < 1e-6);
+    assert_eq!(out.report.jobs_completed_during, 6, "all six jobs finished undisturbed");
+    assert_eq!(out.report.max_concurrent_installs, 4);
+    assert_eq!(out.report.reinstalled.len(), 16);
+}
+
+#[test]
+fn rollout_job_burst_during_drain_keeps_flowing() {
+    // Four 2-node jobs run when the drain begins; at t=50 a burst of five
+    // more lands. The scheduler keeps placing them on the untouched
+    // portion: all nine jobs complete during the rollout, none are
+    // killed, and the rollout still converges.
+    let mut s = rollout_server(12);
+    for i in 0..4 {
+        s.qsub(&format!("pre{i}"), 2, 500.0).unwrap();
+    }
+    rocks::pbs::scheduler::schedule(&mut s);
+    let mut backend = rocks::pbs::FixedInstall { seconds: 600.0, bytes: 5_000 };
+    let out = run_rollout_scenario(
+        &mut s,
+        &mut backend,
+        &rocks::pbs::RolloutConfig::with_capacity(3),
+        &[],
+        &[rocks::pbs::RolloutFault::JobBurst {
+            at: 50.0,
+            jobs: 5,
+            nodes_each: 2,
+            walltime_s: 200.0,
+        }],
+    );
+    assert_eq!(out.report.jobs_started_during, 5, "every burst job got nodes mid-rollout");
+    assert_eq!(out.report.jobs_completed_during, 9);
+    assert!((out.report.makespan_seconds - 2400.0).abs() < 1e-6);
+    assert!((out.report.busy_node_seconds - 4700.0).abs() < 1e-6, "throughput integral drifted");
+}
+
+#[test]
+fn rollout_straggler_hits_watchdog_failover_once() {
+    // Node 3's leg pays a 450 s watchdog-failover penalty on top of the
+    // 600 s install. The wave containing it stretches; everyone else is
+    // untouched.
+    let mut s = rollout_server(8);
+    s.qsub("w", 4, 300.0).unwrap();
+    rocks::pbs::scheduler::schedule(&mut s);
+    let mut backend = rocks::pbs::FixedInstall { seconds: 600.0, bytes: 5_000 };
+    let out = run_rollout_scenario(
+        &mut s,
+        &mut backend,
+        &rocks::pbs::RolloutConfig::with_capacity(2),
+        &[],
+        &[rocks::pbs::RolloutFault::Straggler { node_index: 3, extra_seconds: 450.0 }],
+    );
+    assert_eq!(out.report.straggler_failovers, 1);
+    assert!((out.report.per_node_install_seconds["compute-0-3"] - 1050.0).abs() < 1e-6);
+    assert!((out.report.makespan_seconds - 2850.0).abs() < 1e-6);
+}
+
+#[test]
+fn rollout_netsim_backed_flap_plus_burst_replays_exactly() {
+    // The full stack: install legs calibrated by the netsim reinstall
+    // engine at the live concurrency, a 300 s server flap, a job burst,
+    // and a mid-rollout arrival. Byte totals and the millisecond-rounded
+    // makespan are pinned — any drift in the orchestrator, the
+    // scheduler, or the netsim contention curve shows up here.
+    let mut s = rollout_server(16);
+    for i in 0..4 {
+        s.qsub(&format!("pre{i}"), 3, 600.0).unwrap();
+    }
+    rocks::pbs::scheduler::schedule(&mut s);
+    let mut backend = rocks::netsim::NetsimInstallBackend::new(
+        rocks::netsim::SimConfig::paper_testbed(7).bundled(6),
+    );
+    let out = run_rollout_scenario(
+        &mut s,
+        &mut backend,
+        &rocks::pbs::RolloutConfig::with_capacity(7),
+        &[rocks::pbs::JobArrival { at: 400.0, name: "mid".into(), nodes: 2, walltime_s: 300.0 }],
+        &[
+            rocks::pbs::RolloutFault::ServerFlap { down_at: 300.0, up_at: 600.0 },
+            rocks::pbs::RolloutFault::JobBurst {
+                at: 100.0,
+                jobs: 3,
+                nodes_each: 2,
+                walltime_s: 250.0,
+            },
+        ],
+    );
+    assert_eq!((out.report.makespan_seconds * 1000.0).round() as u64, 2_351_909);
+    assert!((out.report.flap_pause_seconds - 300.0).abs() < 1e-6);
+    assert_eq!(out.report.total_bytes, 3_776_445_303);
+    assert_eq!(out.report.max_concurrent_installs, 7);
+    assert_eq!(out.report.jobs_started_during, 4);
+    assert_eq!(out.report.reinstalled.len(), 16);
+}
+
+/// `(seed, nodes, capacity, makespan ms, max concurrent, stragglers,
+/// jobs started mid-rollout)` — generated-plan pins, all with zero
+/// violations, selected to cover low/high capacity and every fault kind.
+const ROLLOUT_CORPUS: &[(u64, usize, usize, u64, usize, u64, u64)] = &[
+    // Capacity-7 rollout with arrivals riding the untouched portion.
+    (3, 20, 7, 1_918_158, 7, 0, 6),
+    // Capacity-2 crawl across 28 nodes with a straggler: the long tail.
+    (11, 28, 2, 6_928_192, 2, 1, 12),
+    // Largest generated topology, straggler plus heavy arrivals.
+    (21, 32, 4, 3_703_537, 4, 1, 15),
+    (34, 17, 4, 3_880_671, 4, 0, 7),
+    // Burst-heavy seed: twenty jobs placed while rolling.
+    (55, 27, 3, 2_352_684, 3, 1, 20),
+    // Two stragglers in one rollout.
+    (89, 27, 5, 4_190_530, 5, 2, 19),
+];
+
+#[test]
+fn rollout_pinned_seeds_replay_exactly() {
+    for &(seed, nodes, capacity, makespan_ms, max_conc, stragglers, jobs_started) in ROLLOUT_CORPUS
+    {
+        let plan = rocks::pbs::RolloutPlan::generate(seed);
+        assert_eq!(plan.n_nodes, nodes, "seed {seed}: topology drifted");
+        assert_eq!(plan.capacity, capacity, "seed {seed}: capacity drifted");
+        let record = plan.run();
+        assert!(record.violations.is_empty(), "seed {seed}: {:#?}", record.violations);
+        let report = record.report.expect("clean run");
+        assert_eq!(
+            (report.makespan_seconds * 1000.0).round() as u64,
+            makespan_ms,
+            "seed {seed}: makespan drifted"
+        );
+        assert_eq!(report.max_concurrent_installs, max_conc, "seed {seed}: concurrency drifted");
+        assert_eq!(report.straggler_failovers, stragglers, "seed {seed}: stragglers drifted");
+        assert_eq!(report.jobs_started_during, jobs_started, "seed {seed}: admissions drifted");
+        assert_eq!(report.reinstalled.len(), nodes, "seed {seed}: node coverage drifted");
+    }
+}
