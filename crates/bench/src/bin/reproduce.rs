@@ -19,6 +19,7 @@
 //! reproduce trace [--quick]         # telemetry overhead (writes BENCH_trace.json)
 //! reproduce db [--quick]            # durable DB: WAL throughput, recovery, crash sweep (writes BENCH_db.json)
 //! reproduce rollout [--quick]       # rolling reinstall under batch load (writes BENCH_rollout.json)
+//! reproduce serve [--quick]         # kickstart serving frontend at saturation (writes BENCH_serve.json)
 //! ```
 
 use rocks_bench::*;
@@ -52,6 +53,7 @@ fn main() {
         ("trace", trace_overhead_full),
         ("db", db_durability_full),
         ("rollout", rollout_full),
+        ("serve", serve_full),
     ];
 
     // `netsim-scale --quick` shrinks the sweep so the CI debug build
@@ -83,6 +85,11 @@ fn main() {
     // `rollout --quick` rolls 32 nodes and sweeps 500 invariant seeds.
     if arg == "rollout" && quick {
         println!("{}", rollout(true));
+        return;
+    }
+    // `serve --quick` shortens the horizons and sweeps 200 seeds.
+    if arg == "serve" && quick {
+        println!("{}", serve(true));
         return;
     }
 

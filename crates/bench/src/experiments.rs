@@ -14,6 +14,10 @@ use rocks_pbs::{
     run_rollout, standard_rollout_invariants, JobArrival, NodeState, PbsServer, RolloutConfig,
 };
 use rocks_rpm::{synth, Repository, UpdateStream};
+use rocks_serve::{
+    run_serve, run_serve_sweep, Arrivals, ModelBackend, RealBackend, ServeBackend, ServeConfig,
+    ServeFault, ServeReport, Workload,
+};
 
 /// Paper values for Table I: (nodes, minutes).
 pub const PAPER_TABLE1: &[(usize, f64)] =
@@ -2055,6 +2059,481 @@ pub fn rollout_full() -> String {
     rollout(false)
 }
 
+// ---------------------------------------------------------------------
+// High-throughput kickstart serving (`reproduce serve`, BENCH_serve.json)
+// ---------------------------------------------------------------------
+
+/// The p99 ceiling the serving SLO gate enforces at saturation, µs of
+/// virtual time.
+pub const SERVE_SLO_P99_US: u64 = 1_000;
+
+/// Minimum completed-request throughput the 8-shard frontend must
+/// sustain at saturation, requests per simulated second.
+pub const SERVE_SLO_MIN_RPS: f64 = 100_000.0;
+
+/// One frontend configuration measured at saturation: offered load far
+/// past capacity, a tight admission queue, and the completed-request
+/// throughput plus tail latency that survive it.
+#[derive(Debug, Clone)]
+pub struct ServeRun {
+    /// Worker shards.
+    pub shards: usize,
+    /// Workers per shard.
+    pub workers_per_shard: usize,
+    /// Completed requests per simulated second.
+    pub rps: f64,
+    /// Median completed-request latency, virtual µs.
+    pub p50_us: u64,
+    /// 99th-percentile completed-request latency, virtual µs.
+    pub p99_us: u64,
+    /// Fraction of arrivals rejected at admission.
+    pub shed_rate: f64,
+    /// Deepest queue observed (bounded by the high-water mark).
+    pub queue_peak: u64,
+    /// Requests served to completion.
+    pub completed: u64,
+}
+
+impl ServeRun {
+    fn from_report(cfg: &ServeConfig, r: &ServeReport) -> ServeRun {
+        ServeRun {
+            shards: cfg.shards,
+            workers_per_shard: cfg.workers_per_shard,
+            rps: r.rps(),
+            p50_us: r.latency.p50_us,
+            p99_us: r.latency.p99_us,
+            shed_rate: r.shed_rate(),
+            queue_peak: r.queue_peak,
+            completed: r.completed,
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{ \"shards\": {}, \"workers_per_shard\": {}, \"rps\": {:.0}, \
+             \"p50_us\": {}, \"p99_us\": {}, \"shed_rate\": {:.4}, \
+             \"queue_peak\": {}, \"completed\": {} }}",
+            self.shards,
+            self.workers_per_shard,
+            self.rps,
+            self.p50_us,
+            self.p99_us,
+            self.shed_rate,
+            self.queue_peak,
+            self.completed,
+        )
+    }
+}
+
+/// What one serving benchmark measured, renderable as `BENCH_serve.json`.
+#[derive(Debug, Clone)]
+pub struct ServeSnapshot {
+    /// Quick (CI) scale or full scale.
+    pub quick: bool,
+    /// Saturation throughput at 1/2/4/8 shards, 4 workers each.
+    pub shard_sweep: Vec<ServeRun>,
+    /// The 10×-burst scenario at the 8-shard configuration.
+    pub burst: ServeRun,
+    /// The same workload without the burst window.
+    pub steady: ServeRun,
+    /// Install-class p99 under install-heavy overload, virtual µs.
+    pub install_p99_us: u64,
+    /// Report-class p99 under the same overload — bounded by aging.
+    pub report_p99_us: u64,
+    /// Longest install run that ever passed a waiting report.
+    pub max_consecutive_installs: u64,
+    /// The aging window that bound is checked against.
+    pub report_every: u64,
+    /// Backend misses with a mid-run dist-rebuild invalidation.
+    pub storm_misses: u64,
+    /// Backend misses for the calm twin (initial warmup only).
+    pub calm_misses: u64,
+    /// p99 with the storm re-warm stalls, virtual µs.
+    pub storm_p99_us: u64,
+    /// Calm-twin p99, virtual µs.
+    pub calm_p99_us: u64,
+    /// End-to-end throughput against the real generation service + SQL
+    /// reports (virtual time; schedule proven identical to the model).
+    pub real_rps: f64,
+    /// OS threads in the wall-clock saturation run.
+    pub saturation_threads: usize,
+    /// Real kickstart generations per wall-clock second across those
+    /// threads (sharded skeleton cache under true contention).
+    pub saturation_ks_per_s: f64,
+    /// Seeds in the folded-in invariant sweep.
+    pub sweep_seeds: usize,
+    /// Violations across that sweep (must be 0).
+    pub sweep_violations: usize,
+    /// Wall-clock milliseconds for the whole benchmark.
+    pub wall_ms: f64,
+}
+
+impl ServeSnapshot {
+    /// The headline 8-shard saturation run.
+    pub fn headline(&self) -> &ServeRun {
+        self.shard_sweep.last().expect("sweep is non-empty")
+    }
+
+    /// Render as the `BENCH_serve.json` document.
+    pub fn to_json(&self) -> String {
+        let sweep = self
+            .shard_sweep
+            .iter()
+            .map(|r| format!("    {}", r.to_json()))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let h = self.headline();
+        format!(
+            "{{\n  \"experiment\": \"serve\",\n  \"quick\": {},\n  \"rps\": {:.0},\n  \
+             \"p99_us\": {},\n  \"shed_rate\": {:.4},\n  \"queue_peak\": {},\n  \
+             \"slo_p99_us\": {},\n  \"slo_min_rps\": {:.0},\n  \
+             \"shard_sweep\": [\n{}\n  ],\n  \
+             \"burst\": {},\n  \"steady\": {},\n  \
+             \"priority\": {{ \"install_p99_us\": {}, \"report_p99_us\": {}, \
+             \"max_consecutive_installs\": {}, \"report_every\": {} }},\n  \
+             \"storm\": {{ \"misses\": {}, \"calm_misses\": {}, \"p99_us\": {}, \
+             \"calm_p99_us\": {} }},\n  \
+             \"real_backend_rps\": {:.0},\n  \
+             \"saturation\": {{ \"threads\": {}, \"kickstarts_per_s\": {:.0} }},\n  \
+             \"sweep_seeds\": {},\n  \"violations\": {},\n  \"wall_ms\": {:.1}\n}}\n",
+            self.quick,
+            h.rps,
+            h.p99_us,
+            h.shed_rate,
+            h.queue_peak,
+            SERVE_SLO_P99_US,
+            SERVE_SLO_MIN_RPS,
+            sweep,
+            self.burst.to_json(),
+            self.steady.to_json(),
+            self.install_p99_us,
+            self.report_p99_us,
+            self.max_consecutive_installs,
+            self.report_every,
+            self.storm_misses,
+            self.calm_misses,
+            self.storm_p99_us,
+            self.calm_p99_us,
+            self.real_rps,
+            self.saturation_threads,
+            self.saturation_ks_per_s,
+            self.sweep_seeds,
+            self.sweep_violations,
+            self.wall_ms,
+        )
+    }
+}
+
+/// The saturation configuration: a tight admission queue so tail latency
+/// stays queue-bounded while offered load runs far past capacity.
+fn serve_saturation_cfg(shards: usize) -> ServeConfig {
+    ServeConfig {
+        shards,
+        workers_per_shard: 4,
+        queue_cap: 64,
+        high_water: 48,
+        retry_after_us: 2_000,
+        ..ServeConfig::default()
+    }
+}
+
+/// Offered load for the saturation sweep: open-loop at 600k rps — past
+/// even the 32-worker configuration's capacity — with no retries, so the
+/// completed rate *is* the measured capacity.
+fn serve_saturation_workload(horizon_us: u64) -> Workload {
+    Workload {
+        seed: 42,
+        arrivals: Arrivals::Open { rate_rps: 600_000.0, retry_shed: false },
+        horizon_us,
+        report_permille: 200,
+        faults: Vec::new(),
+    }
+}
+
+fn serve_measure(cfg: &ServeConfig, wl: &Workload, backend: &mut ModelBackend) -> ServeReport {
+    let (report, _) = run_serve(cfg, wl, backend, &rocks_trace::Tracer::disabled());
+    assert!(report.violations.is_empty(), "serve invariants violated: {:#?}", report.violations);
+    report
+}
+
+/// The saturation run the SLO gate reads: 8 shards × 4 workers, offered
+/// load far past capacity. Virtual-time measurement — debug and release
+/// builds produce bit-identical numbers.
+pub fn serve_slo_run(horizon_us: u64) -> ServeRun {
+    let cfg = serve_saturation_cfg(8);
+    let wl = serve_saturation_workload(horizon_us);
+    let report = serve_measure(&cfg, &wl, &mut ModelBackend::new(64, 4, 6));
+    ServeRun::from_report(&cfg, &report)
+}
+
+/// A frontend-plus-database cluster for the end-to-end sections: one
+/// frontend and `computes` compute nodes, integrated the insert-ethers
+/// way (no distribution build — the serving path never reads it).
+fn serve_cluster_db(computes: usize) -> ClusterDb {
+    use rocks_db::insert_ethers::{register_frontend, DhcpRequest, InsertEthers};
+    let mut db = ClusterDb::new();
+    register_frontend(&mut db, "00:30:c1:d8:ac:80", "frontend-0").unwrap();
+    let mut session = InsertEthers::start(&mut db, "Compute", 0).unwrap();
+    for i in 0..computes {
+        session
+            .observe(&DhcpRequest { mac: format!("00:50:8b:e0:{:02x}:{:02x}", i / 256, i % 256) })
+            .unwrap();
+    }
+    db
+}
+
+fn serve_generation_service() -> rocks_kickstart::GenerationService {
+    rocks_kickstart::GenerationService::new(rocks_kickstart::KickstartGenerator::new(
+        profiles::default_profiles(),
+        "10.1.1.1",
+        "install/rocks-dist",
+    ))
+}
+
+/// Wall-clock saturation of the real generation path: `threads` OS
+/// threads hammer `generate_for_request` against one shared service and
+/// database, exercising the sharded skeleton cache under true
+/// contention. Returns kickstarts per wall-clock second.
+fn serve_real_saturation(threads: usize, iters_per_thread: usize) -> f64 {
+    // `ClusterDb` cannot cross threads, so each worker builds its own
+    // identical copy in-thread (deterministic construction — every copy
+    // carries the same revision) and all of them contend on the *shared*
+    // service's sharded skeleton cache, the serving hot path. A barrier
+    // keeps construction and warmup out of the timed region.
+    let setup_db = serve_cluster_db(64);
+    let svc = serve_generation_service();
+    let targets = setup_db.kickstart_targets().unwrap();
+    // Warm every root once so the measurement is the steady state.
+    for t in &targets {
+        svc.generate_for_request(&setup_db, &t.ip, rocks_rpm::Arch::I686).unwrap();
+    }
+    let barrier = std::sync::Barrier::new(threads + 1);
+    let mut start = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for tid in 0..threads {
+            let svc = &svc;
+            let targets = &targets;
+            let barrier = &barrier;
+            scope.spawn(move || {
+                let db = serve_cluster_db(64);
+                barrier.wait();
+                for i in 0..iters_per_thread {
+                    let t = &targets[(tid * 7 + i) % targets.len()];
+                    svc.generate_for_request(&db, &t.ip, rocks_rpm::Arch::I686).unwrap();
+                }
+            });
+        }
+        barrier.wait();
+        // The clock runs from barrier release to the scope-exit join.
+        start = std::time::Instant::now();
+    });
+    (threads * iters_per_thread) as f64 / start.elapsed().as_secs_f64().max(1e-9)
+}
+
+/// Measure the shard sweep, the burst/priority/storm scenarios, the
+/// end-to-end real-backend run, the wall-clock saturation, and the
+/// folded-in invariant sweep.
+pub fn measure_serve(quick: bool) -> ServeSnapshot {
+    let start = std::time::Instant::now();
+    let horizon = if quick { 50_000 } else { 500_000 };
+
+    // Saturation capacity at 1/2/4/8 shards, 4 workers each.
+    let wl = serve_saturation_workload(horizon);
+    let shard_sweep: Vec<ServeRun> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&shards| {
+            let cfg = serve_saturation_cfg(shards);
+            let report = serve_measure(&cfg, &wl, &mut ModelBackend::new(64, 4, 6));
+            ServeRun::from_report(&cfg, &report)
+        })
+        .collect();
+
+    // A 10× burst against a modest 2×2 configuration vs its calm twin.
+    let burst_cfg = ServeConfig {
+        shards: 2,
+        workers_per_shard: 2,
+        queue_cap: 64,
+        high_water: 48,
+        retry_after_us: 1_500,
+        ..ServeConfig::default()
+    };
+    let burst_wl = Workload {
+        seed: 7,
+        arrivals: Arrivals::Open { rate_rps: 40_000.0, retry_shed: true },
+        horizon_us: if quick { 40_000 } else { 200_000 },
+        report_permille: 200,
+        faults: vec![ServeFault::Burst { at_us: 10_000, dur_us: 10_000, factor: 10.0 }],
+    };
+    let burst_report = serve_measure(&burst_cfg, &burst_wl, &mut ModelBackend::new(64, 2, 6));
+    let steady_report = serve_measure(
+        &burst_cfg,
+        &Workload { faults: Vec::new(), ..burst_wl },
+        &mut ModelBackend::new(64, 2, 6),
+    );
+
+    // Priority under install-heavy overload: reports ride the aging
+    // bound instead of starving.
+    let prio_cfg = ServeConfig { shards: 2, workers_per_shard: 2, ..ServeConfig::default() };
+    let prio_wl = Workload {
+        seed: 11,
+        arrivals: Arrivals::Open { rate_rps: 150_000.0, retry_shed: false },
+        horizon_us: if quick { 30_000 } else { 120_000 },
+        report_permille: 100,
+        faults: Vec::new(),
+    };
+    let prio = serve_measure(&prio_cfg, &prio_wl, &mut ModelBackend::new(64, 2, 6));
+
+    // Cache-invalidation storm vs calm twin (closed loop).
+    let storm_cfg = ServeConfig { shards: 2, workers_per_shard: 4, ..ServeConfig::default() };
+    let storm_wl = Workload {
+        seed: 13,
+        arrivals: Arrivals::Closed { clients: 32, think_us: 200 },
+        horizon_us: if quick { 40_000 } else { 160_000 },
+        report_permille: 300,
+        faults: vec![ServeFault::CacheStorm { at_us: 20_000 }],
+    };
+    let storm = serve_measure(&storm_cfg, &storm_wl, &mut ModelBackend::new(48, 4, 8));
+    let calm = serve_measure(
+        &storm_cfg,
+        &Workload { faults: Vec::new(), ..storm_wl },
+        &mut ModelBackend::new(48, 4, 8),
+    );
+
+    // End to end: the real generation service and SQL report path behind
+    // the same frontend, with the timing model shadowing it.
+    let real_cfg = serve_saturation_cfg(4);
+    let real_wl = Workload {
+        seed: 17,
+        arrivals: Arrivals::Open { rate_rps: 80_000.0, retry_shed: false },
+        horizon_us: if quick { 20_000 } else { 60_000 },
+        report_permille: 250,
+        faults: Vec::new(),
+    };
+    let db = serve_cluster_db(64);
+    let svc = serve_generation_service();
+    let mut real_backend = RealBackend::new(&svc, &db, rocks_rpm::Arch::I686).unwrap();
+    let mut shadow =
+        ModelBackend::with_roots(real_backend.target_roots(), real_backend.n_queries());
+    let (real_report, _) =
+        run_serve(&real_cfg, &real_wl, &mut real_backend, &rocks_trace::Tracer::disabled());
+    assert!(real_report.violations.is_empty(), "{:#?}", real_report.violations);
+    let shadow_report = serve_measure(&real_cfg, &real_wl, &mut shadow);
+    // The fingerprint folds response bodies, which the model does not
+    // render; every timing-derived field must agree exactly.
+    let mut real_cmp = real_report.clone();
+    let mut shadow_cmp = shadow_report;
+    real_cmp.fingerprint = 0;
+    shadow_cmp.fingerprint = 0;
+    assert_eq!(real_cmp, shadow_cmp, "timing model diverged from the real backend");
+
+    let saturation_threads = 8;
+    let saturation_ks_per_s =
+        serve_real_saturation(saturation_threads, if quick { 500 } else { 5_000 });
+
+    let sweep_seeds = if quick { 200 } else { 500 };
+    let sweep = run_serve_sweep(0, sweep_seeds);
+
+    ServeSnapshot {
+        quick,
+        shard_sweep,
+        burst: ServeRun::from_report(&burst_cfg, &burst_report),
+        steady: ServeRun::from_report(&burst_cfg, &steady_report),
+        install_p99_us: prio.install_latency.p99_us,
+        report_p99_us: prio.report_latency.p99_us,
+        max_consecutive_installs: prio.max_consecutive_installs,
+        report_every: prio_cfg.report_every,
+        storm_misses: storm.backend_misses,
+        calm_misses: calm.backend_misses,
+        storm_p99_us: storm.latency.p99_us,
+        calm_p99_us: calm.latency.p99_us,
+        real_rps: real_report.rps(),
+        saturation_threads,
+        saturation_ks_per_s,
+        sweep_seeds: sweep_seeds as usize,
+        sweep_violations: sweep.violations.len(),
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+/// The serving benchmark: shard-sweep saturation throughput, burst and
+/// storm chaos scenarios, priority behaviour, the real-backend
+/// end-to-end run, and the invariant sweep, writing `BENCH_serve.json`.
+pub fn serve(quick: bool) -> String {
+    let snap = measure_serve(quick);
+    let json = snap.to_json();
+    let written = match std::fs::write("BENCH_serve.json", &json) {
+        Ok(()) => "snapshot written to BENCH_serve.json".to_string(),
+        Err(e) => format!("snapshot NOT written: {e}"),
+    };
+    let verdict = if snap.sweep_violations == 0 {
+        "all invariants held".to_string()
+    } else {
+        format!("*** {} INVARIANT VIOLATION(S) ***", snap.sweep_violations)
+    };
+    let sweep = snap
+        .shard_sweep
+        .iter()
+        .map(|r| {
+            format!(
+                "  {}x{} workers: {:>8.0} rps, p50 {:>4} µs, p99 {:>5} µs, \
+                 {:>5.1}% shed, queue peak {}",
+                r.shards,
+                r.workers_per_shard,
+                r.rps,
+                r.p50_us,
+                r.p99_us,
+                r.shed_rate * 100.0,
+                r.queue_peak,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    let h = snap.headline();
+    format!(
+        "kickstart serving frontend at saturation\n\
+         headline (8 shards): {:.0} rps, p99 {} µs (SLO: >= {:.0} rps, p99 <= {} µs)\n\
+         shard sweep:\n{}\n\
+         burst 10x: {:.0} rps, {:.1}% shed (steady: {:.0} rps, {:.1}% shed)\n\
+         priority: install p99 {} µs, report p99 {} µs, \
+         longest install run {} (aging window {})\n\
+         cache storm: {} misses vs {} calm, p99 {} µs vs {} µs\n\
+         real backend end-to-end: {:.0} rps (schedule matches the timing model)\n\
+         wall-clock saturation: {:.0} kickstarts/s on {} threads\n\
+         invariant sweep: {} seeds — {}\n\
+         wall: {:.0} ms\n\
+         {}\n",
+        h.rps,
+        h.p99_us,
+        SERVE_SLO_MIN_RPS,
+        SERVE_SLO_P99_US,
+        sweep,
+        snap.burst.rps,
+        snap.burst.shed_rate * 100.0,
+        snap.steady.rps,
+        snap.steady.shed_rate * 100.0,
+        snap.install_p99_us,
+        snap.report_p99_us,
+        snap.max_consecutive_installs,
+        snap.report_every,
+        snap.storm_misses,
+        snap.calm_misses,
+        snap.storm_p99_us,
+        snap.calm_p99_us,
+        snap.real_rps,
+        snap.saturation_ks_per_s,
+        snap.saturation_threads,
+        snap.sweep_seeds,
+        verdict,
+        snap.wall_ms,
+        written,
+    )
+}
+
+/// `reproduce serve` without `--quick`: the full-horizon measurement.
+pub fn serve_full() -> String {
+    serve(false)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2582,6 +3061,73 @@ mod tests {
             "\"throughput_loss\"",
             "\"knee_capacity\"",
             "\"invariant_violations\": 0",
+        ] {
+            assert!(json.contains(key), "missing {key} in\n{json}");
+        }
+    }
+
+    /// The serving SLO gate: at 8 shards the frontend must sustain at
+    /// least 100k completed requests per simulated second with p99 under
+    /// the 1 ms floor and zero invariant violations. Virtual-time
+    /// measurement — debug and release builds agree bit-for-bit, so the
+    /// gate runs at every tier.
+    #[test]
+    fn serve_slo_floor() {
+        let run = serve_slo_run(50_000);
+        assert!(
+            run.rps >= SERVE_SLO_MIN_RPS,
+            "8-shard frontend sustained only {:.0} rps (floor {:.0})",
+            run.rps,
+            SERVE_SLO_MIN_RPS,
+        );
+        assert!(
+            run.p99_us <= SERVE_SLO_P99_US,
+            "8-shard p99 {} µs breaks the {} µs SLO",
+            run.p99_us,
+            SERVE_SLO_P99_US,
+        );
+        let sweep = run_serve_sweep(0, 100);
+        assert!(sweep.violations.is_empty(), "invariant sweep: {:?}", sweep.violations);
+    }
+
+    /// The quick snapshot carries every key the CI grep gate checks,
+    /// throughput scales with the shard count, and the chaos sections
+    /// tell their stories (burst sheds, storm forces re-warm misses).
+    #[test]
+    fn serve_snapshot_json_has_contract_keys() {
+        let snap = measure_serve(true);
+        assert_eq!(snap.sweep_violations, 0);
+        let sweep = &snap.shard_sweep;
+        assert_eq!(sweep.len(), 4);
+        for pair in sweep.windows(2) {
+            assert!(
+                pair[1].rps > pair[0].rps * 1.5,
+                "{} shards: {:.0} rps vs {} shards: {:.0} rps — scaling collapsed",
+                pair[1].shards,
+                pair[1].rps,
+                pair[0].shards,
+                pair[0].rps,
+            );
+        }
+        assert!(snap.burst.shed_rate > snap.steady.shed_rate);
+        assert!(snap.storm_misses > snap.calm_misses);
+        assert!(snap.max_consecutive_installs <= snap.report_every);
+        assert!(snap.real_rps > 0.0 && snap.saturation_ks_per_s > 0.0);
+        let json = snap.to_json();
+        for key in [
+            "\"experiment\": \"serve\"",
+            "\"rps\"",
+            "\"p99_us\"",
+            "\"shed_rate\"",
+            "\"queue_peak\"",
+            "\"shard_sweep\"",
+            "\"burst\"",
+            "\"steady\"",
+            "\"priority\"",
+            "\"storm\"",
+            "\"real_backend_rps\"",
+            "\"saturation\"",
+            "\"violations\": 0",
         ] {
             assert!(json.contains(key), "missing {key} in\n{json}");
         }

@@ -192,6 +192,22 @@ impl Cluster {
         Ok(self.kickstart.generate_all(&self.db, Arch::I686, threads)?)
     }
 
+    /// Drive a serving workload against this cluster's *live* kickstart
+    /// service and database through the rocks-serve frontend: every
+    /// dispatched request produces a real response (a rendered Kickstart
+    /// file or SQL report), the skeleton and plan caches see the churn,
+    /// and latency/shed metrics land in the cluster's tracer registry.
+    pub fn serve_load(
+        &self,
+        cfg: &rocks_serve::ServeConfig,
+        workload: &rocks_serve::Workload,
+    ) -> Result<rocks_serve::ServeReport> {
+        let mut backend = rocks_serve::RealBackend::new(&self.kickstart, &self.db, Arch::I686)
+            .map_err(RocksError::Db)?;
+        let (report, _log) = rocks_serve::run_serve(cfg, workload, &mut backend, self.tracer());
+        Ok(report)
+    }
+
     /// The package identities a compute node of `arch` installs from the
     /// current distribution.
     pub fn compute_image(&self, arch: Arch) -> BTreeSet<String> {

@@ -1,0 +1,287 @@
+//! Seeded workload generation: arrival models, fault schedules, and the
+//! plan generator behind the 500-seed invariant sweep.
+//!
+//! The vocabulary deliberately mirrors the chaos harness in
+//! `rocks-netsim`: a [`ServePlan`] is a pure function of its seed, every
+//! random choice is drawn from one `StdRng`, and the generated shapes
+//! are bounded so a full sweep stays cheap in debug builds (tier-1 CI
+//! runs the sweep unoptimized).
+
+use crate::backend::ModelBackend;
+use crate::config::ServeConfig;
+use crate::frontend::{run_serve, ReqLog, ServeReport};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rocks_trace::Tracer;
+
+/// How requests arrive at the frontend.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Arrivals {
+    /// Open loop: Poisson arrivals at `rate_rps` requests per second
+    /// (virtual time). Shed requests optionally come back after the
+    /// retry-after hint, as real installers do.
+    Open {
+        /// Offered load, requests per simulated second.
+        rate_rps: f64,
+        /// Whether shed requests retry (bounded at 8 attempts each).
+        retry_shed: bool,
+    },
+    /// Closed loop: `clients` callers, each issuing one request, waiting
+    /// for the response (or retry-after), thinking, then issuing again.
+    Closed {
+        /// Number of concurrent clients.
+        clients: usize,
+        /// Think time between a response and the next request, µs.
+        think_us: u64,
+    },
+}
+
+/// A scheduled disturbance, reusing the chaos-harness fault vocabulary.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServeFault {
+    /// Arrival-rate burst: open-loop λ is multiplied by `factor` inside
+    /// the window (a rack of nodes power-cycling into reinstall).
+    Burst {
+        /// Window start, µs.
+        at_us: u64,
+        /// Window length, µs.
+        dur_us: u64,
+        /// Rate multiplier inside the window.
+        factor: f64,
+    },
+    /// One worker shard freezes: its in-flight requests finish late by
+    /// `dur_us` and it accepts no dispatches until the window ends.
+    ShardStall {
+        /// Which shard (taken modulo the configured shard count).
+        shard: usize,
+        /// Stall start, µs.
+        at_us: u64,
+        /// Stall length, µs.
+        dur_us: u64,
+    },
+    /// Cache-invalidation storm: a `rocks-dist` rebuild lands mid-load
+    /// and every cached skeleton goes stale at once.
+    CacheStorm {
+        /// When the rebuild lands, µs.
+        at_us: u64,
+    },
+}
+
+/// One complete workload: arrival model, horizon, class mix, faults.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Workload {
+    /// Seed for every random draw the frontend makes (arrival gaps,
+    /// class choice, key choice, retry jitter).
+    pub seed: u64,
+    /// The arrival model.
+    pub arrivals: Arrivals,
+    /// No new requests are created at or after this virtual time; the
+    /// run then drains.
+    pub horizon_us: u64,
+    /// Per-mille of arrivals that are report queries (the rest are
+    /// kickstart requests).
+    pub report_permille: u32,
+    /// Scheduled disturbances.
+    pub faults: Vec<ServeFault>,
+}
+
+impl Workload {
+    /// The open-loop arrival-rate multiplier at time `t` (product of
+    /// every burst window covering `t`; 1.0 outside all windows).
+    pub fn rate_multiplier(&self, t: u64) -> f64 {
+        let mut m = 1.0;
+        for f in &self.faults {
+            if let ServeFault::Burst { at_us, dur_us, factor } = f {
+                if t >= *at_us && t < at_us.saturating_add(*dur_us) {
+                    m *= factor;
+                }
+            }
+        }
+        m
+    }
+
+    /// A copy with every [`ServeFault::ShardStall`] removed. Stalls are
+    /// addressed to a *shard*, so they are the one fault that breaks
+    /// invariance under re-arranging workers into shards; the
+    /// determinism proptests sweep stall-free plans.
+    pub fn stall_free(&self) -> Workload {
+        let mut w = self.clone();
+        w.faults.retain(|f| !matches!(f, ServeFault::ShardStall { .. }));
+        w
+    }
+}
+
+/// A seeded (config, workload, backend-shape) triple: everything needed
+/// to run one deterministic serving episode in timing-model mode.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServePlan {
+    /// The generating seed.
+    pub seed: u64,
+    /// Frontend shape.
+    pub cfg: ServeConfig,
+    /// The workload.
+    pub workload: Workload,
+    /// Distinct kickstart targets in the model backend.
+    pub n_targets: usize,
+    /// Distinct appliance roots (targets share skeletons per root).
+    pub n_roots: usize,
+    /// Distinct report queries.
+    pub n_queries: usize,
+}
+
+impl ServePlan {
+    /// Generate a bounded plan from `seed`. Expected arrivals per plan
+    /// are kept in the low thousands so a 500-seed sweep finishes
+    /// quickly even in debug builds.
+    pub fn generate(seed: u64) -> ServePlan {
+        let mut rng =
+            StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1));
+        let shards = [1usize, 2, 4, 8][rng.gen_range(0..4usize)];
+        let workers_per_shard = rng.gen_range(1usize..=4);
+        let queue_cap = [64usize, 128, 256, 512][rng.gen_range(0..4usize)];
+        let cfg = ServeConfig {
+            shards,
+            workers_per_shard,
+            queue_cap,
+            high_water: (queue_cap * 3 / 4).max(1),
+            retry_after_us: rng.gen_range(500u64..=4_000),
+            report_every: rng.gen_range(2u64..=16),
+            ..ServeConfig::default()
+        };
+
+        let open = rng.gen_bool(0.6);
+        let target_arrivals = rng.gen_range(1_000u64..=6_000);
+        let (arrivals, horizon_us) = if open {
+            let rate_rps = rng.gen_range(20_000.0..250_000.0f64);
+            let horizon = ((target_arrivals as f64 / rate_rps) * 1e6) as u64;
+            (
+                Arrivals::Open { rate_rps, retry_shed: rng.gen_bool(0.5) },
+                horizon.clamp(10_000, 300_000),
+            )
+        } else {
+            let clients = rng.gen_range(4usize..=64);
+            let think_us = rng.gen_range(50u64..=2_000);
+            (Arrivals::Closed { clients, think_us }, rng.gen_range(20_000u64..=120_000))
+        };
+
+        let report_permille = rng.gen_range(0u32..=400);
+        let n_faults = rng.gen_range(0usize..=3);
+        let mut faults = Vec::with_capacity(n_faults);
+        for _ in 0..n_faults {
+            let at_us = rng.gen_range(0..horizon_us / 2);
+            match rng.gen_range(0u32..3) {
+                0 => faults.push(ServeFault::Burst {
+                    at_us,
+                    dur_us: rng.gen_range(horizon_us / 10..=horizon_us / 3),
+                    factor: rng.gen_range(2.0..=10.0f64),
+                }),
+                1 => faults.push(ServeFault::ShardStall {
+                    shard: rng.gen_range(0usize..8),
+                    at_us,
+                    dur_us: rng.gen_range(horizon_us / 20..=horizon_us / 4),
+                }),
+                _ => faults.push(ServeFault::CacheStorm { at_us }),
+            }
+        }
+
+        let workload = Workload { seed, arrivals, horizon_us, report_permille, faults };
+        ServePlan {
+            seed,
+            cfg,
+            workload,
+            n_targets: rng.gen_range(16usize..=256),
+            n_roots: rng.gen_range(1usize..=4),
+            n_queries: rng.gen_range(2usize..=8),
+        }
+    }
+
+    /// The plan's model backend, cold.
+    pub fn model_backend(&self) -> ModelBackend {
+        ModelBackend::new(self.n_targets, self.n_roots, self.n_queries)
+    }
+
+    /// Run the plan in timing-model mode with tracing off.
+    pub fn run_model(&self) -> (ServeReport, Vec<ReqLog>) {
+        let mut backend = self.model_backend();
+        run_serve(&self.cfg, &self.workload, &mut backend, &Tracer::disabled())
+    }
+}
+
+/// Aggregate outcome of a multi-seed sweep (see [`run_serve_sweep`]).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SweepSummary {
+    /// Seeds run.
+    pub seeds: u64,
+    /// Total requests that arrived across all runs.
+    pub total_arrivals: u64,
+    /// Total completed.
+    pub total_completed: u64,
+    /// Total shed.
+    pub total_shed: u64,
+    /// Every invariant violation hit, tagged by seed. Empty on a clean
+    /// sweep — the CI gate greps for exactly that.
+    pub violations: Vec<(u64, String)>,
+}
+
+/// Run seeds `seed0 .. seed0 + n` through [`ServePlan::generate`] in
+/// model mode and fold the reports. The frontend's built-in invariant
+/// checks (conservation, bounded queue, no starvation, full drain) are
+/// collected per seed.
+pub fn run_serve_sweep(seed0: u64, n: u64) -> SweepSummary {
+    let mut out = SweepSummary { seeds: n, ..SweepSummary::default() };
+    for seed in seed0..seed0 + n {
+        let (report, _) = ServePlan::generate(seed).run_model();
+        out.total_arrivals += report.arrivals;
+        out.total_completed += report.completed;
+        out.total_shed += report.shed;
+        for v in &report.violations {
+            out.violations.push((seed, v.clone()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_pure_functions_of_seed() {
+        for seed in [0u64, 1, 17, 999_983] {
+            assert_eq!(ServePlan::generate(seed), ServePlan::generate(seed));
+        }
+        assert_ne!(ServePlan::generate(3), ServePlan::generate(4));
+    }
+
+    #[test]
+    fn burst_multiplier_is_windowed_and_compounds() {
+        let w = Workload {
+            seed: 0,
+            arrivals: Arrivals::Open { rate_rps: 1e5, retry_shed: false },
+            horizon_us: 100,
+            report_permille: 0,
+            faults: vec![
+                ServeFault::Burst { at_us: 10, dur_us: 20, factor: 4.0 },
+                ServeFault::Burst { at_us: 20, dur_us: 20, factor: 2.0 },
+            ],
+        };
+        assert_eq!(w.rate_multiplier(5), 1.0);
+        assert_eq!(w.rate_multiplier(10), 4.0);
+        assert_eq!(w.rate_multiplier(25), 8.0, "overlapping windows compound");
+        assert_eq!(w.rate_multiplier(35), 2.0);
+        assert_eq!(w.rate_multiplier(40), 1.0, "window end is exclusive");
+    }
+
+    #[test]
+    fn stall_free_strips_only_stalls() {
+        let mut p = ServePlan::generate(42);
+        p.workload.faults = vec![
+            ServeFault::Burst { at_us: 1, dur_us: 2, factor: 3.0 },
+            ServeFault::ShardStall { shard: 0, at_us: 5, dur_us: 5 },
+            ServeFault::CacheStorm { at_us: 9 },
+        ];
+        let stripped = p.workload.stall_free();
+        assert_eq!(stripped.faults.len(), 2);
+        assert!(stripped.faults.iter().all(|f| !matches!(f, ServeFault::ShardStall { .. })));
+    }
+}

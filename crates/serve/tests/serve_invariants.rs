@@ -1,0 +1,206 @@
+//! The serving frontend's invariant suite: a 500-seed generated-plan
+//! sweep plus property tests for the determinism guarantees.
+//!
+//! Invariants (checked by the engine at drain, asserted here to be
+//! violation-free across the whole corpus):
+//!
+//! - **conservation** — every arrival is accepted or shed, and every
+//!   accepted request completes by drain (nothing queued or in flight
+//!   once the event heap empties);
+//! - **bounded queue** — observed queue depth never exceeds the
+//!   configured hard cap (admission sheds at the high-water mark);
+//! - **no starvation** — at most `report_every` consecutive install
+//!   dispatches ever pass a waiting report;
+//! - **determinism** — identical (config, workload, backend) runs are
+//!   bit-identical, and with the total worker pool held constant the
+//!   1×8 / 2×4 / 8×1 shard arrangements produce identical reports
+//!   (stall-free workloads; stalls address shards by number).
+
+use proptest::prelude::*;
+use rocks_serve::{
+    run_serve, run_serve_sweep, Arrivals, ServeConfig, ServeFault, ServePlan, Workload,
+};
+use rocks_trace::Tracer;
+
+#[test]
+fn five_hundred_seed_sweep_has_zero_violations() {
+    let summary = run_serve_sweep(0, 500);
+    assert_eq!(summary.seeds, 500);
+    assert!(
+        summary.violations.is_empty(),
+        "invariant violations: {:?}",
+        &summary.violations[..summary.violations.len().min(10)]
+    );
+    assert_eq!(
+        summary.total_arrivals,
+        summary.total_completed + summary.total_shed,
+        "sweep-level conservation"
+    );
+    assert!(summary.total_completed > 100_000, "sweep must exercise real volume");
+}
+
+#[test]
+fn sweep_corpus_covers_the_interesting_space() {
+    // The generated corpus must actually exercise every mechanism the
+    // invariants protect; a sweep of trivial plans would prove nothing.
+    let mut open = 0u32;
+    let mut closed = 0u32;
+    let mut bursts = 0u32;
+    let mut stalls = 0u32;
+    let mut storms = 0u32;
+    let mut with_shed = 0u32;
+    let mut with_retries = 0u32;
+    let mut with_reports = 0u32;
+    let mut with_misses = 0u32;
+    for seed in 0..120 {
+        let plan = ServePlan::generate(seed);
+        match plan.workload.arrivals {
+            Arrivals::Open { .. } => open += 1,
+            Arrivals::Closed { .. } => closed += 1,
+        }
+        for f in &plan.workload.faults {
+            match f {
+                ServeFault::Burst { .. } => bursts += 1,
+                ServeFault::ShardStall { .. } => stalls += 1,
+                ServeFault::CacheStorm { .. } => storms += 1,
+            }
+        }
+        let (report, _) = plan.run_model();
+        if report.shed > 0 {
+            with_shed += 1;
+        }
+        if report.retries > 0 {
+            with_retries += 1;
+        }
+        if report.report_completed > 0 {
+            with_reports += 1;
+        }
+        if report.backend_misses > 0 {
+            with_misses += 1;
+        }
+    }
+    for (what, n) in [
+        ("open-loop plans", open),
+        ("closed-loop plans", closed),
+        ("bursts", bursts),
+        ("shard stalls", stalls),
+        ("cache storms", storms),
+        ("runs that shed", with_shed),
+        ("runs with retries", with_retries),
+        ("runs completing reports", with_reports),
+        ("runs with cache misses", with_misses),
+    ] {
+        assert!(n > 0, "corpus never produced {what}");
+    }
+}
+
+#[test]
+fn queue_peak_respects_both_watermark_and_cap() {
+    for seed in 0..60 {
+        let plan = ServePlan::generate(seed);
+        let (report, _) = plan.run_model();
+        assert!(
+            report.queue_peak <= plan.cfg.high_water as u64,
+            "seed {seed}: peak {} above high water {}",
+            report.queue_peak,
+            plan.cfg.high_water
+        );
+        assert!(report.queue_peak <= plan.cfg.queue_cap as u64);
+    }
+}
+
+#[test]
+fn request_logs_drain_completely() {
+    use rocks_serve::Outcome;
+    for seed in [2u64, 31, 77, 150] {
+        let plan = ServePlan::generate(seed);
+        let (report, log) = plan.run_model();
+        assert_eq!(log.len() as u64, report.arrivals);
+        assert!(log.iter().all(|r| r.outcome != Outcome::Pending), "seed {seed} left work");
+        let completed = log.iter().filter(|r| r.outcome == Outcome::Completed).count() as u64;
+        let shed = log.iter().filter(|r| r.outcome == Outcome::Shed).count() as u64;
+        assert_eq!(completed, report.completed);
+        assert_eq!(shed, report.shed);
+        // Completed requests have a full, ordered timeline.
+        for r in log.iter().filter(|r| r.outcome == Outcome::Completed) {
+            let d = r.dispatch_us.expect("completed request must have dispatched");
+            let c = r.complete_us.expect("completed request must have a completion time");
+            assert!(r.arrival_us <= d && d <= c, "timeline out of order for request {}", r.id);
+        }
+    }
+}
+
+fn arrangements_of_eight() -> [(usize, usize); 3] {
+    [(1, 8), (2, 4), (8, 1)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Re-running the same plan is bit-identical, report and log.
+    #[test]
+    fn reruns_are_bit_identical(seed in 0u64..1_000_000) {
+        let plan = ServePlan::generate(seed);
+        let (r1, l1) = plan.run_model();
+        let (r2, l2) = plan.run_model();
+        prop_assert_eq!(r1, r2);
+        prop_assert_eq!(l1, l2);
+    }
+
+    /// With eight workers total, how they are grouped into shards is a
+    /// pure relabeling: 1×8, 2×4 and 8×1 agree bit-for-bit on every
+    /// shard-agnostic field (stall-free workloads).
+    #[test]
+    fn shard_arrangement_determinism(seed in 0u64..1_000_000) {
+        let plan = ServePlan::generate(seed);
+        let wl = plan.workload.stall_free();
+        let mut reports = Vec::new();
+        for (shards, wps) in arrangements_of_eight() {
+            let cfg = ServeConfig {
+                shards,
+                workers_per_shard: wps,
+                ..plan.cfg.clone()
+            };
+            let mut backend = plan.model_backend();
+            let (r, _) = run_serve(&cfg, &wl, &mut backend, &Tracer::disabled());
+            prop_assert!(r.violations.is_empty(), "violations: {:?}", r.violations);
+            prop_assert_eq!(
+                r.per_shard_completed.iter().sum::<u64>(),
+                r.completed,
+                "shard attribution must partition completions"
+            );
+            reports.push(r.shard_agnostic());
+        }
+        prop_assert_eq!(&reports[0], &reports[1], "1x8 vs 2x4 diverged (seed {})", seed);
+        prop_assert_eq!(&reports[0], &reports[2], "1x8 vs 8x1 diverged (seed {})", seed);
+    }
+
+    /// The starvation bound holds for arbitrary aging windows, including
+    /// the aggressive ones the plan generator never picks.
+    #[test]
+    fn aging_bound_holds(seed in 0u64..100_000, report_every in 1u64..20) {
+        let cfg = ServeConfig {
+            shards: 2,
+            workers_per_shard: 1,
+            report_every,
+            ..ServeConfig::default()
+        };
+        let wl = Workload {
+            seed,
+            arrivals: Arrivals::Open { rate_rps: 120_000.0, retry_shed: false },
+            horizon_us: 25_000,
+            report_permille: 150,
+            faults: Vec::new(),
+        };
+        let plan = ServePlan::generate(seed);
+        let mut backend = plan.model_backend();
+        let (r, _) = run_serve(&cfg, &wl, &mut backend, &Tracer::disabled());
+        prop_assert!(r.violations.is_empty(), "violations: {:?}", r.violations);
+        prop_assert!(
+            r.max_consecutive_installs <= report_every,
+            "aging bound {} exceeded: {}",
+            report_every,
+            r.max_consecutive_installs
+        );
+    }
+}

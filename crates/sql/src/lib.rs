@@ -456,6 +456,21 @@ impl Database {
         self.cache.lock().expect("plan cache lock").entries.len()
     }
 
+    /// Would [`query_ref`](Self::query_ref) for this exact SQL text skip
+    /// planning right now? A pure probe: no counters move, the cache is
+    /// neither flushed nor populated. A cached entry only counts as warm
+    /// if the whole cache is still valid (same schema generation and
+    /// stats epoch), since the next real query would otherwise flush it.
+    /// The serving frontend uses this to price a report query before
+    /// executing it.
+    pub fn plan_cached(&self, sql: &str) -> bool {
+        let stats_epoch = self.stats_epoch();
+        let cache = self.cache.lock().expect("plan cache lock");
+        cache.schema_gen == self.schema_gen
+            && cache.stats_epoch == stats_epoch
+            && cache.entries.contains_key(sql)
+    }
+
     /// Planner/executor telemetry for this database.
     pub fn stats(&self) -> &QueryStats {
         &self.stats
@@ -617,6 +632,32 @@ mod tests {
         // A different statement adds an entry.
         db.query_ref("select id from memberships where name = 'Compute'").unwrap();
         assert_eq!(db.prepared_statements(), 2);
+    }
+
+    #[test]
+    fn plan_cached_probe_is_pure() {
+        let mut db = two_table_db();
+        let sql = "select name from nodes where ip = '10.1.1.2'";
+        assert!(!db.plan_cached(sql), "cold cache");
+        assert_eq!(db.prepared_statements(), 0, "probe must not populate");
+
+        db.query_ref(sql).unwrap();
+        assert!(db.plan_cached(sql));
+        let hits = db.stats().plan_cache_hits();
+        let misses = db.stats().plan_cache_misses();
+        for _ in 0..5 {
+            db.plan_cached(sql);
+        }
+        assert_eq!(db.stats().plan_cache_hits(), hits, "probes are free");
+        assert_eq!(db.stats().plan_cache_misses(), misses);
+
+        // A schema change makes every cached plan cold — the probe sees
+        // it without flushing the (stale) entries itself.
+        db.execute("create table extra (x int)").unwrap();
+        assert!(!db.plan_cached(sql));
+        assert_eq!(db.prepared_statements(), 1, "probe must not flush");
+        db.query_ref(sql).unwrap();
+        assert!(db.plan_cached(sql), "re-prepared after the flush");
     }
 
     #[test]

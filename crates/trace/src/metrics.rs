@@ -246,37 +246,23 @@ impl Histogram {
     }
 
     fn absorb(&self, other: &Histogram) {
-        // Same bounds: bucket-wise add. Different bounds: re-record each
-        // of the other's buckets at its own upper bound (overflow lands
-        // at the other's max), which keeps counts exact and quantiles
-        // conservative.
+        // Bucket placement: identical bounds add bucket-wise; mismatched
+        // bounds remap each of the other's buckets to the bucket its
+        // upper bound falls into here (overflow samples remap at the
+        // other's true max). Either way quantiles stay conservative.
+        //
+        // The scalar aggregates (count, sum, min, max) are carried over
+        // *exactly* in both cases: re-recording samples at their bucket
+        // bounds would inflate `sum` to a sum of bounds and raise `min`
+        // to a bound, silently corrupting merged per-shard latency
+        // views. Only bucket *placement* may lose precision, never the
+        // scalars.
         if self.bounds == other.bounds {
             for (dst, n) in self.state.buckets.iter().zip(other.bucket_counts()) {
                 dst.fetch_add(n, Ordering::Relaxed);
             }
-            self.state.count.fetch_add(other.count(), Ordering::Relaxed);
-            let mut cur = self.state.sum.load(Ordering::Relaxed);
-            loop {
-                let next = cur.saturating_add(other.sum());
-                match self.state.sum.compare_exchange_weak(
-                    cur,
-                    next,
-                    Ordering::Relaxed,
-                    Ordering::Relaxed,
-                ) {
-                    Ok(_) => break,
-                    Err(seen) => cur = seen,
-                }
-            }
-            if let Some(m) = other.min() {
-                self.state.min.fetch_min(m, Ordering::Relaxed);
-            }
-            if let Some(m) = other.max() {
-                self.state.max.fetch_max(m, Ordering::Relaxed);
-            }
         } else {
-            let counts = other.bucket_counts();
-            for (i, n) in counts.iter().enumerate() {
+            for (i, n) in other.bucket_counts().iter().enumerate() {
                 if *n == 0 {
                     continue;
                 }
@@ -285,10 +271,29 @@ impl Histogram {
                 } else {
                     other.max().unwrap_or(u64::MAX)
                 };
-                for _ in 0..*n {
-                    self.record(value);
-                }
+                let idx = self.bounds.partition_point(|b| *b < value);
+                self.state.buckets[idx].fetch_add(*n, Ordering::Relaxed);
             }
+        }
+        self.state.count.fetch_add(other.count(), Ordering::Relaxed);
+        let mut cur = self.state.sum.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(other.sum());
+            match self.state.sum.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        if let Some(m) = other.min() {
+            self.state.min.fetch_min(m, Ordering::Relaxed);
+        }
+        if let Some(m) = other.max() {
+            self.state.max.fetch_max(m, Ordering::Relaxed);
         }
     }
 }
@@ -631,6 +636,78 @@ mod tests {
         assert_eq!(merged.count(), 2);
         // b's sample re-recorded at its bound (7) into a's 10-bucket.
         assert_eq!(merged.quantile(1.0), Some(10));
+    }
+
+    #[test]
+    fn mismatched_merge_keeps_exact_scalar_aggregates() {
+        // Bucket placement may coarsen across a bounds mismatch, but
+        // count/sum/min/max must survive exactly.
+        let a = Registry::new();
+        let b = Registry::new();
+        let ha = a.histogram("lat", &[10, 100]);
+        let hb = b.histogram("lat", &[7]);
+        ha.record(3);
+        hb.record(6);
+        hb.record(2);
+        a.merge(&b);
+        let merged = a.histogram("lat", &[10, 100]);
+        assert_eq!(merged.count(), 3);
+        assert_eq!(merged.sum(), 11, "true sample sum, not a sum of bucket bounds");
+        assert_eq!(merged.min(), Some(2), "true min, not a bucket bound");
+        assert_eq!(merged.max(), Some(6));
+    }
+
+    #[test]
+    fn mismatched_merge_boundary_value_lands_in_shared_bucket() {
+        // The other histogram's bound coincides with one of ours: its
+        // samples must land in that bucket, not spill past it.
+        let a = Registry::new();
+        let b = Registry::new();
+        let ha = a.histogram("lat", &[10, 100]);
+        let hb = b.histogram("lat", &[100]);
+        hb.record(50);
+        a.merge(&b);
+        assert_eq!(ha.count(), 1);
+        assert_eq!(ha.overflow(), 0, "bound-100 bucket maps to bound-100 bucket");
+        assert_eq!(ha.quantile(1.0), Some(100));
+    }
+
+    #[test]
+    fn mismatched_merge_overflow_maps_to_overflow() {
+        let a = Registry::new();
+        let b = Registry::new();
+        let ha = a.histogram("lat", &[10, 100]);
+        let hb = b.histogram("lat", &[10]);
+        hb.record(5_000);
+        hb.record(7_000);
+        a.merge(&b);
+        assert_eq!(ha.overflow(), 2, "samples past every bound stay in overflow");
+        assert_eq!(ha.max(), Some(7_000));
+        // Overflow quantiles still answer the true max, exactly as if
+        // the samples had been recorded here directly.
+        assert_eq!(ha.p50(), Some(7_000));
+        assert_eq!(ha.sum(), 12_000);
+    }
+
+    #[test]
+    fn same_bounds_merge_equals_direct_recording() {
+        // Per-shard aggregation must be lossless when shards share
+        // bounds: merging N shard histograms gives the same snapshot as
+        // recording every sample into one histogram.
+        let samples: [&[u64]; 3] = [&[5, 40, 900], &[12, 12, 3_000], &[75]];
+        let direct = Registry::new();
+        let dh = direct.histogram("lat", &[10, 100, 1_000]);
+        let total = Registry::new();
+        for shard_samples in samples {
+            let shard = Registry::new();
+            let h = shard.histogram("lat", &[10, 100, 1_000]);
+            for s in shard_samples {
+                h.record(*s);
+                dh.record(*s);
+            }
+            total.merge(&shard);
+        }
+        assert_eq!(total.snapshot(), direct.snapshot());
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! | [`netsim`] | §6.3 | the discrete-event cluster testbed (Table I) |
 //! | [`rpm`] | §5 | RPM model: rpmvercmp, repositories, update streams |
 //! | [`pbs`] | §4.1/§5 | PBS-like workload manager + Maui-like backfill |
+//! | [`serve`] | §6.1 | high-throughput kickstart serving frontend + load-test harness |
 //! | [`rexec`] | §4.1 | REXEC-like parallel remote execution |
 //! | [`services`] | §4–5 | DHCP, NIS-like sync, NFS-like home directories |
 //! | [`xml`] | §6.1 | the minimal XML parser the framework rides on |
@@ -57,6 +58,7 @@ pub use rocks_netsim as netsim;
 pub use rocks_pbs as pbs;
 pub use rocks_rexec as rexec;
 pub use rocks_rpm as rpm;
+pub use rocks_serve as serve;
 pub use rocks_services as services;
 pub use rocks_sql as sql;
 pub use rocks_trace as trace;

@@ -455,6 +455,161 @@ const ROLLOUT_CORPUS: &[(u64, usize, usize, u64, usize, u64, u64)] = &[
     (89, 27, 5, 4_190_530, 5, 2, 19),
 ];
 
+// ---------------------------------------------------------------------------
+// Kickstart serving frontend under load chaos.
+//
+// Pinned scenarios for the §6.1 serving frontend: the same
+// fault-injection vocabulary as the netsim corpus above, but the storms
+// hit the request path — a 10× arrival burst (a rack power-cycling into
+// reinstall at once), a frozen worker shard mid-overload, and a
+// dist-rebuild cache invalidation mid-run. Every scenario runs the
+// deterministic timing-model backend on the virtual clock, pins its
+// exact outcome tuple against a fault-free twin, and asserts zero
+// invariant violations (conservation, bounded queue, no starvation).
+// ---------------------------------------------------------------------------
+
+use rocks::serve::{
+    run_serve, Arrivals, ModelBackend, ServeConfig, ServeFault, ServeReport, Workload,
+};
+use rocks::trace::Tracer;
+
+fn run_serve_scenario(cfg: &ServeConfig, wl: &Workload, mut backend: ModelBackend) -> ServeReport {
+    let (report, _) = run_serve(cfg, wl, &mut backend, &Tracer::disabled());
+    assert!(report.violations.is_empty(), "serve invariants violated: {:#?}", report.violations);
+    report
+}
+
+#[test]
+fn serve_burst_at_ten_x_sheds_and_recovers_exactly() {
+    // Steady 40k rps open-loop fits comfortably in 2×2 workers; a 10×
+    // burst window (10–20 ms) slams the 64-deep queue into its 48
+    // high-water mark. Shed requests retry (8-attempt budget), so the
+    // burst amplifies arrivals ~21× over the calm twin — and admission
+    // holds the line: the queue never passes high water, and every
+    // admitted request completes.
+    let cfg = ServeConfig {
+        shards: 2,
+        workers_per_shard: 2,
+        queue_cap: 64,
+        high_water: 48,
+        retry_after_us: 1500,
+        ..ServeConfig::default()
+    };
+    let wl = Workload {
+        seed: 1001,
+        arrivals: Arrivals::Open { rate_rps: 40_000.0, retry_shed: true },
+        horizon_us: 40_000,
+        report_permille: 200,
+        faults: vec![ServeFault::Burst { at_us: 10_000, dur_us: 10_000, factor: 10.0 }],
+    };
+    let burst = run_serve_scenario(&cfg, &wl, ModelBackend::new(64, 2, 6));
+    let calm = run_serve_scenario(
+        &cfg,
+        &Workload { faults: Vec::new(), ..wl },
+        ModelBackend::new(64, 2, 6),
+    );
+
+    assert_eq!(
+        (burst.arrivals, burst.completed, burst.shed, burst.retries),
+        (35_382, 2_139, 33_243, 30_278),
+        "burst outcome drifted"
+    );
+    assert_eq!(
+        (calm.arrivals, calm.completed, calm.shed, calm.retries),
+        (1_669, 1_623, 46, 46),
+        "calm twin drifted"
+    );
+    assert_eq!(burst.queue_peak, 48, "queue must saturate exactly at high water");
+    assert_eq!(calm.queue_peak, 48);
+    assert_eq!(burst.latency.p99_us, 6_000, "burst-window queueing p99 drifted");
+    assert_eq!(calm.latency.p99_us, 3_000);
+    assert_eq!(burst.fingerprint, 0x89189e60f3496c93, "burst response set drifted");
+    assert_eq!(calm.fingerprint, 0x742729e41d3d65e3);
+}
+
+#[test]
+fn serve_shard_stall_mid_overload_replays_exactly() {
+    // 110k rps offered against 4×2 workers is already past saturation;
+    // at t=15 ms shard 1 freezes for 12 ms, cutting capacity by a
+    // quarter. The stalled run sheds ~75% more than its twin, and the
+    // worst-case latency carries the full stall window (an in-flight
+    // request frozen on the dead shard plus queueing), versus ~4.3 ms
+    // without the fault.
+    let cfg = ServeConfig {
+        shards: 4,
+        workers_per_shard: 2,
+        queue_cap: 128,
+        high_water: 96,
+        retry_after_us: 2000,
+        ..ServeConfig::default()
+    };
+    let wl = Workload {
+        seed: 2002,
+        arrivals: Arrivals::Open { rate_rps: 110_000.0, retry_shed: true },
+        horizon_us: 50_000,
+        report_permille: 250,
+        faults: vec![ServeFault::ShardStall { shard: 1, at_us: 15_000, dur_us: 12_000 }],
+    };
+    let stalled = run_serve_scenario(&cfg, &wl, ModelBackend::new(96, 3, 6));
+    let calm = run_serve_scenario(&cfg, &wl.stall_free(), ModelBackend::new(96, 3, 6));
+
+    assert_eq!(
+        (stalled.arrivals, stalled.completed, stalled.shed),
+        (16_112, 5_016, 11_096),
+        "stalled outcome drifted"
+    );
+    assert_eq!(
+        (calm.arrivals, calm.completed, calm.shed),
+        (11_691, 5_334, 6_357),
+        "calm twin drifted"
+    );
+    assert_eq!(stalled.latency.max_us, 16_062, "stall window must dominate worst-case latency");
+    assert_eq!(calm.latency.max_us, 4_259);
+    assert_eq!(stalled.queue_peak, 96);
+    assert_eq!(stalled.fingerprint, 0xe355d4693c3ac914, "stalled response set drifted");
+    assert_eq!(calm.fingerprint, 0x845e51372a844284);
+}
+
+#[test]
+fn serve_cache_storm_mid_load_rewarm_cost_replays_exactly() {
+    // 32 closed-loop clients against a warm cache; at t=30 ms a
+    // dist-rebuild invalidates every kickstart skeleton. The four
+    // appliance roots re-warm at miss cost (16 misses vs 12 — the
+    // initial warmup plus one per root), p99 rises 400→1000 µs from the
+    // re-warm stalls, and the closed loop issues fewer requests because
+    // its clients wait on the slower responses.
+    let cfg = ServeConfig { shards: 2, workers_per_shard: 4, ..ServeConfig::default() };
+    let wl = Workload {
+        seed: 3003,
+        arrivals: Arrivals::Closed { clients: 32, think_us: 200 },
+        horizon_us: 60_000,
+        report_permille: 300,
+        faults: vec![ServeFault::CacheStorm { at_us: 30_000 }],
+    };
+    let storm = run_serve_scenario(&cfg, &wl, ModelBackend::new(48, 4, 8));
+    let calm = run_serve_scenario(
+        &cfg,
+        &Workload { faults: Vec::new(), ..wl },
+        ModelBackend::new(48, 4, 8),
+    );
+
+    assert_eq!(
+        (storm.arrivals, storm.completed, storm.backend_misses),
+        (5_792, 5_792, 16),
+        "storm outcome drifted"
+    );
+    assert_eq!(
+        (calm.arrivals, calm.completed, calm.backend_misses),
+        (5_913, 5_913, 12),
+        "calm twin drifted"
+    );
+    assert_eq!(storm.shed, 0, "a warm-cache closed loop never sheds");
+    assert_eq!(storm.latency.p99_us, 1_000, "re-warm stall p99 drifted");
+    assert_eq!(calm.latency.p99_us, 400);
+    assert_eq!(storm.fingerprint, 0xbb4a3246f43ade16, "storm response set drifted");
+    assert_eq!(calm.fingerprint, 0xe6f3a58cbe13449c);
+}
+
 #[test]
 fn rollout_pinned_seeds_replay_exactly() {
     for &(seed, nodes, capacity, makespan_ms, max_conc, stragglers, jobs_started) in ROLLOUT_CORPUS

@@ -76,6 +76,39 @@ fn chaos_trace(mode: EngineMode) -> String {
     sim.tracer().dump().normalized(1000)
 }
 
+/// A 64-client closed-loop serve run against the timing-model backend,
+/// with a shard stall and a cache storm mid-run: the serve.run span,
+/// eight progress ticks, both fault marks, and the frontend counters.
+/// Virtual-time timestamps are exact (single engine), so no quantization
+/// beyond the microsecond clock itself.
+fn serve_64_clients_trace() -> String {
+    use rocks::serve::{run_serve, Arrivals, ModelBackend, ServeConfig, ServeFault, Workload};
+    let cfg = ServeConfig { shards: 4, workers_per_shard: 2, ..ServeConfig::default() };
+    let wl = Workload {
+        seed: 64,
+        arrivals: Arrivals::Closed { clients: 64, think_us: 300 },
+        horizon_us: 50_000,
+        report_permille: 250,
+        faults: vec![
+            ServeFault::ShardStall { shard: 2, at_us: 18_000, dur_us: 9_000 },
+            ServeFault::CacheStorm { at_us: 32_000 },
+        ],
+    };
+    let tracer = Tracer::ring_sim(1 << 16);
+    let mut backend = ModelBackend::new(64, 4, 6);
+    let (report, _) = run_serve(&cfg, &wl, &mut backend, &tracer);
+    assert!(report.violations.is_empty(), "violations: {:?}", report.violations);
+    tracer.dump().normalized(1)
+}
+
+#[test]
+fn serve_64_client_trace_is_golden() {
+    let first = serve_64_clients_trace();
+    let second = serve_64_clients_trace();
+    assert_eq!(first, second, "same seed must produce the same serve trace");
+    check_golden("serve_64_clients", &first);
+}
+
 #[test]
 fn fig4_bringup_trace_is_golden() {
     let first = bringup_trace();
